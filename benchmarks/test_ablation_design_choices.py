@@ -1,0 +1,121 @@
+"""Ablations of HybridFlow's individual design choices.
+
+Everything else held fixed, each ablation removes one mechanism:
+
+* **generation grouping** — interval grouping (HybridFlow) vs vanilla
+  grouping (HybridFlow-V) vs a DS-Chat-style cluster-wide reshard: isolates
+  §5.3's contribution to the transition cost.
+* **micro data parallelism** — generating with the training parallelism
+  (d_g = 1) vs resharding to smaller TP with micro-DP: isolates §5.1's
+  contribution to generation throughput.
+* **KV cache** — efficient vs inefficient generation engine: isolates the
+  serving-engine integration (§7's vLLM adaptation).
+"""
+
+from benchmarks.common import emit, format_table, workload
+from repro.config import (
+    MODEL_SPECS,
+    ClusterSpec,
+    GenParallelConfig,
+    ParallelConfig,
+)
+from repro.hybrid_engine.overhead import EngineKind
+from repro.perf.generation import generation_latency
+from repro.perf.transition import transition_time
+
+SPEC = MODEL_SPECS["llama-13b"]
+CLUSTER = ClusterSpec(n_machines=2)
+TRAIN = ParallelConfig(pp=1, tp=8, dp=2)
+GEN_TP = 4
+RESERVED = 17e9
+
+
+def run_ablations():
+    wl = workload()
+    gen_cfg = GenParallelConfig.derive(TRAIN, 1, GEN_TP)
+
+    # 1. grouping method: transition cost only
+    grouping = {
+        "hybridflow (interval)": transition_time(
+            EngineKind.HYBRIDFLOW, SPEC, CLUSTER, TRAIN, gen_cfg
+        ),
+        "vanilla (HybridFlow-V)": transition_time(
+            EngineKind.HYBRIDFLOW_V, SPEC, CLUSTER, TRAIN, gen_cfg
+        ),
+        "cluster-wide (DS-Chat)": transition_time(
+            EngineKind.DS_CHAT,
+            SPEC,
+            CLUSTER,
+            ParallelConfig(1, 1, TRAIN.world_size),
+            GenParallelConfig(1, 1, 1),
+        ),
+    }
+
+    # 2. micro-DP: generation latency with resharding vs training layout
+    with_micro_dp = generation_latency(
+        SPEC, CLUSTER, GEN_TP, 1,
+        n_replicas=TRAIN.dp * gen_cfg.micro_dp,
+        workload=wl, reserved_bytes=RESERVED,
+    ).total
+    without_micro_dp = generation_latency(
+        SPEC, CLUSTER, TRAIN.tp, TRAIN.pp,
+        n_replicas=TRAIN.dp,
+        workload=wl, reserved_bytes=RESERVED,
+    ).total
+
+    # 3. KV cache: efficient vs recompute-style engine, same layout
+    with_kv = with_micro_dp
+    without_kv = generation_latency(
+        SPEC, CLUSTER, GEN_TP, 1,
+        n_replicas=TRAIN.dp * gen_cfg.micro_dp,
+        workload=wl, reserved_bytes=RESERVED, use_kv_cache=False,
+    ).total
+
+    return {
+        "grouping": grouping,
+        "micro_dp": (with_micro_dp, without_micro_dp),
+        "kv_cache": (with_kv, without_kv),
+    }
+
+
+def test_ablation_design_choices(benchmark):
+    results = benchmark.pedantic(run_ablations, rounds=1, iterations=1)
+
+    grouping = results["grouping"]
+    with_mdp, without_mdp = results["micro_dp"]
+    with_kv, without_kv = results["kv_cache"]
+
+    rows = [
+        ["transition: " + name, seconds, ""]
+        for name, seconds in grouping.items()
+    ]
+    rows += [
+        ["generation: micro-DP reshard", with_mdp, ""],
+        [
+            "generation: training layout (d_g=1)",
+            without_mdp,
+            f"{without_mdp / with_mdp:.2f}x slower",
+        ],
+        ["generation: efficient engine", with_kv, ""],
+        [
+            "generation: no KV cache",
+            without_kv,
+            f"{without_kv / with_kv:.2f}x slower",
+        ],
+    ]
+    emit(
+        "ablation_design_choices",
+        format_table(
+            ["configuration", "seconds", "vs HybridFlow"],
+            rows,
+            f"Ablations ({SPEC.name}, 16 GPUs, train {TRAIN}, gen tp={GEN_TP})",
+        ),
+    )
+
+    # interval grouping strictly dominates the alternatives
+    hf = grouping["hybridflow (interval)"]
+    assert hf < grouping["vanilla (HybridFlow-V)"] < grouping["cluster-wide (DS-Chat)"]
+    # micro-DP resharding speeds up generation despite its transition cost
+    assert with_mdp + hf < without_mdp
+    # KV cache is a large multiple
+    assert without_kv > 2 * with_kv

@@ -1,0 +1,50 @@
+"""Figure 10: ReMax throughput (no critic, extra greedy generation pass).
+
+NeMo-Aligner does not support ReMax (§8.1), so its column is absent; the
+remaining ordering (HybridFlow first) must hold, and ReMax iterations are
+generation-heavier than PPO's.
+"""
+
+from benchmarks.common import (
+    emit,
+    run_end_to_end_grid,
+    specs_for,
+    throughput_table,
+    workload,
+)
+from repro.baselines import estimate_hybridflow
+from repro.config import ClusterSpec
+from repro.rlhf.core import AlgoType
+
+
+def test_fig10_remax_throughput(benchmark):
+    rows = benchmark.pedantic(
+        run_end_to_end_grid, args=(AlgoType.REMAX,), rounds=1, iterations=1
+    )
+    emit(
+        "fig10_remax_throughput",
+        throughput_table(rows, "Figure 10: ReMax throughput (tokens/sec)"),
+    )
+
+    # NeMo-Aligner cannot run ReMax anywhere
+    assert all(row["NeMo-Aligner"] is None for row in rows)
+
+    # HybridFlow still beats every runnable baseline
+    for row in rows:
+        hf = row["HybridFlow"]
+        for system in ("DeepSpeed-Chat", "OpenRLHF"):
+            if row[system]:
+                assert hf > row[system], (row["model"], row["gpus"], system)
+
+    # ReMax spends more of its iteration on generation than PPO (two passes)
+    cluster = ClusterSpec(n_machines=2)
+    wl = workload()
+    ppo = estimate_hybridflow(
+        AlgoType.PPO, specs_for(AlgoType.PPO, "llama-7b"), cluster, wl
+    )
+    remax = estimate_hybridflow(
+        AlgoType.REMAX, specs_for(AlgoType.REMAX, "llama-7b"), cluster, wl
+    )
+    ppo_share = ppo.breakdown.generation / ppo.breakdown.total
+    remax_share = remax.breakdown.generation / remax.breakdown.total
+    assert remax_share > ppo_share

@@ -1,0 +1,45 @@
+"""Figure 11: Safe-RLHF throughput (five models: extra cost model + PTX loss).
+
+The additional cost-model inference and the auxiliary pretraining loss make
+every system slower than its PPO counterpart at the same point; HybridFlow
+keeps winning.
+"""
+
+from benchmarks.common import (
+    emit,
+    run_end_to_end_grid,
+    specs_for,
+    throughput_table,
+    workload,
+)
+from repro.baselines import estimate_hybridflow
+from repro.config import ClusterSpec
+from repro.rlhf.core import AlgoType
+
+
+def test_fig11_safe_rlhf_throughput(benchmark):
+    rows = benchmark.pedantic(
+        run_end_to_end_grid, args=(AlgoType.SAFE_RLHF,), rounds=1, iterations=1
+    )
+    emit(
+        "fig11_safe_rlhf_throughput",
+        throughput_table(rows, "Figure 11: Safe-RLHF throughput (tokens/sec)"),
+    )
+
+    for row in rows:
+        hf = row["HybridFlow"]
+        assert hf, (row["model"], row["gpus"])
+        for system in ("DeepSpeed-Chat", "OpenRLHF", "NeMo-Aligner"):
+            if row[system]:
+                assert hf > row[system], (row["model"], row["gpus"], system)
+
+    # Safe-RLHF is slower than PPO under the same configuration
+    cluster = ClusterSpec(n_machines=2)
+    wl = workload()
+    ppo = estimate_hybridflow(
+        AlgoType.PPO, specs_for(AlgoType.PPO, "llama-7b"), cluster, wl
+    )
+    safe = estimate_hybridflow(
+        AlgoType.SAFE_RLHF, specs_for(AlgoType.SAFE_RLHF, "llama-7b"), cluster, wl
+    )
+    assert safe.throughput(wl) < ppo.throughput(wl)

@@ -1,0 +1,92 @@
+"""Figure 12: HybridFlow throughput under different model placements (§8.3).
+
+Shapes reproduced: colocation wins on small clusters; the split strategy
+overtakes at 96-128 GPUs for 34B models; the Algorithm 1 search always
+matches or beats every named strategy.
+
+Known deviation (recorded in EXPERIMENTS.md): the paper's 13B/128-GPU point
+is won by the *standalone* placement on the real testbed; our generation
+model weighs the actor's GPU share more heavily, so colocate retains the
+lead there.
+"""
+
+import pytest
+
+from benchmarks.common import emit, format_table, specs_for, workload
+from repro.baselines.common import InfeasibleScenario
+from repro.baselines.hybridflow import PLACEMENT_STRATEGIES, estimate_hybridflow
+from repro.config import ClusterSpec
+from repro.rlhf.core import AlgoType
+
+GRID = {
+    "llama-13b": (2, 4, 8, 12, 16),
+    "llama-34b": (4, 8, 12, 16),
+}
+
+
+def run_placement_grid():
+    wl = workload()
+    results = {}
+    for model, machine_counts in GRID.items():
+        specs = specs_for(AlgoType.PPO, model)
+        for n_machines in machine_counts:
+            cluster = ClusterSpec(n_machines=n_machines)
+            point = {}
+            for strategy in PLACEMENT_STRATEGIES:
+                try:
+                    est = estimate_hybridflow(
+                        AlgoType.PPO, specs, cluster, wl, placement=strategy
+                    )
+                    point[strategy] = est.throughput(wl)
+                except (InfeasibleScenario, RuntimeError):
+                    point[strategy] = None
+            results[(model, cluster.n_gpus)] = point
+    return results
+
+
+def test_fig12_placement_comparison(benchmark):
+    results = benchmark.pedantic(run_placement_grid, rounds=1, iterations=1)
+
+    rows = [
+        [model, gpus] + [point[s] for s in PLACEMENT_STRATEGIES]
+        for (model, gpus), point in sorted(results.items())
+    ]
+    emit(
+        "fig12_placement",
+        format_table(
+            ["model", "gpus", *PLACEMENT_STRATEGIES],
+            rows,
+            "Figure 12: throughput under different placements (tokens/sec)",
+        ),
+    )
+
+    for (model, gpus), point in results.items():
+        named = {
+            s: v
+            for s, v in point.items()
+            if s != "hybridflow" and v is not None
+        }
+        if not named or point["hybridflow"] is None:
+            continue
+        # Algorithm 1's choice is never worse than any named strategy (§8.3)
+        assert point["hybridflow"] >= max(named.values()) * 0.999, (model, gpus)
+
+    # colocate wins on small clusters...
+    small = results[("llama-13b", 16)]
+    assert small["colocate"] == max(
+        v for s, v in small.items() if s != "hybridflow" and v
+    )
+    # ...and split overtakes colocate for 34B at 128 GPUs (§8.3)
+    large = results[("llama-34b", 128)]
+    assert large["split"] is not None and large["colocate"] is not None
+    assert large["split"] > large["colocate"]
+
+    # placement gaps narrow as the cluster grows (13B: split/colocate ratio)
+    ratio_small = (
+        results[("llama-13b", 16)]["split"] / results[("llama-13b", 16)]["colocate"]
+    )
+    ratio_large = (
+        results[("llama-13b", 128)]["split"]
+        / results[("llama-13b", 128)]["colocate"]
+    )
+    assert ratio_large > ratio_small

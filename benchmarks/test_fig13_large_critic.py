@@ -1,0 +1,73 @@
+"""Figure 13: placements with a 13B actor/reference and 70B critic/reward.
+
+"Larger critic and reward models are expected to produce better alignment"
+(§8.3).  Shapes: colocate leads on smaller clusters; by 96-128 GPUs a
+placement separating the big critic from the actor side wins, and the
+Algorithm 1 search dominates all named strategies.
+"""
+
+from benchmarks.common import emit, format_table, workload
+from repro.baselines.common import InfeasibleScenario
+from repro.baselines.hybridflow import PLACEMENT_STRATEGIES, estimate_hybridflow
+from repro.config import MODEL_SPECS, ClusterSpec
+from repro.rlhf.core import AlgoType
+
+SPECS = {
+    "actor": MODEL_SPECS["llama-13b"],
+    "reference": MODEL_SPECS["llama-13b"],
+    "critic": MODEL_SPECS["llama-70b"],
+    "reward": MODEL_SPECS["llama-70b"],
+}
+
+
+def run_grid():
+    wl = workload()
+    results = {}
+    for n_machines in (8, 12, 16):
+        cluster = ClusterSpec(n_machines=n_machines)
+        point = {}
+        for strategy in PLACEMENT_STRATEGIES:
+            try:
+                est = estimate_hybridflow(
+                    AlgoType.PPO, SPECS, cluster, wl, placement=strategy
+                )
+                point[strategy] = est.throughput(wl)
+                if strategy == "hybridflow":
+                    point["chosen"] = est.placement
+            except (InfeasibleScenario, RuntimeError):
+                point[strategy] = None
+        results[cluster.n_gpus] = point
+    return results
+
+
+def test_fig13_larger_critic_and_reward(benchmark):
+    results = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    rows = [
+        [gpus] + [point[s] for s in PLACEMENT_STRATEGIES]
+        for gpus, point in sorted(results.items())
+    ]
+    text = format_table(
+        ["gpus", *PLACEMENT_STRATEGIES],
+        rows,
+        "Figure 13: 13B actor/ref + 70B critic/reward placements (tokens/sec)",
+    )
+    text += "\n\nAlgorithm 1 placements:\n" + "\n".join(
+        f"  {gpus} GPUs: {point.get('chosen', 'n/a')}"
+        for gpus, point in sorted(results.items())
+    )
+    emit("fig13_large_critic", text)
+
+    for gpus, point in results.items():
+        named = {
+            s: v for s, v in point.items()
+            if s in PLACEMENT_STRATEGIES[:-1] and v is not None
+        }
+        if named and point["hybridflow"] is not None:
+            assert point["hybridflow"] >= max(named.values()) * 0.999, gpus
+
+    # separating actor and critic pays off at the largest scale (§8.3:
+    # "distributing actor and critic on different devices ... leads to
+    # higher throughput in large clusters")
+    big = results[128]
+    assert big["split"] is not None
+    assert big["hybridflow"] >= big["split"]

@@ -1,0 +1,110 @@
+"""Figure 14: actor train->generation transition time across model scales.
+
+Paper shapes: HybridFlow's transition is dramatically cheaper than
+DeepSpeed-Chat's cluster-wide reshard and OpenRLHF's cross-copy weight sync
+(55.2% average / up to 89.1% reduction at 70B), and it stays flat as the
+cluster grows while the baselines' costs rise.
+"""
+
+from benchmarks.common import emit, format_table
+from repro.config import (
+    MODEL_SPECS,
+    ClusterSpec,
+    GenParallelConfig,
+    ParallelConfig,
+)
+from repro.hybrid_engine.overhead import EngineKind
+from repro.perf.transition import transition_time, weight_sync_time
+
+#: (model, machines, training p-t-d, generation tp) — representative
+#: HybridFlow configurations at each scale.
+SCENARIOS = [
+    ("llama-7b", 1, ParallelConfig(1, 4, 2), 2),
+    ("llama-13b", 2, ParallelConfig(1, 8, 2), 4),
+    ("llama-34b", 4, ParallelConfig(2, 8, 2), 4),
+    ("llama-70b", 8, ParallelConfig(4, 8, 2), 8),
+]
+
+
+def run_transitions():
+    rows = []
+    for model, n_machines, train, gen_tp in SCENARIOS:
+        spec = MODEL_SPECS[model]
+        cluster = ClusterSpec(n_machines=n_machines)
+        gen = GenParallelConfig.derive(train, 1, gen_tp)
+        hybridflow = transition_time(
+            EngineKind.HYBRIDFLOW, spec, cluster, train, gen
+        )
+        hybridflow_v = transition_time(
+            EngineKind.HYBRIDFLOW_V, spec, cluster, train, gen
+        )
+        n = cluster.n_gpus
+        ds_chat = transition_time(
+            EngineKind.DS_CHAT,
+            spec,
+            cluster,
+            ParallelConfig(1, 1, n),
+            GenParallelConfig(1, 1, 1),
+        )
+        openrlhf = weight_sync_time(spec, cluster, n // 4)
+        rows.append(
+            {
+                "model": model,
+                "gpus": n,
+                "HybridFlow": hybridflow,
+                "HybridFlow-V": hybridflow_v,
+                "DeepSpeed-Chat": ds_chat,
+                "OpenRLHF": openrlhf,
+            }
+        )
+    return rows
+
+
+def test_fig14_transition_time(benchmark):
+    rows = benchmark.pedantic(run_transitions, rounds=1, iterations=1)
+    systems = ["HybridFlow", "HybridFlow-V", "DeepSpeed-Chat", "OpenRLHF"]
+    emit(
+        "fig14_transition_time",
+        format_table(
+            ["model", "gpus", *systems, "vs worst"],
+            [
+                [r["model"], r["gpus"]]
+                + [r[s] for s in systems]
+                + [
+                    f"-{(1 - r['HybridFlow'] / max(r[s] for s in systems)) * 100:.1f}%"
+                ]
+                for r in rows
+            ],
+            "Figure 14: transition time between training and generation (s)",
+        ),
+    )
+
+    for r in rows:
+        assert r["HybridFlow"] <= r["HybridFlow-V"] <= r["DeepSpeed-Chat"]
+        assert r["HybridFlow"] < r["OpenRLHF"]
+
+    # the 70B saving vs the worst baseline approaches the paper's 89.1%
+    big = rows[-1]
+    worst = max(big[s] for s in systems)
+    assert 1 - big["HybridFlow"] / worst > 0.7
+
+    # HybridFlow's transition stays flat as the cluster scales (§8.4:
+    # "maintaining consistent overhead across different cluster scales")
+    spec = MODEL_SPECS["llama-7b"]
+    train_small = ParallelConfig(1, 4, 2)
+    train_big = ParallelConfig(1, 4, 32)
+    t_small = transition_time(
+        EngineKind.HYBRIDFLOW,
+        spec,
+        ClusterSpec(n_machines=1),
+        train_small,
+        GenParallelConfig.derive(train_small, 1, 2),
+    )
+    t_big = transition_time(
+        EngineKind.HYBRIDFLOW,
+        spec,
+        ClusterSpec(n_machines=16),
+        train_big,
+        GenParallelConfig.derive(train_big, 1, 2),
+    )
+    assert abs(t_big - t_small) / max(t_small, 1e-9) < 0.1

@@ -1,0 +1,89 @@
+"""Figure 15: transition + generation time vs generation TP size (§8.4).
+
+7B and 13B actors on 16 GPUs, training groups 1-8-2, generation TP swept
+over {1, 2, 4, 8} with p_g = 1 and d_g = 8/t_g.  All models colocated, KV
+cache best-effort from the remaining memory (reserved bytes model the four
+colocated models' persistent states).
+
+Shapes: t_g = 8 (the training TP size, NeMo-Aligner's choice) is never the
+best; 13B prefers a larger t_g than 7B; very small t_g is throttled by
+per-GPU KV-cache pressure.
+"""
+
+from benchmarks.common import emit, format_table, workload
+from repro.config import (
+    MODEL_SPECS,
+    ClusterSpec,
+    GenParallelConfig,
+    ParallelConfig,
+)
+from repro.hybrid_engine.overhead import EngineKind
+from repro.perf.generation import generation_latency
+from repro.perf.transition import transition_time
+
+TRAIN = ParallelConfig(pp=1, tp=8, dp=2)
+#: Persistent per-GPU bytes of the four colocated models in this experiment.
+RESERVED = 17e9
+
+
+def run_sweep():
+    wl = workload()
+    cluster = ClusterSpec(n_machines=2)
+    results = {}
+    for model in ("llama-7b", "llama-13b"):
+        spec = MODEL_SPECS[model]
+        for gen_tp in (1, 2, 4, 8):
+            gen = GenParallelConfig.derive(TRAIN, 1, gen_tp)
+            n_replicas = TRAIN.dp * gen.micro_dp
+            est = generation_latency(
+                spec,
+                cluster,
+                gen_tp,
+                1,
+                n_replicas,
+                wl,
+                reserved_bytes=RESERVED,
+            )
+            trans = transition_time(EngineKind.HYBRIDFLOW, spec, cluster, TRAIN, gen)
+            results[(model, gen_tp)] = {
+                "transition": trans,
+                "generation": est.total,
+                "total": trans + est.total,
+                "waves": est.n_waves,
+            }
+    return results
+
+
+def test_fig15_generation_parallel_sweep(benchmark):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    rows = [
+        [model, tg, r["transition"], r["generation"], r["total"], r["waves"]]
+        for (model, tg), r in sorted(results.items())
+    ]
+    emit(
+        "fig15_gen_parallel_sweep",
+        format_table(
+            ["model", "t_g", "transition (s)", "generation (s)", "total (s)", "waves"],
+            rows,
+            "Figure 15: time breakdown vs generation TP size (16 GPUs, train 1-8-2)",
+        ),
+    )
+
+    def best_tg(model):
+        times = {tg: results[(model, tg)]["total"] for tg in (1, 2, 4, 8)}
+        return min(times, key=times.get), times
+
+    best7, times7 = best_tg("llama-7b")
+    best13, times13 = best_tg("llama-13b")
+
+    # t_g = t = 8 is suboptimal for both models (the point of §8.4)
+    assert times7[8] > times7[best7] * 1.1
+    assert times13[8] > times13[best13] * 1.1
+    # 7B prefers t_g <= 2, 13B prefers t_g = 4 (paper: 2 and 4)
+    assert best7 <= 2
+    assert best13 == 4
+    # "Further reducing t_g fails to achieve higher speedup" for 13B
+    assert times13[1] > times13[best13]
+    # transition cost shrinks as t_g approaches the training TP size
+    for model in ("llama-7b", "llama-13b"):
+        assert results[(model, 8)]["transition"] <= results[(model, 1)]["transition"]

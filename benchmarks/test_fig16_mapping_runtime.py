@@ -1,0 +1,71 @@
+"""Figure 16: runtime of the device-mapping algorithm (§8.5).
+
+Model size and cluster size are scaled together, as in the paper.  Shapes:
+the search completes quickly (the paper caps at ~half an hour on its grid;
+this reproduction's grid finishes in seconds), grows with scale, and the
+parallelism-strategy cache makes a warm re-run much cheaper.
+"""
+
+import time
+
+from benchmarks.common import emit, format_table, workload
+from repro.config import MODEL_SPECS, ClusterSpec
+from repro.mapping import map_dataflow
+from repro.mapping.auto_parallel import clear_cache
+from repro.rlhf.core import AlgoType
+
+GRID = [
+    ("llama-7b", 1),
+    ("llama-7b", 2),
+    ("llama-13b", 4),
+    ("llama-34b", 8),
+    ("llama-70b", 16),
+]
+
+
+def run_mapping_grid():
+    wl = workload()
+    rows = []
+    clear_cache()
+    for model, n_machines in GRID:
+        specs = {m: MODEL_SPECS[model] for m in ("actor", "critic", "reference", "reward")}
+        cluster = ClusterSpec(n_machines=n_machines)
+        start = time.perf_counter()
+        result = map_dataflow(AlgoType.PPO, specs, cluster, wl)
+        cold = time.perf_counter() - start
+        start = time.perf_counter()
+        map_dataflow(AlgoType.PPO, specs, cluster, wl)
+        warm = time.perf_counter() - start
+        rows.append(
+            {
+                "model": model,
+                "gpus": cluster.n_gpus,
+                "cold_s": cold,
+                "warm_s": warm,
+                "placement": result.describe(),
+            }
+        )
+    return rows
+
+
+def test_fig16_mapping_runtime(benchmark):
+    rows = benchmark.pedantic(run_mapping_grid, rounds=1, iterations=1)
+    emit(
+        "fig16_mapping_runtime",
+        format_table(
+            ["model", "gpus", "cold (s)", "warm (s)", "chosen mapping"],
+            [
+                [r["model"], r["gpus"], r["cold_s"], r["warm_s"], r["placement"]]
+                for r in rows
+            ],
+            "Figure 16: device-mapping algorithm runtime",
+        ),
+    )
+
+    # runtime grows as model and cluster scale together
+    assert rows[-1]["cold_s"] > rows[0]["cold_s"]
+    # the strategy cache pays off on a warm re-run (§6's caching optimisation)
+    for r in rows[2:]:
+        assert r["warm_s"] <= r["cold_s"]
+    # and the whole search is far below the paper's half-hour budget
+    assert sum(r["cold_s"] for r in rows) < 600

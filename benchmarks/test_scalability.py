@@ -1,0 +1,76 @@
+"""§8.2 scalability: strong scaling of HybridFlow with a fixed global batch.
+
+"With increasing GPUs, the strong scaling efficiency of HybridFlow on
+various model scales is 66.8% ... Scaling to a large number of GPUs with a
+fixed global batch size results in smaller local batch sizes for each
+worker, potentially causing GPU underutilization."
+"""
+
+from benchmarks.common import emit, format_table, specs_for, workload
+from repro.baselines import estimate_hybridflow
+from repro.baselines.common import InfeasibleScenario
+from repro.config import ClusterSpec
+from repro.rlhf.core import AlgoType
+
+SCALES = {
+    "llama-7b": (1, 2, 4, 8, 16),
+    "llama-13b": (2, 4, 8, 16),
+    "llama-70b": (8, 16),
+}
+
+
+def run_scaling():
+    wl = workload()
+    results = {}
+    for model, machine_counts in SCALES.items():
+        specs = specs_for(AlgoType.PPO, model)
+        series = {}
+        for n_machines in machine_counts:
+            cluster = ClusterSpec(n_machines=n_machines)
+            try:
+                est = estimate_hybridflow(AlgoType.PPO, specs, cluster, wl)
+                series[cluster.n_gpus] = est.throughput(wl)
+            except (InfeasibleScenario, RuntimeError):
+                series[cluster.n_gpus] = None
+        results[model] = series
+    return results
+
+
+def test_strong_scaling(benchmark):
+    results = benchmark.pedantic(run_scaling, rounds=1, iterations=1)
+    rows = []
+    efficiencies = []
+    for model, series in results.items():
+        points = [(g, t) for g, t in sorted(series.items()) if t]
+        base_gpus, base_tput = points[0]
+        for gpus, tput in points:
+            scale = gpus / base_gpus
+            efficiency = tput / base_tput / scale
+            rows.append(
+                [model, gpus, tput, f"{efficiency * 100:.0f}%"]
+            )
+            if scale > 1:
+                efficiencies.append(efficiency)
+    emit(
+        "scalability",
+        format_table(
+            ["model", "gpus", "tokens/sec", "strong-scaling efficiency"],
+            rows,
+            "Strong scaling with fixed global batch (paper: 66.8% average)",
+        ),
+    )
+
+    # efficiency is below 100% and degrades with scale, in the paper's band
+    avg = sum(efficiencies) / len(efficiencies)
+    assert 0.45 < avg < 0.95
+    for model, series in results.items():
+        points = [(g, t) for g, t in sorted(series.items()) if t]
+        if len(points) < 3:
+            continue
+        base_gpus, base_tput = points[0]
+        effs = [
+            t / base_tput / (g / base_gpus) for g, t in points
+        ]
+        # monotone-ish decline: the largest scale is the least efficient
+        assert effs[-1] <= max(effs[1:]) + 1e-9
+        assert effs[-1] < 1.0

@@ -1,0 +1,104 @@
+"""Fault tolerance (§9): checkpoint, crash, and bit-exact recovery.
+
+"Our programming model enables the single controller to coordinate
+checkpoint operations via RPC, allowing the saving of model states within
+each ParallelWorker Group.  This includes saving parameters of actor/critic
+models, dataloader IDs, and Random Number Generator (RNG) states to ensure
+system-wide consistency."
+
+This example trains PPO for a few iterations, checkpoints, simulates a full
+job loss (the entire controller and every worker discarded), rebuilds the
+system from scratch, restores, and shows the resumed run reproducing the
+uninterrupted trajectory *exactly* — same rewards, same weights.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+import tempfile
+
+import numpy as np
+
+from repro.config import GenParallelConfig, ParallelConfig
+from repro.data import PromptDataset, SyntheticPreferenceTask
+from repro.models.tinylm import TinyLMConfig
+from repro.rlhf import AlgoType
+from repro.rlhf.trainers import TrainerConfig
+from repro.runtime import ModelAssignment, PlacementPlan, build_rlhf_system
+
+CFG = TinyLMConfig(
+    n_layers=2,
+    hidden_size=32,
+    n_heads=4,
+    ffn_hidden_size=48,
+    vocab_size=16,
+    max_seq_len=32,
+)
+TASK = SyntheticPreferenceTask(vocab_size=16, target_token=7)
+PAR = ParallelConfig(pp=1, tp=2, dp=1)
+
+
+def build():
+    plan = PlacementPlan(
+        pools={"main": 2, "r": 1},
+        assignments={
+            "actor": ModelAssignment("main", PAR, GenParallelConfig.derive(PAR, 1, 1)),
+            "critic": ModelAssignment("main", PAR),
+            "reference": ModelAssignment("main", PAR),
+            "reward": ModelAssignment("r", ParallelConfig(1, 1, 1)),
+        },
+    )
+    return build_rlhf_system(
+        AlgoType.PPO,
+        plan,
+        CFG,
+        trainer_config=TrainerConfig(kl_coef=0.01, seed=7),
+        reward_fn=TASK.reward,
+        max_new_tokens=6,
+        lr=5e-3,
+        seed=7,
+    )
+
+
+def main() -> None:
+    dataset = PromptDataset(n_prompts=128, prompt_length=4, vocab_size=16, seed=1)
+
+    print("reference run: 6 uninterrupted PPO iterations")
+    reference = build()
+    ref_history = reference.trainer.train(dataset, 6, 8)
+    print("  rewards:", [round(h["score_mean"], 3) for h in ref_history])
+
+    with tempfile.TemporaryDirectory() as ckpt_dir:
+        print("\ninterrupted run: 3 iterations, checkpoint, simulated crash")
+        first = build()
+        first.trainer.train(dataset, 3, 8)
+        first.controller.save_checkpoint(ckpt_dir)
+        trainer_state = first.trainer.state_dict()
+        del first  # the whole job is gone
+
+        print("recovery: rebuild from scratch, restore checkpoint, resume")
+        resumed = build()
+        resumed.controller.load_checkpoint(ckpt_dir)
+        resumed.trainer.load_state_dict(trainer_state)
+        batches = dataset.iter_batches(8, epochs=10**6)
+        for _ in range(3):  # fast-forward the dataloader (saved position)
+            next(batches)
+        resumed_history = [resumed.trainer.step(next(batches)) for _ in range(3)]
+
+    resumed_scores = [round(h["score_mean"], 3) for h in resumed_history]
+    ref_scores = [round(h["score_mean"], 3) for h in ref_history[3:]]
+    print("  resumed rewards:  ", resumed_scores)
+    print("  reference rewards:", ref_scores)
+    assert resumed_scores == ref_scores, "recovery diverged!"
+
+    ref_state = reference.groups["actor"].workers[0].materialize_full_state()
+    res_state = resumed.groups["actor"].workers[0].materialize_full_state()
+    max_diff = max(
+        float(np.abs(ref_state[name] - res_state[name]).max())
+        for name in ref_state
+    )
+    print(f"  max |weight difference| vs uninterrupted run: {max_diff:.1e}")
+    print("\nrecovery is bit-exact: parameters, optimizer, RNG, dataloader.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""Baseline RLHF system models: DeepSpeed-Chat, OpenRLHF, NeMo-Aligner.
+
+Each baseline is characterised by Table 1's three axes — parallelism
+(ZeRO vs 3D), actor-weight handling between training and generation
+(resharding / two copies / shared partition), and model placement (colocate /
+standalone / split) — and evaluated with the same analytical latency
+primitives as HybridFlow, so end-to-end comparisons reflect *system design*
+differences, not modelling differences.
+"""
+
+from repro.baselines.common import SystemEstimate, choose_3d_parallel
+from repro.baselines.deepspeed_chat import estimate_deepspeed_chat
+from repro.baselines.openrlhf import estimate_openrlhf
+from repro.baselines.nemo_aligner import estimate_nemo_aligner
+from repro.baselines.hybridflow import estimate_hybridflow
+
+ALL_SYSTEMS = {
+    "DeepSpeed-Chat": estimate_deepspeed_chat,
+    "OpenRLHF": estimate_openrlhf,
+    "NeMo-Aligner": estimate_nemo_aligner,
+    "HybridFlow": estimate_hybridflow,
+}
+
+__all__ = [
+    "ALL_SYSTEMS",
+    "SystemEstimate",
+    "choose_3d_parallel",
+    "estimate_deepspeed_chat",
+    "estimate_hybridflow",
+    "estimate_nemo_aligner",
+    "estimate_openrlhf",
+]

@@ -1,0 +1,92 @@
+"""DeepSpeed-Chat execution model ([82], Table 1).
+
+* Placement: all four (or five) models colocated on every GPU, executed
+  strictly sequentially.
+* Parallelism: ZeRO-3 for actor/critic training; forward-only models keep
+  ZeRO-sharded parameters and gather layer by layer.
+* Actor weights: one copy; the Hybrid Engine reshards from ZeRO-3 to TP for
+  generation with a cluster-wide all-gather (the DS-Chat row of Table 2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.baselines.common import InfeasibleScenario, SystemEstimate, zero3_fits
+from repro.config import ClusterSpec, ModelSpec, ParallelConfig, RlhfWorkload
+from repro.hybrid_engine.overhead import EngineKind
+from repro.mapping.device_mapping import _ROLE_OF, persistent_bytes
+from repro.perf.iteration import (
+    GenerationPlan,
+    ModelExecution,
+    estimate_iteration,
+)
+from repro.perf.memory import MemoryModel
+from repro.rlhf.core import AlgoType
+
+
+def _generation_tp(
+    spec: ModelSpec, cluster: ClusterSpec, n_gpus: int, reserved: float
+) -> int:
+    """Smallest intra-machine TP whose generation shard + KV budget fits."""
+    memory = MemoryModel(spec, cluster)
+    tp = 1
+    while tp <= min(cluster.gpus_per_machine, n_gpus):
+        params = spec.n_params() * 2 / tp
+        if params + reserved < memory.usable_bytes_per_gpu():
+            return tp
+        tp *= 2
+    raise InfeasibleScenario(
+        f"{spec.name}: generation weights do not fit even at TP="
+        f"{min(cluster.gpus_per_machine, n_gpus)}"
+    )
+
+
+def estimate_deepspeed_chat(
+    algo: AlgoType,
+    specs: Dict[str, ModelSpec],
+    cluster: ClusterSpec,
+    workload: RlhfWorkload,
+) -> SystemEstimate:
+    algo = AlgoType(algo)
+    n = cluster.n_gpus
+    trainable = {"actor", "critic"}
+    for name, spec in specs.items():
+        if not zero3_fits(spec, cluster, n, workload, trainable=name in trainable):
+            raise InfeasibleScenario(
+                f"DeepSpeed-Chat: {name} ({spec.name}) OOM with ZeRO-3 on "
+                f"{n} GPUs"
+            )
+
+    reserved = sum(
+        persistent_bytes(spec, _ROLE_OF[name]) for name, spec in specs.items()
+    ) / n
+    gen_tp = _generation_tp(specs["actor"], cluster, n, reserved)
+
+    executions = {
+        name: ModelExecution(
+            spec=spec,
+            pool="shared",
+            parallel=ParallelConfig(pp=1, tp=1, dp=n),
+            zero3=True,
+        )
+        for name, spec in specs.items()
+    }
+    gen_plan = GenerationPlan(
+        tp=gen_tp,
+        pp=1,
+        n_replicas=max(1, n // gen_tp),
+        pool="shared",
+        engine=EngineKind.DS_CHAT,
+        reserved_bytes=reserved,
+        # the DS-Chat Hybrid Engine's generation loop manages an unpaged KV
+        # cache and re-partitions ZeRO shards around each step
+        step_overhead=0.010,
+    )
+    breakdown = estimate_iteration(algo, executions, gen_plan, workload, cluster)
+    return SystemEstimate(
+        system="DeepSpeed-Chat",
+        breakdown=breakdown,
+        placement=f"colocate all on {n} GPUs",
+        details={"gen_tp": str(gen_tp), "training": "ZeRO-3"},
+    )

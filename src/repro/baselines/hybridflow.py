@@ -1,0 +1,59 @@
+"""HybridFlow's own estimate: the Algorithm 1 mapping plus the HybridEngine."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.baselines.common import SystemEstimate
+from repro.config import ClusterSpec, ModelSpec, RlhfWorkload
+from repro.mapping.device_mapping import map_dataflow
+from repro.rlhf.core import AlgoType
+
+
+#: The named placement strategies of §8.3's comparison (Figure 12/13).
+PLACEMENT_STRATEGIES = ("colocate", "standalone", "split", "hybridflow")
+
+
+def placement_partition(strategy: str, models: list) -> list:
+    """The colocated-set structure of one named placement strategy."""
+    if strategy == "colocate":
+        return [list(models)]
+    if strategy == "standalone":
+        return [[m] for m in models]
+    if strategy == "split":
+        actor_side = [m for m in models if m in ("actor", "reference")]
+        critic_side = [m for m in models if m not in ("actor", "reference")]
+        return [actor_side, critic_side] if critic_side else [actor_side]
+    raise ValueError(f"unknown placement strategy {strategy!r}")
+
+
+def estimate_hybridflow(
+    algo: AlgoType,
+    specs: Dict[str, ModelSpec],
+    cluster: ClusterSpec,
+    workload: RlhfWorkload,
+    placement: str = "hybridflow",
+) -> SystemEstimate:
+    """HybridFlow's estimate, optionally pinned to a named placement (§8.3).
+
+    ``placement="hybridflow"`` runs the full Algorithm 1 search; the other
+    strategies restrict it to one placement while still searching GPU
+    allocations and parallelism — how Figure 12/13 implement "various model
+    placements of the PPO algorithm in HybridFlow".
+    """
+    placements = None
+    if placement != "hybridflow":
+        placements = [placement_partition(placement, list(specs))]
+    result = map_dataflow(
+        AlgoType(algo), specs, cluster, workload, placements=placements
+    )
+    actor = result.strategies["actor"]
+    return SystemEstimate(
+        system="HybridFlow" if placement == "hybridflow" else placement,
+        breakdown=result.breakdown,
+        placement=result.describe(),
+        details={
+            "actor_parallel": str(actor.parallel),
+            "gen": f"tp={actor.gen_tp} pp={actor.gen_pp}",
+        },
+    )

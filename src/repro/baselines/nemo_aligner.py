@@ -1,0 +1,89 @@
+"""NeMo-Aligner execution model ([17], Table 1).
+
+* Placement: split — actor + reference colocated on half the GPUs, critic +
+  reward model on the other half.
+* Parallelism: 3D parallelism for both training and generation, with the
+  *same* partitioning in both stages (shared weights, no resharding).
+* Generation: no KV cache in the generation engine (§8.2: "Due to the lack
+  of KVCache in generation engine, NeMo-Aligner's main performance
+  bottleneck lies in the generation stage"), so each decode step recomputes
+  the full prefix; generation DP equals training DP.
+* Does not support ReMax (§8.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.baselines.common import (
+    InfeasibleScenario,
+    SystemEstimate,
+    choose_3d_parallel,
+)
+from repro.config import ClusterSpec, ModelSpec, RlhfWorkload
+from repro.mapping.auto_parallel import ModelRole
+from repro.perf.iteration import (
+    GenerationPlan,
+    ModelExecution,
+    estimate_iteration,
+)
+from repro.rlhf.core import AlgoType
+
+_ROLE = {
+    "actor": ModelRole.ACTOR,
+    "critic": ModelRole.CRITIC,
+    "reference": ModelRole.SCORER,
+    "reward": ModelRole.SCORER,
+    "cost": ModelRole.SCORER,
+}
+
+_ACTOR_SIDE = ("actor", "reference")
+
+
+def estimate_nemo_aligner(
+    algo: AlgoType,
+    specs: Dict[str, ModelSpec],
+    cluster: ClusterSpec,
+    workload: RlhfWorkload,
+) -> SystemEstimate:
+    algo = AlgoType(algo)
+    if algo is AlgoType.REMAX:
+        raise InfeasibleScenario("NeMo-Aligner does not support ReMax (§8.1)")
+    n = cluster.n_gpus
+    if n < 2:
+        raise InfeasibleScenario("NeMo-Aligner's split placement needs >= 2 GPUs")
+    half = n // 2
+
+    executions: Dict[str, ModelExecution] = {}
+    actor_parallel = None
+    for name, spec in specs.items():
+        pool = "actor_side" if name in _ACTOR_SIDE else "critic_side"
+        # choosing per-role training configs; generation reuses the actor's
+        role = ModelRole.CRITIC if name == "critic" else (
+            ModelRole.CRITIC if name == "actor" else ModelRole.SCORER
+        )
+        parallel = choose_3d_parallel(spec, cluster, half, workload, role)
+        executions[name] = ModelExecution(spec=spec, pool=pool, parallel=parallel)
+        if name == "actor":
+            actor_parallel = parallel
+    assert actor_parallel is not None
+
+    gen_plan = GenerationPlan(
+        tp=actor_parallel.tp,
+        pp=actor_parallel.pp,
+        n_replicas=actor_parallel.dp,
+        pool="actor_side",
+        engine=None,  # identical partition in both stages: no resharding
+        use_kv_cache=False,
+        reserved_bytes=0.0,
+    )
+    breakdown = estimate_iteration(algo, executions, gen_plan, workload, cluster)
+    return SystemEstimate(
+        system="NeMo-Aligner",
+        breakdown=breakdown,
+        placement=f"split ({half}+{n - half} GPUs)",
+        details={
+            "actor_parallel": str(actor_parallel),
+            "generation": "same 3D config, no KV cache",
+        },
+    )

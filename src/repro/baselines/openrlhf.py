@@ -1,0 +1,118 @@
+"""OpenRLHF execution model ([30], Table 1).
+
+* Placement: every model on its own devices (standalone), plus a *separate*
+  set of vLLM generation engines holding a second copy of the actor weights.
+* Parallelism: ZeRO-3 for training, TP for the vLLM generation ranks.
+* Actor weights: two copies; the training ranks synchronise updated weights
+  to the generation ranks every iteration, across machines and layer by
+  layer (the dominant transition cost at 70B, §8.4).
+* Models on disjoint pools run concurrently within a stage.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.baselines.common import InfeasibleScenario, SystemEstimate, zero3_fits
+from repro.baselines.deepspeed_chat import _generation_tp
+from repro.config import ClusterSpec, ModelSpec, ParallelConfig, RlhfWorkload
+from repro.perf.iteration import (
+    GenerationPlan,
+    ModelExecution,
+    estimate_iteration,
+)
+from repro.rlhf.core import AlgoType
+
+
+def split_gpus(models: List[str], n_gpus: int) -> Dict[str, int]:
+    """OpenRLHF's standalone division of the cluster.
+
+    GPUs are divided in proportion to each pool's memory demand: trainable
+    models carry the full mixed-precision state (18 bytes/param), the vLLM
+    generation copy and the forward-only models carry parameters only.  This
+    mirrors how OpenRLHF deployments are hand-provisioned, and keeps the
+    memory-heavy trainable pools feasible without optimizer offload.
+    """
+    if n_gpus < len(models) + 1:
+        raise InfeasibleScenario(
+            f"OpenRLHF needs at least {len(models) + 1} GPUs for "
+            f"{len(models)} standalone models + generation engines"
+        )
+    # relative memory weights: training state vs parameter-only pools
+    weights: Dict[str, float] = {"actor_train": 18.0, "actor_gen": 18.0}
+    for m in models:
+        if m == "actor":
+            continue
+        weights[m] = 14.0 if m == "critic" else 2.0
+    total_weight = sum(weights.values())
+    shares: Dict[str, int] = {}
+    assigned = 0
+    for name, weight in weights.items():
+        share = max(1, int(round(n_gpus * weight / total_weight)))
+        shares[name] = share
+        assigned += share
+    # repair rounding drift against the heaviest pools first
+    order = sorted(weights, key=weights.get, reverse=True)
+    index = 0
+    while assigned != n_gpus:
+        name = order[index % len(order)]
+        if assigned < n_gpus:
+            shares[name] += 1
+            assigned += 1
+        elif shares[name] > 1:
+            shares[name] -= 1
+            assigned -= 1
+        index += 1
+    return shares
+
+
+def estimate_openrlhf(
+    algo: AlgoType,
+    specs: Dict[str, ModelSpec],
+    cluster: ClusterSpec,
+    workload: RlhfWorkload,
+) -> SystemEstimate:
+    algo = AlgoType(algo)
+    n = cluster.n_gpus
+    shares = split_gpus(list(specs), n)
+
+    executions: Dict[str, ModelExecution] = {}
+    for name, spec in specs.items():
+        pool_gpus = shares["actor_train"] if name == "actor" else shares[name]
+        trainable = name in ("actor", "critic")
+        if not zero3_fits(spec, cluster, pool_gpus, workload, trainable=trainable):
+            raise InfeasibleScenario(
+                f"OpenRLHF: {name} ({spec.name}) OOM with ZeRO-3 on "
+                f"{pool_gpus} GPUs"
+            )
+        executions[name] = ModelExecution(
+            spec=spec,
+            pool=f"pool-{name}",
+            parallel=ParallelConfig(pp=1, tp=1, dp=pool_gpus),
+            zero3=True,
+        )
+
+    gen_gpus = shares["actor_gen"]
+    gen_tp = _generation_tp(specs["actor"], cluster, gen_gpus, reserved=0.0)
+    if gen_tp > gen_gpus:
+        raise InfeasibleScenario(
+            f"OpenRLHF: generation copy of {specs['actor'].name} does not "
+            f"fit on {gen_gpus} GPUs"
+        )
+    gen_plan = GenerationPlan(
+        tp=gen_tp,
+        pp=1,
+        n_replicas=max(1, gen_gpus // gen_tp),
+        pool="pool-generation",
+        engine=None,
+        weight_sync=True,  # the second weight copy must be refreshed
+        reserved_bytes=0.0,
+    )
+    breakdown = estimate_iteration(algo, executions, gen_plan, workload, cluster)
+    placement = ", ".join(f"{k}={v}" for k, v in shares.items())
+    return SystemEstimate(
+        system="OpenRLHF",
+        breakdown=breakdown,
+        placement=f"standalone ({placement})",
+        details={"gen_tp": str(gen_tp), "training": "ZeRO-3"},
+    )

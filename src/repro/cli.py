@@ -1,0 +1,322 @@
+"""Command-line interface for the analytical tools.
+
+Five subcommands, mirroring the evaluation's workflows:
+
+* ``throughput`` — compare HybridFlow and the baselines on one scenario
+  (one row of Figures 9-11).
+* ``map`` — run the auto device-mapping algorithm (§6) and print the chosen
+  placement, parallel strategies, and iteration breakdown.
+* ``transition`` — Table 2's overhead algebra plus estimated transition
+  time for a given actor configuration.
+* ``sweep-gen`` — Figure 15's generation-TP sweep for one model.
+* ``map-hetero`` — device mapping over heterogeneous zones (the extension
+  §6 sketches).
+
+Examples::
+
+    python -m repro.cli throughput --model llama-7b --machines 2
+    python -m repro.cli map --model llama-70b --machines 16 --algo ppo
+    python -m repro.cli transition --model llama-13b --tp 8 --dp 2 --gen-tp 2
+    python -m repro.cli sweep-gen --model llama-13b
+    python -m repro.cli map-hetero --zone a100:A100-80GB:1 --zone h100:H100-80GB:1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.baselines import ALL_SYSTEMS
+from repro.baselines.common import InfeasibleScenario
+from repro.config import (
+    GPU_SPECS,
+    MODEL_SPECS,
+    ClusterSpec,
+    GenParallelConfig,
+    ParallelConfig,
+    RlhfWorkload,
+)
+from repro.hybrid_engine.overhead import EngineKind, transition_overhead
+from repro.mapping import map_dataflow
+from repro.perf.generation import generation_latency
+from repro.perf.transition import transition_time
+from repro.rlhf.core import AlgoType
+
+_MODELS_BY_ALGO = {
+    AlgoType.PPO: ("actor", "critic", "reference", "reward"),
+    AlgoType.REMAX: ("actor", "reference", "reward"),
+    AlgoType.SAFE_RLHF: ("actor", "critic", "reference", "reward", "cost"),
+    AlgoType.GRPO: ("actor", "reference", "reward"),
+}
+
+
+def _common_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--model",
+        default="llama-7b",
+        choices=sorted(MODEL_SPECS),
+        help="Llama-class model size for every role",
+    )
+    parser.add_argument(
+        "--machines",
+        type=int,
+        default=2,
+        help="number of 8-GPU machines in the simulated cluster",
+    )
+    parser.add_argument(
+        "--algo",
+        default="ppo",
+        choices=[a.value for a in AlgoType],
+        help="RLHF algorithm (dataflow variant)",
+    )
+    parser.add_argument(
+        "--batch", type=int, default=1024, help="global prompt batch size"
+    )
+    parser.add_argument(
+        "--prompt-length", type=int, default=1024, help="prompt tokens"
+    )
+    parser.add_argument(
+        "--response-length", type=int, default=1024, help="response tokens"
+    )
+
+
+def _workload(args: argparse.Namespace) -> RlhfWorkload:
+    return RlhfWorkload(
+        prompt_length=args.prompt_length,
+        response_length=args.response_length,
+        global_batch_size=args.batch,
+    )
+
+
+def _specs(args: argparse.Namespace):
+    algo = AlgoType(args.algo)
+    return algo, {
+        role: MODEL_SPECS[args.model] for role in _MODELS_BY_ALGO[algo]
+    }
+
+
+def cmd_throughput(args: argparse.Namespace) -> int:
+    algo, specs = _specs(args)
+    cluster = ClusterSpec(n_machines=args.machines)
+    wl = _workload(args)
+    print(
+        f"{algo.value} / {args.model} on {cluster.n_gpus} GPUs "
+        f"(batch {wl.global_batch_size}, {wl.prompt_length}/{wl.response_length} tokens)"
+    )
+    results = {}
+    for system, estimate_fn in ALL_SYSTEMS.items():
+        try:
+            est = estimate_fn(algo, specs, cluster, wl)
+            results[system] = est
+            b = est.breakdown
+            print(
+                f"  {system:15s} {est.throughput(wl):>10,.0f} tok/s  "
+                f"(iter {b.total:7.1f}s: gen {b.generation:.1f} / "
+                f"prep {b.preparation:.1f} / train {b.training:.1f} / "
+                f"transition {b.transition:.2f})"
+            )
+        except InfeasibleScenario as exc:
+            print(f"  {system:15s} {'OOM':>10}  ({exc})")
+    if "HybridFlow" in results:
+        hf = results["HybridFlow"].throughput(wl)
+        for system, est in results.items():
+            if system != "HybridFlow":
+                print(f"  speedup vs {system}: {hf / est.throughput(wl):.2f}x")
+    return 0
+
+
+def cmd_map(args: argparse.Namespace) -> int:
+    algo, specs = _specs(args)
+    cluster = ClusterSpec(n_machines=args.machines)
+    wl = _workload(args)
+    result = map_dataflow(algo, specs, cluster, wl)
+    print(f"best mapping for {algo.value} / {args.model} on {cluster.n_gpus} GPUs:")
+    print(f"  {result.describe()}")
+    for model, choice in result.strategies.items():
+        gen = (
+            f", generation tp={choice.gen_tp} pp={choice.gen_pp}"
+            if choice.gen_tp
+            else ""
+        )
+        print(f"    {model:9s} {choice.parallel}{gen}")
+    b = result.breakdown
+    print(
+        f"  iteration {b.total:.1f}s "
+        f"(gen {b.generation:.1f} / prep {b.preparation:.1f} / "
+        f"train {b.training:.1f} / transition {b.transition:.2f})"
+    )
+    print(f"  throughput {b.throughput(wl):,.0f} tokens/sec")
+    return 0
+
+
+def cmd_transition(args: argparse.Namespace) -> int:
+    spec = MODEL_SPECS[args.model]
+    cluster = ClusterSpec(n_machines=args.machines)
+    train = ParallelConfig(pp=args.pp, tp=args.tp, dp=args.dp)
+    gen = GenParallelConfig.derive(train, args.gen_pp, args.gen_tp)
+    print(
+        f"{args.model}: training {train} -> generation "
+        f"{args.gen_pp}-{args.gen_tp} (micro-DP {gen.micro_dp})"
+    )
+    model_bytes = spec.param_bytes()
+    for kind in EngineKind:
+        if kind is EngineKind.DS_CHAT:
+            t = transition_time(
+                kind,
+                spec,
+                cluster,
+                ParallelConfig(1, 1, train.world_size),
+                GenParallelConfig(1, 1, 1),
+            )
+            o = transition_overhead(
+                kind, ParallelConfig(1, 1, train.world_size), GenParallelConfig(1, 1, 1)
+            )
+        else:
+            t = transition_time(kind, spec, cluster, train, gen)
+            o = transition_overhead(kind, train, gen)
+        print(
+            f"  {kind.value:13s} time={t:8.3f}s  "
+            f"comm={o.comm_bytes(model_bytes) / 1e9:7.2f} GB/GPU  "
+            f"peak={o.peak_memory_bytes(model_bytes) / 1e9:6.2f} GB  "
+            f"redundant={o.redundancy_bytes(model_bytes) / 1e9:5.2f} GB"
+        )
+    return 0
+
+
+def cmd_sweep_gen(args: argparse.Namespace) -> int:
+    spec = MODEL_SPECS[args.model]
+    cluster = ClusterSpec(n_machines=args.machines)
+    wl = _workload(args)
+    train = ParallelConfig(pp=args.pp, tp=args.tp, dp=args.dp)
+    print(
+        f"{args.model} generation sweep on {cluster.n_gpus} GPUs "
+        f"(training {train}, reserved {args.reserved_gb} GB/GPU)"
+    )
+    best: Optional[tuple] = None
+    tg = 1
+    while tg <= train.tp:
+        gen = GenParallelConfig.derive(train, 1, tg)
+        est = generation_latency(
+            spec,
+            cluster,
+            tg,
+            1,
+            n_replicas=train.dp * gen.micro_dp,
+            workload=wl,
+            reserved_bytes=args.reserved_gb * 1e9,
+        )
+        trans = transition_time(EngineKind.HYBRIDFLOW, spec, cluster, train, gen)
+        total = est.total + trans
+        print(
+            f"  t_g={tg}: generation {est.total:8.1f}s + transition "
+            f"{trans:6.3f}s = {total:8.1f}s "
+            f"(waves={est.n_waves}, concurrent={est.concurrent_sequences})"
+        )
+        if best is None or total < best[1]:
+            best = (tg, total)
+        tg *= 2
+    assert best is not None
+    print(f"  -> best generation TP size: t_g={best[0]}")
+    return 0
+
+
+def cmd_map_hetero(args: argparse.Namespace) -> int:
+    from repro.mapping.heterogeneous import (
+        ClusterZone,
+        map_dataflow_heterogeneous,
+    )
+
+    algo, specs = _specs(args)
+    wl = _workload(args)
+    zone_args = args.zones or ["a100:A100-80GB:1", "h100:H100-80GB:1"]
+    zones = []
+    for entry in zone_args:
+        try:
+            name, gpu_name, machines = entry.split(":")
+            gpu = GPU_SPECS[gpu_name]
+        except (ValueError, KeyError):
+            print(
+                f"bad --zone {entry!r}; expected NAME:GPU:MACHINES with GPU "
+                f"in {sorted(GPU_SPECS)}",
+                file=sys.stderr,
+            )
+            return 2
+        zones.append(
+            ClusterZone(name, ClusterSpec(n_machines=int(machines), gpu=gpu))
+        )
+    result = map_dataflow_heterogeneous(algo, specs, zones, wl)
+    total = sum(z.n_gpus for z in zones)
+    print(
+        f"best heterogeneous mapping for {algo.value} / {args.model} over "
+        f"{total} GPUs in {len(zones)} zones:"
+    )
+    print(f"  {result.describe()}")
+    for model, choice in result.strategies.items():
+        print(
+            f"    {model:9s} {choice.parallel} on zone "
+            f"{result.zone_of(model)}"
+        )
+    b = result.breakdown
+    print(f"  iteration {b.total:.1f}s, throughput {b.throughput(wl):,.0f} tok/s")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="HybridFlow reproduction: analytical tools",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("throughput", help="compare systems on one scenario")
+    _common_args(p)
+    p.set_defaults(fn=cmd_throughput)
+
+    p = sub.add_parser("map", help="run the auto device-mapping algorithm")
+    _common_args(p)
+    p.set_defaults(fn=cmd_map)
+
+    p = sub.add_parser("transition", help="Table 2 overheads + transition time")
+    _common_args(p)
+    p.add_argument("--pp", type=int, default=1)
+    p.add_argument("--tp", type=int, default=8)
+    p.add_argument("--dp", type=int, default=2)
+    p.add_argument("--gen-tp", type=int, default=2)
+    p.add_argument("--gen-pp", type=int, default=1)
+    p.set_defaults(fn=cmd_transition)
+
+    p = sub.add_parser("sweep-gen", help="Figure 15 generation-TP sweep")
+    _common_args(p)
+    p.add_argument("--pp", type=int, default=1)
+    p.add_argument("--tp", type=int, default=8)
+    p.add_argument("--dp", type=int, default=2)
+    p.add_argument("--reserved-gb", type=float, default=17.0)
+    p.set_defaults(fn=cmd_sweep_gen)
+
+    p = sub.add_parser(
+        "map-hetero",
+        help="device mapping over heterogeneous zones (the §6 extension)",
+    )
+    _common_args(p)
+    p.add_argument(
+        "--zone",
+        action="append",
+        dest="zones",
+        metavar="NAME:GPU:MACHINES",
+        help=(
+            "a homogeneous zone, e.g. 'fast:H100-80GB:1'; repeatable "
+            f"(GPUs: {', '.join(sorted(GPU_SPECS))})"
+        ),
+    )
+    p.set_defaults(fn=cmd_map_hetero)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

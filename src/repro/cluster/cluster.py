@@ -1,0 +1,115 @@
+"""The simulated cluster: a set of :class:`SimDevice` plus allocation logic.
+
+A :class:`SimCluster` materialises a :class:`~repro.config.ClusterSpec` into
+device objects and hands out contiguous :class:`DeviceSet` slices, mirroring
+how HybridFlow's ``ResourcePool`` virtualises GPUs (§4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.cluster.device import SimDevice
+from repro.config import ClusterSpec
+
+
+class DeviceSet:
+    """An ordered set of devices allocated to one colocated model group."""
+
+    def __init__(self, devices: Sequence[SimDevice], cluster: "SimCluster") -> None:
+        if not devices:
+            raise ValueError("a DeviceSet needs at least one device")
+        ranks = [d.global_rank for d in devices]
+        if len(set(ranks)) != len(ranks):
+            raise ValueError(f"duplicate device ranks in set: {ranks}")
+        self.devices: List[SimDevice] = list(devices)
+        self.cluster = cluster
+
+    @property
+    def size(self) -> int:
+        return len(self.devices)
+
+    @property
+    def global_ranks(self) -> List[int]:
+        return [d.global_rank for d in self.devices]
+
+    def device(self, local_rank: int) -> SimDevice:
+        return self.devices[local_rank]
+
+    def overlaps(self, other: "DeviceSet") -> bool:
+        return bool(set(self.global_ranks) & set(other.global_ranks))
+
+    def spans_machines(self) -> int:
+        """Number of distinct machines this set touches."""
+        return len({d.machine for d in self.devices})
+
+    def min_free_memory(self) -> int:
+        return min(d.memory.free for d in self.devices)
+
+    def __iter__(self):
+        return iter(self.devices)
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    def __repr__(self) -> str:
+        return f"DeviceSet(ranks={self.global_ranks})"
+
+
+class SimCluster:
+    """All devices of a simulated cluster, with slice-based allocation.
+
+    Allocation is deliberately simple — contiguous rank ranges — because the
+    paper assumes homogeneous GPUs and non-overlapping ``ResourcePool``
+    instances (§4.1: "We assume no overlap between different ResourcePool
+    instances").
+    """
+
+    def __init__(self, spec: ClusterSpec) -> None:
+        self.spec = spec
+        self.devices: List[SimDevice] = [
+            SimDevice(rank, spec.machine_of(rank), spec.gpu)
+            for rank in range(spec.n_gpus)
+        ]
+        self._next_free_rank = 0
+
+    @property
+    def n_gpus(self) -> int:
+        return self.spec.n_gpus
+
+    def device(self, rank: int) -> SimDevice:
+        return self.devices[rank]
+
+    def allocate(self, n_gpus: int) -> DeviceSet:
+        """Allocate the next ``n_gpus`` contiguous devices.
+
+        Raises ``RuntimeError`` when the cluster is exhausted; callers (the
+        mapping algorithm) are expected to have validated total demand.
+        """
+        if n_gpus <= 0:
+            raise ValueError(f"must allocate a positive GPU count, got {n_gpus}")
+        if self._next_free_rank + n_gpus > self.n_gpus:
+            raise RuntimeError(
+                f"cluster exhausted: want {n_gpus} GPUs, "
+                f"{self.n_gpus - self._next_free_rank} unallocated of {self.n_gpus}"
+            )
+        start = self._next_free_rank
+        self._next_free_rank += n_gpus
+        return DeviceSet(self.devices[start : start + n_gpus], self)
+
+    def device_set(self, ranks: Iterable[int]) -> DeviceSet:
+        """Build a DeviceSet from explicit global ranks (no bookkeeping)."""
+        return DeviceSet([self.devices[r] for r in ranks], self)
+
+    def release_all(self) -> None:
+        """Forget all allocations (devices keep their memory ledgers)."""
+        self._next_free_rank = 0
+
+    def total_memory_in_use(self) -> int:
+        return sum(d.memory.used for d in self.devices)
+
+    def __repr__(self) -> str:
+        return (
+            f"SimCluster({self.spec.n_machines}x{self.spec.gpus_per_machine} "
+            f"{self.spec.gpu.name})"
+        )

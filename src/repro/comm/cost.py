@@ -1,0 +1,101 @@
+"""Analytical cost model for collectives on the simulated cluster.
+
+Volumes follow the ring-algorithm accounting of Chan et al., *Collective
+communication: theory, practice, and experience* — the reference ([13]) the
+paper uses to derive Table 2:
+
+* all-gather over ``n`` ranks of total payload ``M``: ``(n-1)/n * M`` per rank
+* reduce-scatter: ``(n-1)/n * M`` per rank
+* all-reduce: ``2(n-1)/n * M`` per rank
+* broadcast (tree/ring pipelined): ``M`` per rank
+
+Latency divides the per-rank volume by the *bottleneck* link bandwidth of the
+group: inter-machine InfiniBand when the group spans machines, NVLink
+otherwise, plus a fixed launch latency per collective.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.config import ClusterSpec
+
+
+def group_bandwidth(cluster: ClusterSpec, ranks: Sequence[int]) -> float:
+    """Bottleneck bandwidth (bytes/s) for a collective over ``ranks``.
+
+    A ring over a group that spans machines is limited by the inter-machine
+    links shared by all ranks on one machine; we charge the per-machine NIC
+    bandwidth divided by the number of group ranks sharing it.
+    """
+    if len(ranks) <= 1:
+        return float("inf")
+    machines = {cluster.machine_of(r) for r in ranks}
+    if len(machines) == 1:
+        return cluster.intra_node_bandwidth
+    ranks_per_machine = max(
+        sum(1 for r in ranks if cluster.machine_of(r) == m) for m in machines
+    )
+    return cluster.inter_node_bandwidth / ranks_per_machine
+
+
+def all_gather_volume_per_rank(total_bytes: int, group_size: int) -> float:
+    """Per-rank bytes moved by a ring all-gather of ``total_bytes`` payload."""
+    if group_size <= 1:
+        return 0.0
+    return (group_size - 1) / group_size * total_bytes
+
+
+def reduce_scatter_volume_per_rank(total_bytes: int, group_size: int) -> float:
+    if group_size <= 1:
+        return 0.0
+    return (group_size - 1) / group_size * total_bytes
+
+
+def all_reduce_volume_per_rank(total_bytes: int, group_size: int) -> float:
+    if group_size <= 1:
+        return 0.0
+    return 2.0 * (group_size - 1) / group_size * total_bytes
+
+
+def _collective_time(
+    volume_per_rank: float, cluster: ClusterSpec, ranks: Sequence[int]
+) -> float:
+    if volume_per_rank <= 0:
+        return 0.0
+    bw = group_bandwidth(cluster, ranks)
+    if bw == float("inf"):
+        return 0.0
+    return cluster.link_latency + volume_per_rank / bw
+
+
+def all_gather_time(
+    total_bytes: int, cluster: ClusterSpec, ranks: Sequence[int]
+) -> float:
+    """Seconds for a ring all-gather whose *gathered* payload is ``total_bytes``."""
+    return _collective_time(
+        all_gather_volume_per_rank(total_bytes, len(ranks)), cluster, ranks
+    )
+
+
+def all_reduce_time(
+    total_bytes: int, cluster: ClusterSpec, ranks: Sequence[int]
+) -> float:
+    return _collective_time(
+        all_reduce_volume_per_rank(total_bytes, len(ranks)), cluster, ranks
+    )
+
+
+def broadcast_time(
+    total_bytes: int, cluster: ClusterSpec, ranks: Sequence[int]
+) -> float:
+    if len(ranks) <= 1:
+        return 0.0
+    return _collective_time(float(total_bytes), cluster, ranks)
+
+
+def p2p_time(nbytes: int, cluster: ClusterSpec, src: int, dst: int) -> float:
+    """Point-to-point transfer time between two global ranks."""
+    if src == dst or nbytes <= 0:
+        return 0.0
+    return cluster.link_latency + nbytes / cluster.bandwidth_between(src, dst)

@@ -1,0 +1,102 @@
+"""Process groups and traffic accounting for simulated collectives.
+
+A :class:`ProcessGroup` is an ordered list of global device ranks, exactly as
+in NCCL/Megatron: "group rank" ``i`` is the i-th entry.  A
+:class:`TrafficMeter` records the bytes each collective moved so tests and
+benchmarks can verify the communication-volume algebra of Table 2 against the
+functional implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class TrafficMeter:
+    """Accumulates communication volume per (group name, op) pair."""
+
+    def __init__(self) -> None:
+        self._bytes: Dict[Tuple[str, str], int] = {}
+        #: Per-global-rank bytes sent (counting each rank's outgoing share).
+        self._rank_bytes: Dict[int, int] = {}
+
+    def record(self, group: "ProcessGroup", op: str, bytes_per_rank: int) -> None:
+        if bytes_per_rank < 0:
+            raise ValueError(f"negative traffic: {bytes_per_rank}")
+        key = (group.name, op)
+        self._bytes[key] = self._bytes.get(key, 0) + bytes_per_rank * group.size
+        for rank in group.ranks:
+            self._rank_bytes[rank] = self._rank_bytes.get(rank, 0) + bytes_per_rank
+
+    def total_bytes(self) -> int:
+        return sum(self._bytes.values())
+
+    def bytes_for(self, group_name: str, op: Optional[str] = None) -> int:
+        return sum(
+            v
+            for (g, o), v in self._bytes.items()
+            if g == group_name and (op is None or o == op)
+        )
+
+    def bytes_for_rank(self, rank: int) -> int:
+        return self._rank_bytes.get(rank, 0)
+
+    def reset(self) -> None:
+        self._bytes.clear()
+        self._rank_bytes.clear()
+
+    def snapshot(self) -> Dict[Tuple[str, str], int]:
+        return dict(self._bytes)
+
+
+class ProcessGroup:
+    """An ordered set of global ranks participating in collectives together."""
+
+    def __init__(
+        self,
+        ranks: Sequence[int],
+        name: str = "group",
+        meter: Optional[TrafficMeter] = None,
+    ) -> None:
+        if not ranks:
+            raise ValueError("a ProcessGroup needs at least one rank")
+        if len(set(ranks)) != len(ranks):
+            raise ValueError(f"duplicate ranks in group {name!r}: {list(ranks)}")
+        self.ranks: List[int] = list(ranks)
+        self.name = name
+        self.meter = meter
+
+    @property
+    def size(self) -> int:
+        return len(self.ranks)
+
+    def group_rank_of(self, global_rank: int) -> int:
+        """Position of ``global_rank`` within this group."""
+        try:
+            return self.ranks.index(global_rank)
+        except ValueError:
+            raise ValueError(
+                f"rank {global_rank} is not in group {self.name!r} {self.ranks}"
+            ) from None
+
+    def contains(self, global_rank: int) -> bool:
+        return global_rank in self.ranks
+
+    def record_traffic(self, op: str, bytes_per_rank: int) -> None:
+        if self.meter is not None:
+            self.meter.record(self, op, bytes_per_rank)
+
+    def __len__(self) -> int:
+        return len(self.ranks)
+
+    def __iter__(self):
+        return iter(self.ranks)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ProcessGroup) and self.ranks == other.ranks
+
+    def __hash__(self) -> int:
+        return hash(tuple(self.ranks))
+
+    def __repr__(self) -> str:
+        return f"ProcessGroup({self.name!r}, ranks={self.ranks})"

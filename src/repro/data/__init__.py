@@ -1,0 +1,18 @@
+"""Data plumbing: the ``DataBatch`` exchanged between models, and datasets.
+
+The paper stores intermediate RLHF data (prompts, responses, values, rewards,
+advantages) in TensorDicts moved by the transfer protocols (§7).
+:class:`DataBatch` is that container here; :mod:`repro.data.dataset` provides
+the synthetic stand-in for the Dahoas/full-hh-rlhf prompt set (§8.1).
+"""
+
+from repro.data.batch import DataBatch
+from repro.data.dataset import PromptDataset, SyntheticPreferenceTask
+from repro.data.tokenizer import CharTokenizer
+
+__all__ = [
+    "CharTokenizer",
+    "DataBatch",
+    "PromptDataset",
+    "SyntheticPreferenceTask",
+]

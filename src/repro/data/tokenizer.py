@@ -1,0 +1,88 @@
+"""A character-level tokenizer for human-readable functional demos.
+
+The benchmarks only need token streams, but the examples are friendlier
+when prompts and responses are text.  This is a deterministic char-level
+tokenizer with the usual special tokens; at TinyLM's scale a character
+vocabulary is plenty.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+PAD = "<pad>"
+BOS = "<bos>"
+EOS = "<eos>"
+UNK = "<unk>"
+SPECIALS = (PAD, BOS, EOS, UNK)
+
+
+class CharTokenizer:
+    """Character vocabulary with pad/bos/eos/unk specials."""
+
+    def __init__(self, alphabet: Iterable[str]) -> None:
+        chars = sorted({c for c in alphabet if len(c) == 1})
+        if not chars:
+            raise ValueError("the alphabet needs at least one character")
+        self._tokens: List[str] = list(SPECIALS) + chars
+        self._index = {tok: i for i, tok in enumerate(self._tokens)}
+
+    @classmethod
+    def from_corpus(cls, texts: Sequence[str]) -> "CharTokenizer":
+        return cls({c for text in texts for c in text})
+
+    @property
+    def vocab_size(self) -> int:
+        return len(self._tokens)
+
+    @property
+    def pad_id(self) -> int:
+        return self._index[PAD]
+
+    @property
+    def bos_id(self) -> int:
+        return self._index[BOS]
+
+    @property
+    def eos_id(self) -> int:
+        return self._index[EOS]
+
+    @property
+    def unk_id(self) -> int:
+        return self._index[UNK]
+
+    def token_id(self, char: str) -> int:
+        return self._index.get(char, self.unk_id)
+
+    def encode(self, text: str, add_bos: bool = False) -> List[int]:
+        ids = [self.token_id(c) for c in text]
+        return [self.bos_id] + ids if add_bos else ids
+
+    def decode(self, ids: Iterable[int], strip_specials: bool = True) -> str:
+        out = []
+        for i in ids:
+            i = int(i)
+            if not 0 <= i < len(self._tokens):
+                raise ValueError(f"token id {i} outside vocabulary")
+            tok = self._tokens[i]
+            if strip_specials and tok in SPECIALS:
+                continue
+            out.append(tok)
+        return "".join(out)
+
+    def encode_batch(
+        self, texts: Sequence[str], length: int, add_bos: bool = True
+    ) -> np.ndarray:
+        """Fixed-length batch: truncate or left-pad each row to ``length``."""
+        if length < 1:
+            raise ValueError(f"length must be >= 1, got {length}")
+        batch = np.full((len(texts), length), self.pad_id, dtype=np.int64)
+        for row, text in enumerate(texts):
+            ids = self.encode(text, add_bos=add_bos)[:length]
+            batch[row, length - len(ids) :] = ids
+        return batch
+
+    def decode_batch(self, ids: np.ndarray) -> List[str]:
+        return [self.decode(row) for row in np.asarray(ids)]

@@ -1,0 +1,87 @@
+"""Closed-form transition overhead per actor-engine design (Table 2).
+
+For an actor of size ``M`` bytes trained with 3D parallel sizes ``p-t-d`` and
+generating with ``p_g-t_g`` (micro DP ``d_g = pt / (p_g t_g)``):
+
+=============  =======================  ==================  =================
+Engine         Comm. volume / GPU       Peak param memory   Redundancy
+=============  =======================  ==================  =================
+DS-Chat        ``(tpd-1)/(tpd) * M``    ``M``               ``M/(tpd)``
+HybridFlow-V   ``(tp-1)/(tp) * M``      ``M``               ``M/(tp)``
+HybridFlow     ``(tp - t_g p_g) /       ``M/(t_g p_g)``     ``0``
+               (t_g p_g t p) * M``
+=============  =======================  ==================  =================
+
+(The table follows the paper's shorthand where ``tp`` denotes the product
+``t * p``, the model-parallel size.)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from fractions import Fraction
+
+from repro.config import GenParallelConfig, ParallelConfig
+
+
+class EngineKind(enum.Enum):
+    """Actor-engine designs compared in Table 2."""
+
+    DS_CHAT = "ds-chat"
+    HYBRIDFLOW_V = "hybridflow-v"
+    HYBRIDFLOW = "hybridflow"
+
+
+@dataclasses.dataclass(frozen=True)
+class TransitionOverhead:
+    """Per-GPU transition cost, as fractions of the model size ``M``."""
+
+    comm_fraction: Fraction
+    peak_memory_fraction: Fraction
+    redundancy_fraction: Fraction
+
+    def comm_bytes(self, model_bytes: int) -> float:
+        return float(self.comm_fraction) * model_bytes
+
+    def peak_memory_bytes(self, model_bytes: int) -> float:
+        return float(self.peak_memory_fraction) * model_bytes
+
+    def redundancy_bytes(self, model_bytes: int) -> float:
+        return float(self.redundancy_fraction) * model_bytes
+
+
+def transition_overhead(
+    kind: EngineKind,
+    train: ParallelConfig,
+    gen: GenParallelConfig,
+) -> TransitionOverhead:
+    """Table 2 row for the given engine and parallel configuration."""
+    t, p, d = train.tp, train.pp, train.dp
+    tg, pg = gen.tp, gen.pp
+    mp = t * p
+    gen_mp = tg * pg
+    if mp % gen_mp:
+        raise ValueError(
+            f"generation MP size {gen_mp} must divide training MP size {mp}"
+        )
+    if kind is EngineKind.DS_CHAT:
+        n = t * p * d
+        return TransitionOverhead(
+            comm_fraction=Fraction(n - 1, n),
+            peak_memory_fraction=Fraction(1),
+            redundancy_fraction=Fraction(1, n),
+        )
+    if kind is EngineKind.HYBRIDFLOW_V:
+        return TransitionOverhead(
+            comm_fraction=Fraction(mp - 1, mp),
+            peak_memory_fraction=Fraction(1),
+            redundancy_fraction=Fraction(1, mp),
+        )
+    if kind is EngineKind.HYBRIDFLOW:
+        return TransitionOverhead(
+            comm_fraction=Fraction(mp - gen_mp, gen_mp * mp),
+            peak_memory_fraction=Fraction(1, gen_mp),
+            redundancy_fraction=Fraction(0),
+        )
+    raise ValueError(f"unknown engine kind {kind}")  # pragma: no cover

@@ -1,0 +1,237 @@
+"""Heterogeneous-device mapping: the extension §6 sketches, implemented.
+
+"Though we assume N homogeneous GPUs when running the auto mapping
+algorithm, Algorithm 1 can be readily extended for optimizing model mapping
+over heterogeneous devices, by considering heterogeneous devices in simu and
+auto_parallel modules."
+
+The cluster is modelled as *zones* of homogeneous machines (e.g. a rack of
+A100s plus a rack of H800s).  A colocated model set is placed inside a
+single zone (collectives spanning device generations are impractical), so
+the search enumerates, per placement, which zone hosts each set and how many
+of the zone's GPUs it takes; each model's parallelism is then chosen by
+Algorithm 2 against *its zone's* device characteristics, and candidates are
+scored with the per-model-cluster iteration estimate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.config import ClusterSpec, ModelSpec, RlhfWorkload
+from repro.hybrid_engine.overhead import EngineKind
+from repro.mapping.auto_parallel import ModelRole, StrategyChoice, auto_parallel
+from repro.mapping.device_mapping import (
+    _ROLE_OF,
+    IterationBreakdown,
+    get_min_alloc,
+    persistent_bytes,
+)
+from repro.mapping.placement_enum import allowed_allocations, set_partitions
+from repro.perf.iteration import (
+    GenerationPlan,
+    ModelExecution,
+    estimate_iteration,
+)
+from repro.rlhf.core import AlgoType
+
+
+@dataclasses.dataclass(frozen=True)
+class ClusterZone:
+    """A named homogeneous slice of a heterogeneous cluster."""
+
+    name: str
+    spec: ClusterSpec
+
+    @property
+    def n_gpus(self) -> int:
+        return self.spec.n_gpus
+
+
+@dataclasses.dataclass
+class HeterogeneousMapping:
+    """Result: per-set zone, GPU count, and strategies, plus the cost."""
+
+    placement: List[List[str]]
+    zone_of_set: List[str]
+    allocation: List[int]
+    strategies: Dict[str, StrategyChoice]
+    breakdown: IterationBreakdown
+    cost: float
+
+    def zone_of(self, model: str) -> str:
+        for index, group in enumerate(self.placement):
+            if model in group:
+                return self.zone_of_set[index]
+        raise KeyError(model)
+
+    def describe(self) -> str:
+        sets = " | ".join(
+            f"{'+'.join(group)}@{self.allocation[i]}:{self.zone_of_set[i]}"
+            for i, group in enumerate(self.placement)
+        )
+        return f"[{sets}] cost={self.cost:.1f}s"
+
+
+def _zone_assignments(
+    n_sets: int, zones: List[ClusterZone]
+) -> Iterator[Tuple[int, ...]]:
+    """Every assignment of sets to zone indices."""
+    if n_sets == 0:
+        yield ()
+        return
+    for tail in _zone_assignments(n_sets - 1, zones):
+        for z in range(len(zones)):
+            yield (z,) + tail
+
+
+def _allocations_within_zones(
+    assignment: Tuple[int, ...],
+    minimums: List[int],
+    zones: List[ClusterZone],
+) -> Iterator[Tuple[int, ...]]:
+    """Per-set GPU counts: allowed sizes, ≥ minimum, fitting each zone."""
+
+    def recurse(index: int, remaining: Dict[int, int]) -> Iterator[Tuple[int, ...]]:
+        if index == len(assignment):
+            yield ()
+            return
+        zone_index = assignment[index]
+        zone = zones[zone_index]
+        sizes = allowed_allocations(
+            remaining[zone_index], zone.spec.gpus_per_machine
+        ) if remaining[zone_index] > 0 else []
+        for size in sizes:
+            if size < minimums[index]:
+                continue
+            remaining[zone_index] -= size
+            for tail in recurse(index + 1, remaining):
+                yield (size,) + tail
+            remaining[zone_index] += size
+
+    capacity = {z: zones[z].n_gpus for z in range(len(zones))}
+    return recurse(0, capacity)
+
+
+def map_dataflow_heterogeneous(
+    algo: AlgoType,
+    specs: Dict[str, ModelSpec],
+    zones: List[ClusterZone],
+    workload: RlhfWorkload,
+    max_candidates: int = 20000,
+) -> HeterogeneousMapping:
+    """Algorithm 1 over zones of heterogeneous devices."""
+    algo = AlgoType(algo)
+    if not zones:
+        raise ValueError("need at least one cluster zone")
+    if len({z.name for z in zones}) != len(zones):
+        raise ValueError("zone names must be unique")
+    models = list(specs)
+    if "actor" not in models:
+        raise ValueError("the dataflow needs an actor model")
+
+    best: Optional[HeterogeneousMapping] = None
+    candidates = 0
+    for placement in set_partitions(models):
+        for assignment in _zone_assignments(len(placement), zones):
+            minimums = []
+            feasible = True
+            for set_index, group in enumerate(placement):
+                zone = zones[assignment[set_index]]
+                min_alloc = get_min_alloc(
+                    [(m, specs[m]) for m in group], zone.spec, zone.n_gpus
+                )
+                if min_alloc is None:
+                    feasible = False
+                    break
+                minimums.append(min_alloc)
+            if not feasible:
+                continue
+            for allocation in _allocations_within_zones(
+                assignment, minimums, zones
+            ):
+                candidates += 1
+                if candidates > max_candidates:
+                    break
+                scored = _score_hetero(
+                    algo, placement, assignment, allocation, specs, zones,
+                    workload,
+                )
+                if scored is None:
+                    continue
+                strategies, breakdown = scored
+                if best is None or breakdown.total < best.cost:
+                    best = HeterogeneousMapping(
+                        placement=[list(g) for g in placement],
+                        zone_of_set=[
+                            zones[z].name for z in assignment
+                        ],
+                        allocation=list(allocation),
+                        strategies=strategies,
+                        breakdown=breakdown,
+                        cost=breakdown.total,
+                    )
+    if best is None:
+        raise RuntimeError(
+            f"no feasible heterogeneous mapping for {sorted(specs)} over "
+            f"{[z.name for z in zones]}"
+        )
+    return best
+
+
+def _score_hetero(
+    algo: AlgoType,
+    placement,
+    assignment: Tuple[int, ...],
+    allocation: Tuple[int, ...],
+    specs: Dict[str, ModelSpec],
+    zones: List[ClusterZone],
+    workload: RlhfWorkload,
+):
+    strategies: Dict[str, StrategyChoice] = {}
+    executions: Dict[str, ModelExecution] = {}
+    gen_plan: Optional[GenerationPlan] = None
+    for set_index, group in enumerate(placement):
+        zone = zones[assignment[set_index]]
+        n_gpus = allocation[set_index]
+        pool = f"set{set_index}@{zone.name}"
+        reserved = sum(
+            persistent_bytes(specs[m], _ROLE_OF[m]) for m in group
+        ) / n_gpus
+        for model in group:
+            role = _ROLE_OF[model]
+            choice = auto_parallel(
+                specs[model],
+                zone.spec,
+                n_gpus,
+                workload,
+                role,
+                reserved_bytes=reserved if role is ModelRole.ACTOR else 0.0,
+            )
+            if choice is None:
+                return None
+            strategies[model] = choice
+            executions[model] = ModelExecution(
+                spec=specs[model],
+                pool=pool,
+                parallel=choice.parallel,
+                cluster=zone.spec,
+            )
+            if role is ModelRole.ACTOR:
+                assert choice.gen_tp is not None and choice.gen_pp is not None
+                gen_mp = choice.gen_tp * choice.gen_pp
+                gen_plan = GenerationPlan(
+                    tp=choice.gen_tp,
+                    pp=choice.gen_pp,
+                    n_replicas=choice.parallel.world_size // gen_mp,
+                    pool=pool,
+                    engine=EngineKind.HYBRIDFLOW,
+                    reserved_bytes=reserved,
+                    cluster=zone.spec,
+                )
+    assert gen_plan is not None
+    breakdown = estimate_iteration(
+        algo, executions, gen_plan, workload, zones[0].spec
+    )
+    return strategies, breakdown

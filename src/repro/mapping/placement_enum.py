@@ -1,0 +1,89 @@
+"""Placement and allocation enumeration for Algorithm 1 (§6).
+
+* ``set_partitions(models)`` — every way to group the dataflow's models into
+  colocated sets (the Bell-partition space the paper cites: 15 placements
+  for PPO's four models).
+* ``allowed_allocations(N, U)`` — GPU counts a set may receive: powers of two
+  up to one machine, then whole machines (matching how 3D parallel jobs are
+  actually laid out).
+* ``enum_alloc(N, mins)`` — all assignments of the N GPUs to the sets with
+  every set at least its minimum and the total exactly N.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+def set_partitions(items: Sequence[T]) -> Iterator[List[List[T]]]:
+    """Yield every partition of ``items`` into non-empty unordered sets.
+
+    The number of partitions of an n-element set is the n-th Bell number
+    (1, 1, 2, 5, 15, 52, ...) — 15 for PPO's four models, as §6 notes.
+    """
+    items = list(items)
+    if not items:
+        yield []
+        return
+    first, rest = items[0], items[1:]
+    for partition in set_partitions(rest):
+        # put ``first`` into each existing set
+        for i in range(len(partition)):
+            yield partition[:i] + [[first] + partition[i]] + partition[i + 1 :]
+        # or into its own set
+        yield [[first]] + partition
+
+
+def bell_number(n: int) -> int:
+    """Number of set partitions of ``n`` items (for tests/documentation)."""
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    row = [1]
+    for _ in range(n):
+        new_row = [row[-1]]
+        for value in row:
+            new_row.append(new_row[-1] + value)
+        row = new_row
+    return row[0]
+
+
+def allowed_allocations(n_gpus: int, gpus_per_machine: int = 8) -> List[int]:
+    """GPU counts an allocation may use: powers of 2 intra-machine, then
+    whole machines."""
+    sizes = []
+    size = 1
+    while size < gpus_per_machine and size <= n_gpus:
+        sizes.append(size)
+        size *= 2
+    size = gpus_per_machine
+    while size <= n_gpus:
+        sizes.append(size)
+        size += gpus_per_machine
+    return sizes
+
+
+def enum_alloc(
+    n_gpus: int,
+    minimums: Sequence[int],
+    gpus_per_machine: int = 8,
+) -> Iterator[Tuple[int, ...]]:
+    """All allocations ``(a_1..a_k)`` with ``a_i >= minimums[i]``, allowed
+    sizes only, summing exactly to ``n_gpus``."""
+    sizes = allowed_allocations(n_gpus, gpus_per_machine)
+    k = len(minimums)
+
+    def recurse(index: int, remaining: int) -> Iterator[Tuple[int, ...]]:
+        if index == k:
+            if remaining == 0:
+                yield ()
+            return
+        min_rest = sum(minimums[index + 1 :])
+        for a in sizes:
+            if a < minimums[index] or a > remaining - min_rest:
+                continue
+            for tail in recurse(index + 1, remaining - a):
+                yield (a,) + tail
+
+    return recurse(0, n_gpus)

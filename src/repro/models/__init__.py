@@ -1,0 +1,31 @@
+"""TinyLM: a real (miniature) decoder-only transformer LM in numpy.
+
+The paper's models are Llama 7B-70B run on Megatron-LM and vLLM; here the
+same *roles* (actor, critic, reference, reward, cost) are played by a small
+transformer with a tape-based autograd engine, real Adam updates, KV-cached
+auto-regressive generation, and shardable parameters.  Functional tests and
+examples run actual RLHF optimisation on it; the analytical performance layer
+(:mod:`repro.perf`) covers the paper's model scales.
+"""
+
+from repro.models.autograd import Tensor, no_grad
+from repro.models.tinylm import TinyLM, TinyLMConfig
+from repro.models.adam import Adam
+from repro.models.sampler import sample_tokens
+from repro.models.sharding import (
+    gather_full_params,
+    param_partition,
+    shard_params,
+)
+
+__all__ = [
+    "Adam",
+    "Tensor",
+    "TinyLM",
+    "TinyLMConfig",
+    "gather_full_params",
+    "no_grad",
+    "param_partition",
+    "sample_tokens",
+    "shard_params",
+]

@@ -1,0 +1,93 @@
+"""Adam optimizer over a named-parameter dict ([38], used by the paper §8.1).
+
+Keeps FP64 moments per parameter (standing in for the FP32 optimizer states
+of mixed-precision training) and supports gradient clipping by global norm,
+which PPO implementations conventionally apply.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.models.autograd import Tensor
+
+
+class Adam:
+    """Classic Adam with bias correction and optional global-norm clipping."""
+
+    def __init__(
+        self,
+        params: Dict[str, Tensor],
+        lr: float = 1e-3,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+        max_grad_norm: Optional[float] = None,
+    ) -> None:
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        self.params = params
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.max_grad_norm = max_grad_norm
+        self.step_count = 0
+        self._m: Dict[str, np.ndarray] = {
+            name: np.zeros_like(p.data) for name, p in params.items()
+        }
+        self._v: Dict[str, np.ndarray] = {
+            name: np.zeros_like(p.data) for name, p in params.items()
+        }
+
+    def state_bytes(self) -> int:
+        """Optimizer-state footprint (both moments)."""
+        return sum(m.nbytes for m in self._m.values()) + sum(
+            v.nbytes for v in self._v.values()
+        )
+
+    def grad_global_norm(self) -> float:
+        total = 0.0
+        for p in self.params.values():
+            if p.grad is not None:
+                total += float((p.grad**2).sum())
+        return float(np.sqrt(total))
+
+    def clip_gradients(self) -> float:
+        """Scale all gradients so the global norm is at most ``max_grad_norm``."""
+        norm = self.grad_global_norm()
+        if self.max_grad_norm is not None and norm > self.max_grad_norm > 0:
+            scale = self.max_grad_norm / (norm + 1e-12)
+            for p in self.params.values():
+                if p.grad is not None:
+                    p.grad = p.grad * scale
+        return norm
+
+    def step(self) -> None:
+        """Apply one Adam update to every parameter with a gradient."""
+        self.clip_gradients()
+        self.step_count += 1
+        t = self.step_count
+        bias1 = 1.0 - self.beta1**t
+        bias2 = 1.0 - self.beta2**t
+        for name, p in self.params.items():
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            m = self._m[name]
+            v = self._v[name]
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad**2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def zero_grad(self) -> None:
+        for p in self.params.values():
+            p.zero_grad()

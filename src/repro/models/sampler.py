@@ -1,0 +1,121 @@
+"""Token sampling and auto-regressive generation for TinyLM.
+
+Implements the generation stage of RLHF (§2.1 stage 1): KV-cached incremental
+decoding with temperature sampling or greedy decoding (ReMax's variance
+reduction uses ``do_sample=False`` for the baseline pass, Figure 6).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from repro.models.autograd import no_grad
+from repro.models.tinylm import KVCache, TinyLM
+
+
+def sample_tokens(
+    logits: np.ndarray,
+    rng: np.random.Generator,
+    temperature: float = 1.0,
+    greedy: bool = False,
+) -> np.ndarray:
+    """Sample one token per row from ``logits`` of shape ``(batch, vocab)``."""
+    logits = np.asarray(logits, dtype=np.float64)
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be (batch, vocab), got {logits.shape}")
+    if greedy:
+        return logits.argmax(axis=-1)
+    if temperature <= 0:
+        raise ValueError(f"temperature must be positive, got {temperature}")
+    scaled = logits / temperature
+    scaled = scaled - scaled.max(axis=-1, keepdims=True)
+    probs = np.exp(scaled)
+    probs /= probs.sum(axis=-1, keepdims=True)
+    out = np.empty(logits.shape[0], dtype=np.int64)
+    for i, row in enumerate(probs):
+        out[i] = rng.choice(len(row), p=row)
+    return out
+
+
+@dataclasses.dataclass
+class GenerationOutput:
+    """Result of one generation pass.
+
+    Attributes:
+        sequences: Prompt + response token ids, ``(batch, prompt+response)``.
+        response_log_probs: Log-prob of each generated token under the
+            sampling distribution, ``(batch, response)``.
+        prompt_length: Number of prompt tokens (responses start there).
+        kv_cache_bytes: Peak KV-cache footprint of the pass, for the memory
+            accounting the HybridEngine's offload path uses.
+    """
+
+    sequences: np.ndarray
+    response_log_probs: np.ndarray
+    prompt_length: int
+    kv_cache_bytes: int
+
+    @property
+    def responses(self) -> np.ndarray:
+        return self.sequences[:, self.prompt_length :]
+
+
+def generate(
+    model: TinyLM,
+    prompts: np.ndarray,
+    max_new_tokens: int,
+    temperature: float = 1.0,
+    greedy: bool = False,
+    rng: Optional[np.random.Generator] = None,
+) -> GenerationOutput:
+    """Auto-regressively extend ``prompts`` by ``max_new_tokens`` tokens.
+
+    Uses a real KV cache: the prompt is prefilled once, then each step feeds
+    only the newly sampled token — the prefill/decode split whose memory-bound
+    decode phase motivates the paper's smaller generation TP sizes (§2.3).
+    """
+    if model.config.output_head != "lm":
+        raise RuntimeError("generation requires an LM head")
+    prompts = np.asarray(prompts)
+    if prompts.ndim != 2:
+        raise ValueError(f"prompts must be (batch, seq), got {prompts.shape}")
+    if max_new_tokens < 1:
+        raise ValueError(f"max_new_tokens must be >= 1, got {max_new_tokens}")
+    if rng is None:
+        rng = np.random.default_rng(0)
+
+    batch, prompt_len = prompts.shape
+    cache = KVCache(model.config.n_layers)
+    sequences = prompts.copy()
+    log_probs = np.zeros((batch, max_new_tokens))
+
+    with no_grad():
+        logits = model.forward(prompts, cache=cache, pos_offset=0)
+        step_logits = logits.data[:, -1, :]
+        for step in range(max_new_tokens):
+            next_tokens = sample_tokens(
+                step_logits, rng, temperature=temperature, greedy=greedy
+            )
+            shifted = step_logits - step_logits.max(axis=-1, keepdims=True)
+            logp = shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+            log_probs[:, step] = logp[np.arange(batch), next_tokens]
+            sequences = np.concatenate(
+                [sequences, next_tokens[:, None]], axis=1
+            )
+            if step + 1 < max_new_tokens:
+                logits = model.forward(
+                    next_tokens[:, None],
+                    cache=cache,
+                    pos_offset=prompt_len + step,
+                )
+                step_logits = logits.data[:, -1, :]
+
+    return GenerationOutput(
+        sequences=sequences,
+        response_log_probs=log_probs,
+        prompt_length=prompt_len,
+        kv_cache_bytes=cache.nbytes(),
+    )

@@ -1,0 +1,120 @@
+"""Fractional weight-shard geometry for overlap/redundancy analysis (§5.3).
+
+A model replica's weights are modelled as a 2-D unit square: the *layer* axis
+is split by pipeline parallelism and the *tensor* axis by tensor parallelism.
+A rank's shard is then a rectangle; the overlap between a rank's training
+shard and its generation shard determines how much training memory can be
+reused during generation — the quantity whose non-overlap the paper's new
+grouping method drives to zero (Figure 8, Table 2).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from fractions import Fraction
+from typing import Tuple
+
+from repro.parallel.topology import GenTopology, ParallelTopology
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardRange:
+    """A half-open fractional interval ``[start, stop)`` of one weight axis."""
+
+    start: Fraction
+    stop: Fraction
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.start <= self.stop <= 1:
+            raise ValueError(f"invalid shard range [{self.start}, {self.stop})")
+
+    @classmethod
+    def of_partition(cls, index: int, n_parts: int) -> "ShardRange":
+        if not 0 <= index < n_parts:
+            raise ValueError(f"partition {index} out of {n_parts}")
+        return cls(Fraction(index, n_parts), Fraction(index + 1, n_parts))
+
+    @property
+    def length(self) -> Fraction:
+        return self.stop - self.start
+
+    def overlap(self, other: "ShardRange") -> Fraction:
+        lo = max(self.start, other.start)
+        hi = min(self.stop, other.stop)
+        return max(Fraction(0), hi - lo)
+
+    def contains(self, other: "ShardRange") -> bool:
+        return self.start <= other.start and other.stop <= self.stop
+
+
+@dataclasses.dataclass(frozen=True)
+class WeightShard:
+    """A rank's rectangle of the (layer, tensor) unit square."""
+
+    layers: ShardRange
+    tensor: ShardRange
+
+    @property
+    def fraction(self) -> Fraction:
+        return self.layers.length * self.tensor.length
+
+    def overlap_fraction(self, other: "WeightShard") -> Fraction:
+        return self.layers.overlap(other.layers) * self.tensor.overlap(other.tensor)
+
+    def contains(self, other: "WeightShard") -> bool:
+        return self.layers.contains(other.layers) and self.tensor.contains(
+            other.tensor
+        )
+
+
+def training_shard(topology: ParallelTopology, global_rank: int) -> WeightShard:
+    """The rectangle of weights rank ``global_rank`` holds during training."""
+    c = topology.coords(global_rank)
+    cfg = topology.config
+    return WeightShard(
+        layers=ShardRange.of_partition(c.p, cfg.pp),
+        tensor=ShardRange.of_partition(c.t, cfg.tp),
+    )
+
+
+def generation_shard(gen: GenTopology, global_rank: int) -> WeightShard:
+    """The rectangle of weights rank ``global_rank`` holds during generation."""
+    c = gen.coords(global_rank)
+    return WeightShard(
+        layers=ShardRange.of_partition(c.pg, gen.config.pp),
+        tensor=ShardRange.of_partition(c.tg, gen.config.tp),
+    )
+
+
+def shard_overlap_fraction(gen: GenTopology, global_rank: int) -> Fraction:
+    """Fraction of the full model shared by a rank's training and gen shards.
+
+    With the paper's HYBRIDFLOW grouping this always equals the training shard
+    size ``1/(p*t)`` (the training shard is contained in the generation
+    shard); with VANILLA grouping some ranks get zero overlap, which is the
+    redundancy HybridFlow-V pays in Table 2.
+    """
+    train = training_shard(gen.train, global_rank)
+    gshard = generation_shard(gen, global_rank)
+    return train.overlap_fraction(gshard)
+
+
+def redundant_fraction(gen: GenTopology, global_rank: int) -> Fraction:
+    """Fraction of the model that must be *duplicated* on this rank.
+
+    During generation the rank must hold its generation shard; any part of its
+    training shard not contained in the generation shard must be kept in a
+    separate buffer for the next training stage (the grey boxes in Figure 8a).
+    """
+    train = training_shard(gen.train, global_rank)
+    return train.fraction - shard_overlap_fraction(gen, global_rank)
+
+
+def peak_param_fraction(gen: GenTopology, global_rank: int) -> Fraction:
+    """Peak parameter-memory fraction on this rank during the transition.
+
+    The rank ends up holding its generation shard plus any non-overlapping
+    part of its training shard.
+    """
+    gshard = generation_shard(gen, global_rank)
+    return gshard.fraction + redundant_fraction(gen, global_rank)

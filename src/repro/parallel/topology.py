@@ -1,0 +1,284 @@
+"""Rank topology for training and generation parallel groups (§5.1, §5.3).
+
+Conventions (matching the paper's Figure 8 and Megatron-LM):
+
+* A world of ``N = p*t*d`` ranks is decomposed with TP fastest, then PP, then
+  DP: global group-rank ``r = d_idx*(p*t) + p_idx*t + t_idx``.
+* Within each training DP replica (a contiguous block of ``p*t`` ranks), the
+  generation stage re-decomposes ranks into ``p_g-t_g-d_g`` groups using one
+  of two methods:
+
+  - ``GenGroupingMode.VANILLA`` (HybridFlow-V): the same consecutive-rank
+    convention applied to generation sizes, i.e.
+    ``m = dg_idx*(p_g*t_g) + pg_idx*t_g + tg_idx``.
+  - ``GenGroupingMode.HYBRIDFLOW`` (the paper's new method): generation TP/PP
+    indices are the training indices divided by ``t/t_g`` and ``p/p_g``, so
+    each rank's training shard is contained in its generation shard, and micro
+    DP groups are formed by the residual indices (consecutive ranks).
+
+Worked example (Figure 8, ``p=1, t=4, d=2`` training, ``p_g=1, t_g=2`` gen):
+
+* vanilla gen TP groups: ``[0,1], [2,3], [4,5], [6,7]``;
+  micro DP groups: ``[0,2], [1,3], [4,6], [5,7]``.
+* hybridflow gen TP groups: ``[0,2], [1,3], [4,6], [5,7]``;
+  micro DP groups: ``[0,1], [2,3], [4,5], [6,7]``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Optional, Sequence
+
+from repro.comm.groups import ProcessGroup, TrafficMeter
+from repro.config import GenParallelConfig, ParallelConfig
+
+
+@dataclasses.dataclass(frozen=True)
+class Rank3D:
+    """Training-stage coordinates of one rank: pipeline, tensor, data indices."""
+
+    p: int
+    t: int
+    d: int
+
+
+@dataclasses.dataclass(frozen=True)
+class Rank4D:
+    """Generation-stage coordinates: gen pipeline/tensor, micro-DP, train DP."""
+
+    pg: int
+    tg: int
+    dg: int
+    d: int
+
+
+class GenGroupingMode(enum.Enum):
+    """How generation parallel groups are formed from training ranks (§5.3)."""
+
+    VANILLA = "vanilla"  # HybridFlow-V: consecutive-rank grouping
+    HYBRIDFLOW = "hybridflow"  # interval grouping -> zero-redundancy overlap
+
+
+class ParallelTopology:
+    """Training 3D parallel groups over an ordered list of global ranks."""
+
+    def __init__(
+        self,
+        config: ParallelConfig,
+        global_ranks: Optional[Sequence[int]] = None,
+        meter: Optional[TrafficMeter] = None,
+        name: str = "model",
+    ) -> None:
+        self.config = config
+        n = config.world_size
+        if global_ranks is None:
+            global_ranks = list(range(n))
+        if len(global_ranks) != n:
+            raise ValueError(
+                f"topology {config} needs {n} ranks, got {len(global_ranks)}"
+            )
+        self.global_ranks: List[int] = list(global_ranks)
+        self.meter = meter
+        self.name = name
+        self._coords: Dict[int, Rank3D] = {}
+        p, t, _d = config.pp, config.tp, config.dp
+        for r, g in enumerate(self.global_ranks):
+            d_idx, rem = divmod(r, p * t)
+            p_idx, t_idx = divmod(rem, t)
+            self._coords[g] = Rank3D(p=p_idx, t=t_idx, d=d_idx)
+
+    @property
+    def world_size(self) -> int:
+        return self.config.world_size
+
+    def coords(self, global_rank: int) -> Rank3D:
+        try:
+            return self._coords[global_rank]
+        except KeyError:
+            raise ValueError(
+                f"rank {global_rank} not in topology {self.name!r}"
+            ) from None
+
+    def global_rank_at(self, p: int, t: int, d: int) -> int:
+        cfg = self.config
+        if not (0 <= p < cfg.pp and 0 <= t < cfg.tp and 0 <= d < cfg.dp):
+            raise ValueError(f"coords ({p},{t},{d}) out of range for {cfg}")
+        return self.global_ranks[d * cfg.pp * cfg.tp + p * cfg.tp + t]
+
+    def _group(self, ranks: List[int], kind: str) -> ProcessGroup:
+        return ProcessGroup(ranks, name=f"{self.name}/{kind}", meter=self.meter)
+
+    def tp_group(self, global_rank: int) -> ProcessGroup:
+        c = self.coords(global_rank)
+        ranks = [
+            self.global_rank_at(c.p, t, c.d) for t in range(self.config.tp)
+        ]
+        return self._group(ranks, f"tp[p{c.p},d{c.d}]")
+
+    def pp_group(self, global_rank: int) -> ProcessGroup:
+        c = self.coords(global_rank)
+        ranks = [
+            self.global_rank_at(p, c.t, c.d) for p in range(self.config.pp)
+        ]
+        return self._group(ranks, f"pp[t{c.t},d{c.d}]")
+
+    def dp_group(self, global_rank: int) -> ProcessGroup:
+        c = self.coords(global_rank)
+        ranks = [
+            self.global_rank_at(c.p, c.t, d) for d in range(self.config.dp)
+        ]
+        return self._group(ranks, f"dp[p{c.p},t{c.t}]")
+
+    def mp_group(self, global_rank: int) -> ProcessGroup:
+        """Model-parallel group: all ranks of this rank's DP replica."""
+        c = self.coords(global_rank)
+        ranks = [
+            self.global_rank_at(p, t, c.d)
+            for p in range((self.config.pp))
+            for t in range(self.config.tp)
+        ]
+        return self._group(ranks, f"mp[d{c.d}]")
+
+    def all_tp_groups(self) -> List[ProcessGroup]:
+        return [
+            self.tp_group(self.global_rank_at(p, 0, d))
+            for d in range(self.config.dp)
+            for p in range(self.config.pp)
+        ]
+
+    def all_dp_groups(self) -> List[ProcessGroup]:
+        return [
+            self.dp_group(self.global_rank_at(p, t, 0))
+            for p in range(self.config.pp)
+            for t in range(self.config.tp)
+        ]
+
+    def all_pp_groups(self) -> List[ProcessGroup]:
+        return [
+            self.pp_group(self.global_rank_at(0, t, d))
+            for d in range(self.config.dp)
+            for t in range(self.config.tp)
+        ]
+
+    def is_last_pp_stage(self, global_rank: int) -> bool:
+        return self.coords(global_rank).p == self.config.pp - 1
+
+    def __repr__(self) -> str:
+        return f"ParallelTopology({self.name!r}, {self.config})"
+
+
+class GenTopology:
+    """Generation-stage groups layered on a training topology (§5.1, §5.3)."""
+
+    def __init__(
+        self,
+        train: ParallelTopology,
+        gen: GenParallelConfig,
+        mode: GenGroupingMode = GenGroupingMode.HYBRIDFLOW,
+    ) -> None:
+        tcfg = train.config
+        expected_micro_dp = tcfg.model_parallel_size // gen.model_parallel_size
+        if gen.model_parallel_size * gen.micro_dp != tcfg.model_parallel_size:
+            raise ValueError(
+                f"generation groups {gen} incompatible with training {tcfg}: "
+                f"micro_dp must be {expected_micro_dp}"
+            )
+        if tcfg.pp % gen.pp or tcfg.tp % gen.tp:
+            raise ValueError(
+                f"generation sizes p_g={gen.pp}, t_g={gen.tp} must divide "
+                f"training sizes p={tcfg.pp}, t={tcfg.tp}"
+            )
+        self.train = train
+        self.config = gen
+        self.mode = mode
+        self._coords: Dict[int, Rank4D] = {}
+        for g in train.global_ranks:
+            self._coords[g] = self._compute_coords(g)
+
+    def _compute_coords(self, global_rank: int) -> Rank4D:
+        tcfg = self.train.config
+        c = self.train.coords(global_rank)
+        # index of this rank within its training DP replica
+        m = c.p * tcfg.tp + c.t
+        gen = self.config
+        if self.mode is GenGroupingMode.VANILLA:
+            dg_idx, rem = divmod(m, gen.pp * gen.tp)
+            pg_idx, tg_idx = divmod(rem, gen.tp)
+        else:
+            p_ratio = tcfg.pp // gen.pp
+            t_ratio = tcfg.tp // gen.tp
+            pg_idx, p_res = divmod(c.p, p_ratio)
+            tg_idx, t_res = divmod(c.t, t_ratio)
+            dg_idx = p_res * t_ratio + t_res
+        return Rank4D(pg=pg_idx, tg=tg_idx, dg=dg_idx, d=c.d)
+
+    def coords(self, global_rank: int) -> Rank4D:
+        try:
+            return self._coords[global_rank]
+        except KeyError:
+            raise ValueError(
+                f"rank {global_rank} not in generation topology"
+            ) from None
+
+    def _ranks_where(self, predicate) -> List[int]:
+        return [g for g in self.train.global_ranks if predicate(self._coords[g])]
+
+    def _group(self, ranks: List[int], kind: str) -> ProcessGroup:
+        return ProcessGroup(
+            ranks, name=f"{self.train.name}/gen_{kind}", meter=self.train.meter
+        )
+
+    def gen_tp_group(self, global_rank: int) -> ProcessGroup:
+        c = self.coords(global_rank)
+        ranks = self._ranks_where(
+            lambda x: x.pg == c.pg and x.dg == c.dg and x.d == c.d
+        )
+        return self._group(ranks, f"tp[pg{c.pg},dg{c.dg},d{c.d}]")
+
+    def gen_pp_group(self, global_rank: int) -> ProcessGroup:
+        c = self.coords(global_rank)
+        ranks = self._ranks_where(
+            lambda x: x.tg == c.tg and x.dg == c.dg and x.d == c.d
+        )
+        return self._group(ranks, f"pp[tg{c.tg},dg{c.dg},d{c.d}]")
+
+    def micro_dp_group(self, global_rank: int) -> ProcessGroup:
+        """Ranks holding the same generation shard within one training replica.
+
+        The 3D-HybridEngine's transition all-gather runs within this group
+        (§5.3) — it is the group whose members together hold the full set of
+        training shards that make up one generation shard.
+        """
+        c = self.coords(global_rank)
+        ranks = self._ranks_where(
+            lambda x: x.pg == c.pg and x.tg == c.tg and x.d == c.d
+        )
+        return self._group(ranks, f"micro_dp[pg{c.pg},tg{c.tg},d{c.d}]")
+
+    def all_micro_dp_groups(self) -> List[ProcessGroup]:
+        seen = set()
+        groups = []
+        for g in self.train.global_ranks:
+            c = self.coords(g)
+            key = (c.pg, c.tg, c.d)
+            if key not in seen:
+                seen.add(key)
+                groups.append(self.micro_dp_group(g))
+        return groups
+
+    @property
+    def effective_dp(self) -> int:
+        """Generation data-parallel size: ``d_g * d`` model replicas."""
+        return self.config.micro_dp * self.train.config.dp
+
+    def dp_rank_for_generation(self, global_rank: int) -> int:
+        """Which of the ``d_g*d`` generation replicas this rank serves."""
+        c = self.coords(global_rank)
+        return c.d * self.config.micro_dp + c.dg
+
+    def __repr__(self) -> str:
+        return (
+            f"GenTopology({self.config}, mode={self.mode.value}, "
+            f"train={self.train.config})"
+        )

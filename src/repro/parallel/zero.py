@@ -1,0 +1,88 @@
+"""ZeRO data-parallel sharding memory/communication model ([59], §2.1).
+
+DeepSpeed-Chat and OpenRLHF train the actor with ZeRO-3 (Table 1), so the
+baseline models need ZeRO's per-rank memory footprint and the extra
+communication it adds to each training step.
+
+Memory model per rank for a model of ``P`` parameters over ``n`` DP ranks,
+with BF16 params/grads (2 bytes) and FP32 Adam states (master copy + two
+moments = 12 bytes), following Rajbhandari et al.:
+
+* stage 0 (plain DDP): ``2P + 2P + 12P``
+* stage 1 (optimizer sharded): ``2P + 2P + 12P/n``
+* stage 2 (+gradient sharded): ``2P + 2P/n + 12P/n``
+* stage 3 (+parameters sharded): ``(2P + 2P + 12P)/n``
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.config import BYTES_BF16, BYTES_FP32
+
+
+class ZeroStage(enum.IntEnum):
+    DDP = 0
+    OPTIMIZER = 1
+    GRADIENTS = 2
+    PARAMETERS = 3
+
+
+#: Adam keeps an FP32 master copy of the weights plus two FP32 moments.
+OPTIMIZER_BYTES_PER_PARAM = 3 * BYTES_FP32
+GRAD_BYTES_PER_PARAM = BYTES_BF16
+PARAM_BYTES_PER_PARAM = BYTES_BF16
+
+
+@dataclasses.dataclass(frozen=True)
+class ZeroConfig:
+    """ZeRO configuration: stage and data-parallel degree."""
+
+    stage: ZeroStage
+    dp: int
+
+    def __post_init__(self) -> None:
+        if self.dp < 1:
+            raise ValueError(f"dp must be >= 1, got {self.dp}")
+
+
+def zero_memory_per_rank(n_params: int, config: ZeroConfig) -> int:
+    """Training-state bytes per rank (params + grads + optimizer)."""
+    n = config.dp
+    params = n_params * PARAM_BYTES_PER_PARAM
+    grads = n_params * GRAD_BYTES_PER_PARAM
+    opt = n_params * OPTIMIZER_BYTES_PER_PARAM
+    if config.stage >= ZeroStage.PARAMETERS:
+        params //= n
+    if config.stage >= ZeroStage.GRADIENTS:
+        grads //= n
+    if config.stage >= ZeroStage.OPTIMIZER:
+        opt //= n
+    return params + grads + opt
+
+
+def zero_param_gather_volume(n_params: int, config: ZeroConfig) -> int:
+    """Bytes each rank must gather to materialise full parameters (stage 3).
+
+    ZeRO-3 must all-gather parameters before every forward/backward; this is
+    the extra traffic DeepSpeed-Chat pays per training step and during the
+    transition to generation.  Stages < 3 keep full parameters resident.
+    """
+    if config.stage < ZeroStage.PARAMETERS or config.dp == 1:
+        return 0
+    total = n_params * PARAM_BYTES_PER_PARAM
+    return (config.dp - 1) * total // config.dp
+
+
+def zero_grad_sync_volume(n_params: int, config: ZeroConfig) -> int:
+    """Per-rank gradient synchronisation bytes per training step.
+
+    Stage >= 2 uses reduce-scatter (``(n-1)/n * G``); below that, ring
+    all-reduce (``2(n-1)/n * G``).
+    """
+    if config.dp == 1:
+        return 0
+    grads = n_params * GRAD_BYTES_PER_PARAM
+    factor = 1 if config.stage >= ZeroStage.GRADIENTS else 2
+    return factor * (config.dp - 1) * grads // config.dp

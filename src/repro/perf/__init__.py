@@ -1,0 +1,47 @@
+"""Analytical performance models for Llama-scale RLHF on the simulated cluster.
+
+This is the reproduction's counterpart of the paper's ``simu`` module
+(Appendix C): "three simulators for training, inference, and generation
+workloads, all are analytical models following previous research [42, 84,
+92]. The training and inference workload is compute-bound while the
+generation workload is memory-bound."
+
+The same latency primitives power the auto-mapping algorithm (§6), the
+baseline system models (§2.4 / Table 1), and every end-to-end figure.
+"""
+
+from repro.perf.memory import MemoryModel, StageMemory
+from repro.perf.compute import inference_latency, training_latency
+from repro.perf.generation import GenerationEstimate, generation_latency
+from repro.perf.transition import transition_time
+from repro.perf.simu import Stage, simulate_latency
+from repro.perf.iteration import (
+    GenerationPlan,
+    IterationBreakdown,
+    ModelExecution,
+    estimate_iteration,
+)
+from repro.perf.pipeline import (
+    bubble_fraction,
+    bubble_multiplier,
+    gpipe_schedule,
+)
+
+__all__ = [
+    "GenerationEstimate",
+    "GenerationPlan",
+    "IterationBreakdown",
+    "ModelExecution",
+    "bubble_fraction",
+    "bubble_multiplier",
+    "gpipe_schedule",
+    "MemoryModel",
+    "Stage",
+    "StageMemory",
+    "estimate_iteration",
+    "generation_latency",
+    "inference_latency",
+    "simulate_latency",
+    "training_latency",
+    "transition_time",
+]

@@ -1,0 +1,180 @@
+"""Memory-bound auto-regressive generation latency (App. C, §2.3, Fig. 15).
+
+Decode cost per step on a replica of ``t_g * p_g`` GPUs is the max of:
+
+* **parameter reads**: every step streams the rank's weight shard from HBM
+  (``M / (t_g p_g)`` bytes — amortised over the whole in-flight batch),
+* **KV-cache reads**: the in-flight sequences' cached keys/values,
+* **arithmetic** (binding only at large per-replica batch),
+
+plus tensor-parallel all-reduce per layer — a *latency*-dominated term for
+small decode messages, which is what makes over-sharded generation
+(``t_g = t``, the NeMo-Aligner configuration) slow (§8.4).
+
+When the replica's prompt share exceeds the KV capacity of its devices, the
+batch is served in sequential *waves* — the mechanism behind Figure 15's
+"a smaller t_g necessitates maintaining a larger KVCache per GPU".
+A ``use_kv_cache=False`` mode recomputes the full prefix every step,
+reproducing the paper's description of NeMo-Aligner's generation bottleneck
+("Due to the lack of KVCache in generation engine").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.comm.cost import group_bandwidth
+from repro.config import (
+    BYTES_BF16,
+    ClusterSpec,
+    ModelSpec,
+    RlhfWorkload,
+)
+from repro.perf.compute import TP_ALLREDUCE_PER_LAYER_FWD
+from repro.perf.memory import MemoryModel
+
+
+#: How often an inefficient (no paged-KV) generation engine re-encodes the
+#: prefix, amortising the paper's "lack of KVCache in generation engine"
+#: bottleneck (§8.2) into a per-step cost.
+RECOMPUTE_INTERVAL = 8
+
+#: Minimum per-decode-step time regardless of model/batch: sampling, token
+#: dispatch, kernel launches — the serial floor that caps strong scaling of
+#: the generation stage (§8.2's scaling discussion).
+STEP_TIME_FLOOR = 0.002
+
+
+@dataclasses.dataclass(frozen=True)
+class GenerationEstimate:
+    """Latency breakdown of the generation stage."""
+
+    prefill_time: float
+    decode_time: float
+    n_waves: int
+    concurrent_sequences: int
+
+    @property
+    def total(self) -> float:
+        return self.prefill_time + self.decode_time
+
+
+def _decode_step_time(
+    spec: ModelSpec,
+    cluster: ClusterSpec,
+    gen_tp: int,
+    gen_pp: int,
+    batch: float,
+    context_len: float,
+    use_kv_cache: bool,
+) -> float:
+    gpu = cluster.gpu
+    mp = gen_tp * gen_pp
+    param_bytes = spec.n_params() * BYTES_BF16 / mp
+    hbm = gpu.hbm_bandwidth * gpu.hbm_efficiency
+
+    kv_bytes = batch * context_len * spec.kv_cache_bytes_per_token() / mp
+    mem_time = (param_bytes + kv_bytes) / hbm
+    flops = batch * spec.flops_per_token_forward(int(context_len))
+    compute_time = flops / (mp * gpu.peak_flops * gpu.flops_efficiency)
+    if not use_kv_cache:
+        # inefficient generation engine: the prefix is re-encoded every
+        # RECOMPUTE_INTERVAL steps (cache rebuilds / unfused generation loop)
+        recompute_flops = (
+            batch * context_len * spec.flops_per_token_forward(int(context_len))
+        )
+        compute_time += recompute_flops / (
+            mp * gpu.peak_flops * gpu.flops_efficiency
+        ) / RECOMPUTE_INTERVAL
+
+    # TP all-reduce per layer: latency-dominated for single-token decode
+    tp_time = 0.0
+    if gen_tp > 1:
+        ranks = list(range(min(gen_tp, cluster.n_gpus)))
+        bw = group_bandwidth(cluster, ranks)
+        per_op = 2.0 * (gen_tp - 1) / gen_tp * batch * spec.hidden_size * BYTES_BF16
+        ops = TP_ALLREDUCE_PER_LAYER_FWD * spec.n_layers
+        tp_time = ops * (cluster.link_latency * 2 * (gen_tp - 1) + per_op / bw)
+    # pipeline handoffs between stages, per step
+    pp_time = 0.0
+    if gen_pp > 1:
+        pp_time = (gen_pp - 1) * (
+            cluster.link_latency
+            + batch * spec.hidden_size * BYTES_BF16 / cluster.intra_node_bandwidth
+        )
+    return max(mem_time, compute_time, STEP_TIME_FLOOR) + tp_time + pp_time
+
+
+def generation_latency(
+    spec: ModelSpec,
+    cluster: ClusterSpec,
+    gen_tp: int,
+    gen_pp: int,
+    n_replicas: int,
+    workload: RlhfWorkload,
+    use_kv_cache: bool = True,
+    reserved_bytes: float = 0.0,
+    n_generation_passes: int = 1,
+    step_overhead: float = 0.0,
+) -> GenerationEstimate:
+    """Latency of generating the global batch across ``n_replicas`` replicas.
+
+    Args:
+        gen_tp / gen_pp: Generation-stage model-parallel sizes per replica.
+        n_replicas: Model replicas decoding concurrently (``d * d_g``).
+        reserved_bytes: Per-GPU memory held by colocated residents, shrinking
+            the KV budget (best-effort allocation, §8.4).
+        n_generation_passes: >1 for ReMax's extra greedy rollout.
+        step_overhead: Fixed per-decode-step engine overhead (seconds) for
+            systems without an optimised serving loop.
+    """
+    if n_replicas < 1:
+        raise ValueError(f"need at least one replica, got {n_replicas}")
+    gpu = cluster.gpu
+    mp = gen_tp * gen_pp
+    batch_per_replica = math.ceil(
+        workload.global_batch_size
+        * workload.n_generations_per_prompt
+        / n_replicas
+    )
+
+    memory = MemoryModel(spec, cluster)
+    if use_kv_cache:
+        capacity = memory.kv_capacity_sequences(mp, workload, reserved_bytes)
+        if capacity <= 0:
+            return GenerationEstimate(
+                prefill_time=float("inf"),
+                decode_time=float("inf"),
+                n_waves=0,
+                concurrent_sequences=0,
+            )
+        concurrent = min(batch_per_replica, capacity)
+    else:
+        concurrent = batch_per_replica
+    n_waves = math.ceil(batch_per_replica / concurrent)
+
+    # prefill: compute-bound forward over the prompts
+    prefill_flops = (
+        batch_per_replica
+        * workload.prompt_length
+        * spec.flops_per_token_forward(workload.prompt_length)
+    )
+    prefill = prefill_flops / (mp * gpu.peak_flops * gpu.flops_efficiency)
+
+    # decode: response_length steps at the average context length
+    avg_context = workload.prompt_length + workload.response_length / 2.0
+    step = (
+        _decode_step_time(
+            spec, cluster, gen_tp, gen_pp, concurrent, avg_context, use_kv_cache
+        )
+        + step_overhead
+    )
+    decode = n_waves * workload.response_length * step
+
+    return GenerationEstimate(
+        prefill_time=prefill * n_generation_passes,
+        decode_time=decode * n_generation_passes,
+        n_waves=n_waves,
+        concurrent_sequences=concurrent,
+    )

@@ -1,0 +1,240 @@
+"""End-to-end RLHF iteration latency under a placement (the d_cost model, §6).
+
+The iteration is the 3-stage structure of Figure 1 plus the actor's
+train<->generation transition.  Within one stage, colocated models (same
+pool) execute sequentially and models on disjoint pools execute in parallel
+— exactly the ``d_cost`` accounting of Algorithm 1 (sum within a colocated
+set, max across sets, sum over stages).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import (
+    BYTES_BF16,
+    ClusterSpec,
+    GenParallelConfig,
+    ModelSpec,
+    ParallelConfig,
+    RlhfWorkload,
+)
+from repro.hybrid_engine.overhead import EngineKind
+from repro.perf.compute import inference_latency, training_latency
+from repro.perf.generation import generation_latency
+from repro.perf.transition import transition_time, weight_sync_time
+from repro.rlhf.core import AlgoType
+
+
+@dataclasses.dataclass(frozen=True)
+class ModelExecution:
+    """How one model runs: its architecture, pool, and parallel strategy.
+
+    ``cluster`` optionally overrides the job-wide cluster for this model's
+    latency estimates — the hook behind heterogeneous-device mapping (§6:
+    "Algorithm 1 can be readily extended ... by considering heterogeneous
+    devices in simu and auto_parallel").
+    """
+
+    spec: ModelSpec
+    pool: str
+    parallel: ParallelConfig
+    zero3: bool = False
+    cluster: Optional[ClusterSpec] = None
+
+
+@dataclasses.dataclass(frozen=True)
+class GenerationPlan:
+    """How and where the actor generates."""
+
+    tp: int
+    pp: int
+    n_replicas: int
+    pool: str
+    #: Resharding engine on shared devices, or None when the generation
+    #: parallelism equals training (NeMo-Aligner) or runs on separate
+    #: devices (OpenRLHF).
+    engine: Optional[EngineKind] = EngineKind.HYBRIDFLOW
+    #: OpenRLHF: a second weight copy synchronised across machines.
+    weight_sync: bool = False
+    use_kv_cache: bool = True
+    reserved_bytes: float = 0.0
+    #: Fixed per-decode-step engine overhead (unoptimised generation loops).
+    step_overhead: float = 0.0
+    #: Optional cluster override for the generation pool (heterogeneity).
+    cluster: Optional[ClusterSpec] = None
+
+
+@dataclasses.dataclass(frozen=True)
+class IterationBreakdown:
+    """Latency decomposition of one RLHF iteration."""
+
+    transition: float
+    generation: float
+    preparation: float
+    training: float
+    data_transfer: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.transition
+            + self.generation
+            + self.preparation
+            + self.training
+            + self.data_transfer
+        )
+
+    def throughput(self, workload: RlhfWorkload) -> float:
+        """Tokens/sec as the paper defines it (§8.1)."""
+        if self.total == float("inf"):
+            return 0.0
+        return workload.tokens_per_iteration / self.total
+
+
+#: (prep-stage models, train-stage models, extra passes) per algorithm.
+_STAGE_ROLES: Dict[AlgoType, Tuple[Tuple[str, ...], Tuple[str, ...]]] = {
+    AlgoType.PPO: (("critic", "reference", "reward"), ("actor", "critic")),
+    AlgoType.REMAX: (("reference", "reward"), ("actor",)),
+    AlgoType.SAFE_RLHF: (
+        ("critic", "reference", "reward", "cost"),
+        ("actor", "critic"),
+    ),
+    AlgoType.GRPO: (("reference", "reward"), ("actor",)),
+}
+
+#: Safe-RLHF trains the actor on RL data plus the auxiliary pretraining batch.
+SAFE_RLHF_ACTOR_TRAIN_FACTOR = 1.5
+
+#: Per-iteration serial overhead: dataloading, controller dispatch, optimizer
+#: step launches, checkpoint/bookkeeping — independent of the cluster size,
+#: this floor is what pushes strong-scaling efficiency below 100% (§8.2).
+FRAMEWORK_OVERHEAD_BASE = 3.0
+FRAMEWORK_OVERHEAD_PER_UPDATE = 0.5
+
+
+def _stage_latency(
+    per_model: Dict[str, Tuple[str, float]],
+) -> float:
+    """Sum latencies within each pool, take the max across pools."""
+    by_pool: Dict[str, float] = {}
+    for _model, (pool, latency) in per_model.items():
+        by_pool[pool] = by_pool.get(pool, 0.0) + latency
+    return max(by_pool.values()) if by_pool else 0.0
+
+
+def estimate_iteration(
+    algo: AlgoType,
+    executions: Dict[str, ModelExecution],
+    gen_plan: GenerationPlan,
+    workload: RlhfWorkload,
+    cluster: ClusterSpec,
+) -> IterationBreakdown:
+    """Latency of one RLHF iteration under a full system configuration.
+
+    ``executions`` maps the algorithm's model roles (Figure 1) to their
+    placement and parallelism; ``gen_plan`` describes the actor's generation
+    configuration and resharding mechanism.
+    """
+    algo = AlgoType(algo)
+    prep_roles, train_roles = _STAGE_ROLES[algo]
+    missing = [
+        r for r in set(prep_roles + train_roles) if r not in executions
+    ]
+    if missing:
+        raise ValueError(f"{algo.value} needs executions for {missing}")
+    actor = executions["actor"]
+
+    # -- transition --------------------------------------------------------------
+    transition = 0.0
+    actor_cluster = actor.cluster or cluster
+    gen_cluster = gen_plan.cluster or actor_cluster
+    if gen_plan.weight_sync:
+        gen_gpus = gen_plan.n_replicas * gen_plan.tp * gen_plan.pp
+        transition = weight_sync_time(actor.spec, gen_cluster, gen_gpus)
+    elif gen_plan.engine is not None:
+        if actor.zero3:
+            # ZeRO-3 shards parameters over all ranks: the transition gathers
+            # across the whole DP world (the DS-Chat row of Table 2)
+            train_cfg = ParallelConfig(pp=1, tp=1, dp=actor.parallel.world_size)
+            gen_cfg = GenParallelConfig(pp=1, tp=1, micro_dp=1)
+        else:
+            train_cfg = actor.parallel
+            gen_cfg = GenParallelConfig.derive(
+                train_cfg, gen_plan.pp, gen_plan.tp
+            )
+        transition = transition_time(
+            gen_plan.engine, actor.spec, actor_cluster, train_cfg, gen_cfg
+        )
+
+    # -- stage 1: generation --------------------------------------------------------
+    n_gen_passes = 2 if algo is AlgoType.REMAX else 1
+    gen_estimate = generation_latency(
+        actor.spec,
+        gen_cluster,
+        gen_tp=gen_plan.tp,
+        gen_pp=gen_plan.pp,
+        n_replicas=gen_plan.n_replicas,
+        workload=workload,
+        use_kv_cache=gen_plan.use_kv_cache,
+        reserved_bytes=gen_plan.reserved_bytes,
+        n_generation_passes=n_gen_passes,
+        step_overhead=gen_plan.step_overhead,
+    )
+    generation = gen_estimate.total
+
+    # -- stage 2: preparation ---------------------------------------------------------
+    prep: Dict[str, Tuple[str, float]] = {}
+    for role in prep_roles:
+        execution = executions[role]
+        latency = inference_latency(
+            execution.spec,
+            execution.cluster or cluster,
+            execution.parallel,
+            workload,
+            zero3=execution.zero3,
+        )
+        if role == "reward" and algo is AlgoType.REMAX:
+            latency *= 2.0  # scores for sampled and greedy responses
+        prep[role] = (execution.pool, latency)
+    preparation = _stage_latency(prep)
+
+    # -- stage 3: training ----------------------------------------------------------------
+    train: Dict[str, Tuple[str, float]] = {}
+    for role in train_roles:
+        execution = executions[role]
+        n_passes = float(workload.ppo_epochs)
+        if role == "actor" and algo is AlgoType.SAFE_RLHF:
+            n_passes *= SAFE_RLHF_ACTOR_TRAIN_FACTOR
+        latency = training_latency(
+            execution.spec,
+            execution.cluster or cluster,
+            execution.parallel,
+            workload,
+            zero3=execution.zero3,
+            n_passes_over_batch=n_passes,
+        )
+        train[role] = (execution.pool, latency)
+    training = _stage_latency(train)
+
+    # -- inter-model data movement ------------------------------------------------------
+    # sequences + per-token floats flow between models; tiny next to weights
+    batch_tokens = workload.tokens_per_iteration
+    edge_bytes = batch_tokens * (8 + 4 * BYTES_BF16)
+    n_edges = len(prep_roles) + len(train_roles)
+    data_transfer = n_edges * edge_bytes / cluster.inter_node_bandwidth
+    data_transfer += (
+        FRAMEWORK_OVERHEAD_BASE
+        + FRAMEWORK_OVERHEAD_PER_UPDATE
+        * workload.ppo_epochs
+        * workload.ppo_updates_per_epoch
+    )
+
+    return IterationBreakdown(
+        transition=transition,
+        generation=generation,
+        preparation=preparation,
+        training=training,
+        data_transfer=data_transfer,
+    )

@@ -1,0 +1,160 @@
+"""Per-GPU memory model for training / inference / generation (§2.3, App. C).
+
+Mixed-precision accounting matches §8.1: BF16 parameters (2 B/param), FP32
+gradients (4 B/param), FP32 optimizer states (master weights + two Adam
+moments, 12 B/param).  Model states are divided by the model-parallel size
+(3D parallelism) or the DP size (ZeRO-3/FSDP); activations are an estimate
+with selective recomputation; the KV cache is sized from the workload.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.config import (
+    BYTES_BF16,
+    BYTES_FP32,
+    ClusterSpec,
+    ModelSpec,
+    ParallelConfig,
+    RlhfWorkload,
+)
+
+GRAD_BYTES = BYTES_FP32
+OPTIMIZER_BYTES = 3 * BYTES_FP32  # FP32 master copy + two Adam moments
+#: Activation bytes per token per layer per hidden unit with selective
+#: recomputation (Megatron-LM estimate; checkpointing keeps ~1 copy of the
+#: layer input plus attention softmax workspace).
+ACTIVATION_BYTES_PER_ELEM = 16
+#: Fraction of device memory usable for model state (the rest is framework
+#: workspace, fragmentation, comm buffers).
+USABLE_FRACTION = 0.90
+
+
+@dataclasses.dataclass(frozen=True)
+class StageMemory:
+    """Bytes per GPU a model needs in one execution stage."""
+
+    params: float
+    grads: float = 0.0
+    optimizer: float = 0.0
+    activations: float = 0.0
+    kv_cache: float = 0.0
+
+    @property
+    def persistent(self) -> float:
+        """State resident between stages (what colocation must co-fit)."""
+        return self.params + self.grads + self.optimizer
+
+    @property
+    def total(self) -> float:
+        return self.persistent + self.activations + self.kv_cache
+
+
+class MemoryModel:
+    """Memory estimates for one model under one parallel strategy."""
+
+    def __init__(self, spec: ModelSpec, cluster: ClusterSpec) -> None:
+        self.spec = spec
+        self.cluster = cluster
+        self.n_params = spec.n_params()
+
+    # -- stages ------------------------------------------------------------------
+
+    def training(
+        self,
+        parallel: ParallelConfig,
+        workload: RlhfWorkload,
+        zero3: bool = False,
+        micro_batch: int = 1,
+    ) -> StageMemory:
+        """Per-GPU bytes while training (params+grads+opt+activations)."""
+        if zero3:
+            shard = parallel.dp * parallel.model_parallel_size
+        else:
+            shard = parallel.model_parallel_size
+        params = self.n_params * BYTES_BF16 / shard
+        grads = self.n_params * GRAD_BYTES / (
+            shard if zero3 else parallel.model_parallel_size
+        )
+        optimizer = self.n_params * OPTIMIZER_BYTES / (
+            shard if zero3 else parallel.model_parallel_size
+        )
+        if zero3:
+            # ZeRO-3 must additionally hold one materialised layer at a time;
+            # approximate with the largest layer's parameters
+            params += self._largest_layer_bytes()
+        act_tokens = micro_batch * workload.seq_length
+        activations = (
+            act_tokens
+            * self.spec.hidden_size
+            * self.spec.n_layers
+            * ACTIVATION_BYTES_PER_ELEM
+            / max(parallel.tp, 1)
+        )
+        return StageMemory(
+            params=params, grads=grads, optimizer=optimizer, activations=activations
+        )
+
+    def inference(self, parallel: ParallelConfig, workload: RlhfWorkload) -> StageMemory:
+        """Forward-only models: parameters plus a thin activation slab."""
+        params = self.n_params * BYTES_BF16 / parallel.model_parallel_size
+        activations = (
+            workload.seq_length
+            * self.spec.hidden_size
+            * ACTIVATION_BYTES_PER_ELEM
+            / max(parallel.tp, 1)
+        )
+        return StageMemory(params=params, activations=activations)
+
+    def generation(
+        self,
+        gen_mp_size: int,
+        concurrent_sequences: int,
+        workload: RlhfWorkload,
+    ) -> StageMemory:
+        """Generation-stage bytes: gen-shard params plus the KV cache."""
+        params = self.n_params * BYTES_BF16 / gen_mp_size
+        kv = (
+            concurrent_sequences
+            * workload.seq_length
+            * self.spec.kv_cache_bytes_per_token()
+            / gen_mp_size
+        )
+        return StageMemory(params=params, kv_cache=kv)
+
+    # -- capacity questions ---------------------------------------------------------
+
+    def _largest_layer_bytes(self) -> float:
+        h, f = self.spec.hidden_size, self.spec.ffn_hidden_size
+        kv = self.spec.n_kv_heads * self.spec.head_dim
+        layer = (2 * h * h + 2 * h * kv) + 3 * h * f
+        return layer * BYTES_BF16
+
+    def usable_bytes_per_gpu(self) -> float:
+        return self.cluster.gpu.memory_bytes * USABLE_FRACTION
+
+    def kv_capacity_sequences(
+        self,
+        gen_mp_size: int,
+        workload: RlhfWorkload,
+        reserved_bytes: float = 0.0,
+    ) -> int:
+        """Max sequences whose KV cache co-fits with the generation shard.
+
+        This is the "best-effort allocation" of §8.4: KV cache takes whatever
+        memory remains after parameters and any colocated residents.
+        """
+        budget = (
+            self.usable_bytes_per_gpu()
+            - self.n_params * BYTES_BF16 / gen_mp_size
+            - reserved_bytes
+        )
+        per_seq = (
+            workload.seq_length
+            * self.spec.kv_cache_bytes_per_token()
+            / gen_mp_size
+        )
+        if budget <= 0 or per_seq <= 0:
+            return 0
+        return int(budget // per_seq)

@@ -1,0 +1,68 @@
+"""``simu``: the unified latency oracle used by auto-mapping (Appendix C).
+
+One entry point over the three analytical simulators (training, inference,
+generation), so Algorithm 2's strategy search and Algorithm 1's ``d_cost``
+consume a single interface — mirroring the paper's ``simu(l, W[i])`` calls.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.config import ClusterSpec, ModelSpec, ParallelConfig, RlhfWorkload
+from repro.perf.compute import inference_latency, training_latency
+from repro.perf.generation import generation_latency
+
+
+class Stage(enum.Enum):
+    """The computation kinds a model performs across RLHF stages (§2.1)."""
+
+    TRAINING = "training"
+    INFERENCE = "inference"
+    GENERATION = "generation"
+
+
+def simulate_latency(
+    stage: Stage,
+    spec: ModelSpec,
+    cluster: ClusterSpec,
+    parallel: ParallelConfig,
+    workload: RlhfWorkload,
+    zero3: bool = False,
+    gen_tp: Optional[int] = None,
+    gen_pp: Optional[int] = None,
+    use_kv_cache: bool = True,
+    reserved_bytes: float = 0.0,
+    n_passes: float = 1.0,
+) -> float:
+    """Estimated seconds for one stage of one model over the global batch.
+
+    For ``Stage.GENERATION``, ``parallel`` is the *training* configuration of
+    the actor's pool and ``gen_tp``/``gen_pp`` the generation model-parallel
+    sizes; replicas are derived as ``world_size / (gen_tp * gen_pp)``.
+    """
+    if stage is Stage.TRAINING:
+        return training_latency(
+            spec, cluster, parallel, workload, zero3=zero3,
+            n_passes_over_batch=n_passes,
+        )
+    if stage is Stage.INFERENCE:
+        return inference_latency(spec, cluster, parallel, workload) * n_passes
+    if stage is Stage.GENERATION:
+        tp = gen_tp if gen_tp is not None else parallel.tp
+        pp = gen_pp if gen_pp is not None else parallel.pp
+        n_replicas = max(1, parallel.world_size // (tp * pp))
+        estimate = generation_latency(
+            spec,
+            cluster,
+            gen_tp=tp,
+            gen_pp=pp,
+            n_replicas=n_replicas,
+            workload=workload,
+            use_kv_cache=use_kv_cache,
+            reserved_bytes=reserved_bytes,
+            n_generation_passes=int(n_passes),
+        )
+        return estimate.total
+    raise ValueError(f"unknown stage {stage}")  # pragma: no cover

@@ -1,0 +1,84 @@
+"""Transition-time model: actor resharding between training and generation.
+
+Combines the Table 2 communication volumes with the cluster's bandwidth
+hierarchy, plus each baseline's mechanism (§8.4):
+
+* **HybridFlow**: one all-gather per micro-DP group (a single collective;
+  micro-DP groups are consecutive ranks — intra-machine whenever
+  ``d_g <= 8``).
+* **HybridFlow-V**: all-gather within training MP groups.
+* **DS-Chat**: all-gather across *all* actor GPUs; "all model parameters must
+  be collected during transition, necessitating layer-by-layer collections
+  multiple times to prevent OOM" — charged as one collective launch per
+  layer.
+* **OpenRLHF**: no resharding but a weight *synchronisation* between the
+  training copy and the separate generation copy, crossing machines.
+"""
+
+from __future__ import annotations
+
+from repro.comm.cost import group_bandwidth
+from repro.config import (
+    BYTES_BF16,
+    ClusterSpec,
+    GenParallelConfig,
+    ModelSpec,
+    ParallelConfig,
+)
+from repro.hybrid_engine.overhead import EngineKind, transition_overhead
+
+
+def _ranks_spanning(cluster: ClusterSpec, n: int, stride: int = 1) -> list:
+    return [min(i * stride, cluster.n_gpus - 1) for i in range(n)]
+
+
+def transition_time(
+    kind: EngineKind,
+    spec: ModelSpec,
+    cluster: ClusterSpec,
+    train: ParallelConfig,
+    gen: GenParallelConfig,
+) -> float:
+    """Seconds to reshard actor weights from training to generation layout."""
+    model_bytes = spec.n_params() * BYTES_BF16
+    overhead = transition_overhead(kind, train, gen)
+    volume = overhead.comm_bytes(model_bytes)
+    if volume <= 0:
+        return 0.0
+
+    if kind is EngineKind.HYBRIDFLOW:
+        # one all-gather within each micro-DP group (consecutive ranks)
+        group = _ranks_spanning(cluster, gen.micro_dp)
+        bw = group_bandwidth(cluster, group)
+        return cluster.link_latency + volume / bw
+    if kind is EngineKind.HYBRIDFLOW_V:
+        group = _ranks_spanning(cluster, train.model_parallel_size)
+        bw = group_bandwidth(cluster, group)
+        return cluster.link_latency + volume / bw
+    if kind is EngineKind.DS_CHAT:
+        group = _ranks_spanning(cluster, train.world_size)
+        bw = group_bandwidth(cluster, group)
+        # layer-by-layer collections to bound the gather buffer (§8.4)
+        n_collectives = spec.n_layers
+        return n_collectives * cluster.link_latency * len(group) + volume / bw
+    raise ValueError(f"no transition-time model for {kind}")
+
+
+def weight_sync_time(
+    spec: ModelSpec,
+    cluster: ClusterSpec,
+    n_generation_gpus: int,
+) -> float:
+    """OpenRLHF-style synchronisation of a full weight copy across machines.
+
+    The training ranks broadcast the updated parameters to the generation
+    ranks, bottlenecked by the inter-machine links of the receiving side and
+    performed layer by layer.
+    """
+    model_bytes = spec.n_params() * BYTES_BF16
+    bw = cluster.inter_node_bandwidth
+    n_collectives = spec.n_layers
+    return (
+        n_collectives * cluster.link_latency * max(n_generation_gpus, 1)
+        + model_bytes / bw
+    )

@@ -1,0 +1,51 @@
+"""RLHF algorithm layer: advantage estimators, losses, and dataflow drivers.
+
+The numerics here are what a user edits to move between RLHF algorithms
+(§4.2: "they can reuse distributed computation encapsulated in each model
+class and simply adjust the code for numerical computations ... such as GAE
+and KL divergence").  The drivers in :mod:`repro.rlhf.trainers` are the
+Figure 6 single-process programs: PPO in a handful of primitive API calls,
+Safe-RLHF five lines more, ReMax one extra generation call and no critic.
+"""
+
+from repro.rlhf.advantage import (
+    compose_token_rewards,
+    gae_advantages,
+    grpo_advantages,
+    remax_advantages,
+)
+from repro.rlhf.losses import (
+    kl_penalty,
+    ppo_policy_loss,
+    pretrain_loss,
+    value_loss,
+)
+from repro.rlhf.core import AlgoType, compute_advantages
+from repro.rlhf.pipeline import RewardModelTrainer, SFTTrainer
+from repro.rlhf.trainers import (
+    GRPOTrainer,
+    PPOTrainer,
+    ReMaxTrainer,
+    RlhfTrainerBase,
+    SafeRLHFTrainer,
+)
+
+__all__ = [
+    "AlgoType",
+    "GRPOTrainer",
+    "PPOTrainer",
+    "ReMaxTrainer",
+    "RewardModelTrainer",
+    "SFTTrainer",
+    "RlhfTrainerBase",
+    "SafeRLHFTrainer",
+    "compose_token_rewards",
+    "compute_advantages",
+    "gae_advantages",
+    "grpo_advantages",
+    "kl_penalty",
+    "ppo_policy_loss",
+    "pretrain_loss",
+    "remax_advantages",
+    "value_loss",
+]

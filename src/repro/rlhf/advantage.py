@@ -1,0 +1,156 @@
+"""Advantage estimation for RLHF algorithms (pure numpy, no gradients).
+
+``compute_advantage`` in the paper's Figure 6 "involves no model forward
+passes" (Table 4) — it is numerical post-processing of the values/rewards the
+preparation stage produced.  Implemented estimators:
+
+* **GAE** (Schulman et al. [67]) for PPO and Safe-RLHF.
+* **ReMax** ([43]): reward minus the greedy-rollout baseline reward.
+* **GRPO** ([70]): group-normalised sequence rewards, no critic.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def compose_token_rewards(
+    scores: np.ndarray,
+    log_probs: np.ndarray,
+    ref_log_probs: np.ndarray,
+    kl_coef: float = 0.1,
+    clip_kl: float = 10.0,
+) -> np.ndarray:
+    """Token-level rewards from a sample-level score plus a KL penalty.
+
+    Standard InstructGPT-style shaping [55]: each response token is penalised
+    by ``kl_coef * (log pi(t) - log pi_ref(t))`` and the scalar preference
+    score is added at the final token.
+
+    Args:
+        scores: Sample-level rewards, shape ``(batch,)``.
+        log_probs: Actor log-probs of response tokens, ``(batch, resp_len)``.
+        ref_log_probs: Reference-policy log-probs, same shape.
+        kl_coef: KL penalty coefficient.
+        clip_kl: Symmetric clip on the per-token KL estimate for stability.
+
+    Returns:
+        Token-level rewards ``(batch, resp_len)``.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    log_probs = np.asarray(log_probs, dtype=np.float64)
+    ref_log_probs = np.asarray(ref_log_probs, dtype=np.float64)
+    if log_probs.shape != ref_log_probs.shape:
+        raise ValueError(
+            f"log-prob shape mismatch: {log_probs.shape} vs {ref_log_probs.shape}"
+        )
+    if scores.shape != (log_probs.shape[0],):
+        raise ValueError(
+            f"scores shape {scores.shape} does not match batch "
+            f"{log_probs.shape[0]}"
+        )
+    kl = np.clip(log_probs - ref_log_probs, -clip_kl, clip_kl)
+    rewards = -kl_coef * kl
+    rewards[:, -1] += scores
+    return rewards
+
+
+def gae_advantages(
+    rewards: np.ndarray,
+    values: np.ndarray,
+    gamma: float = 1.0,
+    lam: float = 0.95,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Generalised advantage estimation over response tokens.
+
+    Args:
+        rewards: Token-level rewards ``(batch, T)``.
+        values: Critic values at each response token ``(batch, T)``.
+        gamma: Discount factor (RLHF convention: 1.0).
+        lam: GAE lambda.
+
+    Returns:
+        ``(advantages, returns)`` both ``(batch, T)``; returns are
+        ``advantages + values`` (the critic's regression target).
+    """
+    rewards = np.asarray(rewards, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    if rewards.shape != values.shape:
+        raise ValueError(
+            f"rewards {rewards.shape} and values {values.shape} must match"
+        )
+    batch, horizon = rewards.shape
+    advantages = np.zeros_like(rewards)
+    last_gae = np.zeros(batch)
+    for t in reversed(range(horizon)):
+        next_value = values[:, t + 1] if t + 1 < horizon else 0.0
+        delta = rewards[:, t] + gamma * next_value - values[:, t]
+        last_gae = delta + gamma * lam * last_gae
+        advantages[:, t] = last_gae
+    returns = advantages + values
+    return advantages, returns
+
+
+def whiten(advantages: np.ndarray, eps: float = 1e-8) -> np.ndarray:
+    """Normalise advantages to zero mean / unit variance (PPO convention)."""
+    advantages = np.asarray(advantages, dtype=np.float64)
+    return (advantages - advantages.mean()) / (advantages.std() + eps)
+
+
+def remax_advantages(
+    rewards: np.ndarray,
+    baseline_rewards: np.ndarray,
+    response_length: int,
+) -> np.ndarray:
+    """ReMax [43]: sampled reward minus greedy-baseline reward, per token.
+
+    ReMax "requires an additional generation pass for variance reduction and
+    eliminates the critic model" (§2.1).  The sequence-level advantage is
+    broadcast over all response tokens.
+
+    Args:
+        rewards: Scores of the sampled responses ``(batch,)``.
+        baseline_rewards: Scores of the greedy responses ``(batch,)``.
+        response_length: Number of response tokens to broadcast over.
+
+    Returns:
+        Token-level advantages ``(batch, response_length)``.
+    """
+    rewards = np.asarray(rewards, dtype=np.float64)
+    baseline_rewards = np.asarray(baseline_rewards, dtype=np.float64)
+    if rewards.shape != baseline_rewards.shape:
+        raise ValueError(
+            f"reward shapes differ: {rewards.shape} vs {baseline_rewards.shape}"
+        )
+    advantage = rewards - baseline_rewards
+    return np.repeat(advantage[:, None], response_length, axis=1)
+
+
+def grpo_advantages(
+    rewards: np.ndarray,
+    group_size: int,
+    response_length: int,
+    eps: float = 1e-8,
+) -> np.ndarray:
+    """GRPO [70]: normalise rewards within each prompt's sample group.
+
+    Rows are assumed grouped: samples ``[i*group_size, (i+1)*group_size)``
+    share a prompt.  The advantage of each sample is its reward's z-score
+    within the group, broadcast over response tokens — no critic needed.
+    """
+    rewards = np.asarray(rewards, dtype=np.float64)
+    if rewards.ndim != 1:
+        raise ValueError(f"rewards must be 1-D, got shape {rewards.shape}")
+    if group_size < 2:
+        raise ValueError(f"GRPO needs group_size >= 2, got {group_size}")
+    if rewards.shape[0] % group_size:
+        raise ValueError(
+            f"batch {rewards.shape[0]} not divisible by group size {group_size}"
+        )
+    grouped = rewards.reshape(-1, group_size)
+    mean = grouped.mean(axis=1, keepdims=True)
+    std = grouped.std(axis=1, keepdims=True)
+    z = ((grouped - mean) / (std + eps)).reshape(-1)
+    return np.repeat(z[:, None], response_length, axis=1)

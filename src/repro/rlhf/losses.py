@@ -1,0 +1,184 @@
+"""Differentiable RLHF losses over autograd Tensors.
+
+These are the per-algorithm loss functions the paper lists in Table 4
+("We implement various loss for diverse RLHF algorithms including PPO,
+Safe-RLHF, ReMax, GRPO and others"), shared by the actor/critic workers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.models.autograd import Tensor
+
+
+def _as_array(x) -> np.ndarray:
+    return x.data if isinstance(x, Tensor) else np.asarray(x, dtype=np.float64)
+
+
+def ppo_policy_loss(
+    log_probs: Tensor,
+    old_log_probs: np.ndarray,
+    advantages: np.ndarray,
+    clip_ratio: float = 0.2,
+) -> Tuple[Tensor, Dict[str, float]]:
+    """Clipped-surrogate PPO objective [68] over response tokens.
+
+    Args:
+        log_probs: Current-policy log-probs, differentiable ``(batch, T)``.
+        old_log_probs: Behaviour-policy log-probs ``(batch, T)`` (constant).
+        advantages: Token-level advantages ``(batch, T)`` (constant).
+        clip_ratio: PPO epsilon.
+
+    Returns:
+        ``(loss, metrics)``; metrics include the clipped fraction and an
+        estimate of the policy KL for monitoring.
+    """
+    old_log_probs = _as_array(old_log_probs)
+    advantages = _as_array(advantages)
+    ratio = (log_probs - Tensor(old_log_probs)).exp()
+    surr1 = ratio * Tensor(advantages)
+    surr2 = ratio.clip(1.0 - clip_ratio, 1.0 + clip_ratio) * Tensor(advantages)
+    # elementwise min(surr1, surr2) via -max(-a, -b); loss is its negated mean
+    per_token = -((-surr1).maximum(-surr2))
+    loss = -(per_token.mean())
+    ratio_data = ratio.data
+    metrics = {
+        "policy_loss": float(loss.item()),
+        "clip_frac": float(
+            np.mean(
+                (ratio_data < 1.0 - clip_ratio) | (ratio_data > 1.0 + clip_ratio)
+            )
+        ),
+        "approx_kl": float(np.mean(old_log_probs - log_probs.data)),
+        "ratio_mean": float(ratio_data.mean()),
+    }
+    return loss, metrics
+
+
+def value_loss(
+    values: Tensor,
+    old_values: np.ndarray,
+    returns: np.ndarray,
+    clip_range: float = 0.2,
+) -> Tuple[Tensor, Dict[str, float]]:
+    """Clipped squared-error critic loss [55].
+
+    The value prediction is clipped around the behaviour-time value to limit
+    per-update movement, and the worse (max) of the two squared errors is
+    taken.
+    """
+    old_values = _as_array(old_values)
+    returns = _as_array(returns)
+    clipped = old_values + (values - Tensor(old_values)).clip(
+        -clip_range, clip_range
+    )
+    err = (values - Tensor(returns)) ** 2
+    err_clipped = (clipped - Tensor(returns)) ** 2
+    loss = 0.5 * err.maximum(err_clipped).mean()
+    metrics = {
+        "value_loss": float(loss.item()),
+        "value_clip_frac": float(
+            np.mean(np.abs(values.data - old_values) > clip_range)
+        ),
+        "explained_var": _explained_variance(values.data, returns),
+    }
+    return loss, metrics
+
+
+def _explained_variance(pred: np.ndarray, target: np.ndarray) -> float:
+    var = float(np.var(target))
+    if var < 1e-12:
+        return 0.0
+    return float(1.0 - np.var(target - pred) / var)
+
+
+def pretrain_loss(log_probs: Tensor) -> Tensor:
+    """Auxiliary next-token NLL on a pretraining batch (PPO-ptx / Safe-RLHF).
+
+    ``log_probs`` is the actor's ``token_log_probs`` output on pretraining
+    text; the loss is the mean negative log-likelihood.
+    """
+    return -log_probs.mean()
+
+
+def kl_penalty(
+    log_probs: Tensor,
+    ref_log_probs: np.ndarray,
+    kind: str = "k1",
+) -> Tensor:
+    """Differentiable KL estimate between actor and reference per token.
+
+    ``k1`` is the plain difference estimator; ``k3`` is Schulman's
+    low-variance unbiased estimator ``exp(-d) - 1 + d`` with
+    ``d = log_probs - ref_log_probs`` (used by GRPO-style losses).
+    """
+    ref = Tensor(_as_array(ref_log_probs))
+    diff = log_probs - ref
+    if kind == "k1":
+        return diff.mean()
+    if kind == "k3":
+        return ((-diff).exp() - 1.0 + diff).mean()
+    raise ValueError(f"unknown KL estimator {kind!r}")
+
+
+def grpo_policy_loss(
+    log_probs: Tensor,
+    old_log_probs: np.ndarray,
+    advantages: np.ndarray,
+    ref_log_probs: np.ndarray,
+    clip_ratio: float = 0.2,
+    kl_coef: float = 0.04,
+) -> Tuple[Tensor, Dict[str, float]]:
+    """GRPO objective [70]: PPO clip plus an explicit k3 KL-to-reference term."""
+    loss, metrics = ppo_policy_loss(
+        log_probs, old_log_probs, advantages, clip_ratio
+    )
+    kl = kl_penalty(log_probs, ref_log_probs, kind="k3")
+    total = loss + kl_coef * kl
+    metrics = dict(metrics)
+    metrics["kl_to_ref"] = float(kl.item())
+    metrics["grpo_loss"] = float(total.item())
+    return total, metrics
+
+
+def safe_rlhf_policy_loss(
+    log_probs: Tensor,
+    old_log_probs: np.ndarray,
+    reward_advantages: np.ndarray,
+    cost_advantages: np.ndarray,
+    lagrange_multiplier: float,
+    clip_ratio: float = 0.2,
+) -> Tuple[Tensor, Dict[str, float]]:
+    """Safe-RLHF [19]: PPO-Lagrangian on the combined advantage.
+
+    The policy maximises ``A_reward - lambda * A_cost`` (normalised by
+    ``1 + lambda`` as in the Safe-RLHF reference implementation); the
+    multiplier itself is updated outside the loss from the observed cost.
+    """
+    reward_advantages = _as_array(reward_advantages)
+    cost_advantages = _as_array(cost_advantages)
+    combined = (reward_advantages - lagrange_multiplier * cost_advantages) / (
+        1.0 + lagrange_multiplier
+    )
+    loss, metrics = ppo_policy_loss(log_probs, old_log_probs, combined, clip_ratio)
+    metrics = dict(metrics)
+    metrics["lagrange_multiplier"] = float(lagrange_multiplier)
+    return loss, metrics
+
+
+def update_lagrange_multiplier(
+    multiplier: float,
+    mean_cost: np.ndarray,
+    cost_limit: float,
+    lr: float = 0.1,
+) -> float:
+    """Projected gradient-ascent step on the Safe-RLHF dual variable.
+
+    The multiplier grows when observed cost exceeds the limit and shrinks
+    (down to 0) otherwise.
+    """
+    violation = float(np.mean(mean_cost)) - cost_limit
+    return max(0.0, multiplier + lr * violation)

@@ -1,0 +1,89 @@
+"""The upstream alignment stages: SFT and reward-model training (§1, §2.1).
+
+RLHF is the third stage of the alignment pipeline — "LLMs are first
+pre-trained ... Next, LLMs are trained on domain-specific datasets via
+supervised fine-tuning (SFT)" and the reward model is "fine-tuned on the
+human preference dataset".  These drivers run both stages on the same
+single-controller worker infrastructure the RLHF trainers use, so the whole
+SFT → RM → PPO recipe lives in one programming model
+(see ``examples/full_pipeline.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.data.batch import DataBatch
+from repro.data.dataset import PromptDataset, SyntheticPreferenceTask
+
+
+class SFTTrainer:
+    """Supervised fine-tuning of the actor on a token corpus."""
+
+    def __init__(self, actor) -> None:
+        self.actor = actor
+        self.history: List[Dict[str, Any]] = []
+
+    def train(
+        self,
+        dataset: PromptDataset,
+        n_iterations: int,
+        batch_size: int,
+    ) -> List[Dict[str, Any]]:
+        batches = dataset.iter_batches(batch_size, epochs=10**6)
+        for _ in range(n_iterations):
+            tokens = next(batches)["prompts"]
+            metrics = self.actor.update_sft(
+                DataBatch({"tokens": tokens})
+            ).get()
+            self.history.append(metrics)
+        return self.history
+
+
+class RewardModelTrainer:
+    """Bradley-Terry training of the reward model on preference pairs."""
+
+    def __init__(self, reward, seed: int = 0) -> None:
+        self.reward = reward
+        self.history: List[Dict[str, Any]] = []
+        self._rng = np.random.default_rng(seed)
+
+    def train(
+        self,
+        task: SyntheticPreferenceTask,
+        n_iterations: int,
+        batch_size: int,
+        response_length: int,
+    ) -> List[Dict[str, Any]]:
+        for _ in range(n_iterations):
+            chosen, rejected = task.preference_pairs(
+                batch_size, response_length, self._rng
+            )
+            metrics = self.reward.update_reward(
+                DataBatch({"chosen": chosen, "rejected": rejected})
+            ).get()
+            self.history.append(metrics)
+        return self.history
+
+    def evaluate_accuracy(
+        self,
+        task: SyntheticPreferenceTask,
+        n_pairs: int,
+        response_length: int,
+        seed: Optional[int] = None,
+    ) -> float:
+        """Held-out pairwise accuracy of the trained reward model."""
+        rng = np.random.default_rng(seed if seed is not None else 10**6)
+        chosen, rejected = task.preference_pairs(
+            n_pairs, response_length, rng
+        )
+        meta = {"prompt_length": 0}
+        r_chosen = self.reward.compute_reward(
+            DataBatch({"sequences": chosen}, meta=meta)
+        ).get()["scores"]
+        r_rejected = self.reward.compute_reward(
+            DataBatch({"sequences": rejected}, meta=meta)
+        ).get()["scores"]
+        return float((r_chosen > r_rejected).mean())

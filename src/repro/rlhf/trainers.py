@@ -1,0 +1,290 @@
+"""Single-process RLHF dataflow drivers (the Figure 6 programs).
+
+Each trainer is the few-lines-of-code driver the hybrid programming model
+promises: a sequence of primitive API calls on worker groups, with all
+distribution, resharding and collection hidden behind transfer protocols.
+The numerical differences between algorithms live in
+:func:`repro.rlhf.core.compute_advantages` and the workers' loss functions —
+moving between algorithms only adds/removes a few calls, exactly as the
+paper's Figure 6 shows.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.data.batch import DataBatch
+from repro.data.dataset import PromptDataset
+from repro.rlhf.core import AlgoType, compute_advantages
+from repro.rlhf.losses import update_lagrange_multiplier
+
+
+@dataclasses.dataclass
+class TrainerConfig:
+    """Hyperparameters shared by the RLHF drivers (§8.1 conventions)."""
+
+    kl_coef: float = 0.05
+    gamma: float = 1.0
+    lam: float = 0.95
+    ppo_epochs: int = 1
+    updates_per_epoch: int = 1
+    recompute_log_probs: bool = True
+    whiten_advantages: bool = True
+    seed: int = 0
+    # Safe-RLHF
+    cost_limit: float = 0.1
+    lagrange_lr: float = 0.5
+    ptx_coef: float = 0.1
+    # GRPO
+    group_size: int = 4
+
+
+class RlhfTrainerBase:
+    """Common loop: iterate prompt batches, run ``step``, record metrics."""
+
+    algo: AlgoType
+
+    def __init__(
+        self,
+        actor,
+        reference,
+        reward,
+        critic=None,
+        cost=None,
+        config: Optional[TrainerConfig] = None,
+    ) -> None:
+        self.actor = actor
+        self.critic = critic
+        self.reference = reference
+        self.reward = reward
+        self.cost = cost
+        self.config = config or TrainerConfig()
+        self.history: List[Dict[str, Any]] = []
+        self._rng = np.random.default_rng(self.config.seed)
+
+    # -- subclass hook -------------------------------------------------------------
+
+    def step(self, prompts: DataBatch) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    # -- driver-level checkpoint state (§9: dataloader IDs etc.) -------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Driver state to persist alongside the workers' checkpoints."""
+        return {
+            "iterations_done": len(self.history),
+            "rng_state": self._rng.bit_generator.state,
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        self.history = [{} for _ in range(int(state["iterations_done"]))]
+        self._rng.bit_generator.state = state["rng_state"]
+
+    # -- shared pieces -------------------------------------------------------------
+
+    def _prepare_common(self, gen_batch: DataBatch) -> DataBatch:
+        """Reference log-probs + reward scores (stage 2 shared by all algos).
+
+        Every preparation call consumes the *generation output* rather than
+        each other's results — the independence that lets models on disjoint
+        pools run concurrently (§4.1's asynchronous execution; visible in
+        the execution timelines).
+        """
+        ref = self.reference.compute_ref_log_prob(gen_batch)
+        scores = self.reward.compute_reward(gen_batch)
+        if self.config.recompute_log_probs:
+            logp = self.actor.compute_log_prob(gen_batch)
+            batch = gen_batch.union(logp.get())
+        else:
+            batch = gen_batch.union(
+                DataBatch(
+                    {"log_probs": gen_batch["old_log_probs"]},
+                    meta=gen_batch.meta,
+                )
+            )
+        return batch.union(ref.get()).union(scores.get())
+
+    def _minibatches(self, batch: DataBatch) -> List[DataBatch]:
+        n = self.config.updates_per_epoch
+        if batch.batch_size % n:
+            raise ValueError(
+                f"batch {batch.batch_size} not divisible into {n} PPO updates"
+            )
+        return batch.chunk(n)
+
+    def train(
+        self, dataset: PromptDataset, n_iterations: int, batch_size: int
+    ) -> List[Dict[str, Any]]:
+        """Run ``n_iterations`` RLHF iterations over the prompt dataset."""
+        batches = dataset.iter_batches(batch_size, epochs=10**6)
+        for _ in range(n_iterations):
+            prompts = next(batches)
+            self.history.append(self.step(prompts))
+        return self.history
+
+
+class PPOTrainer(RlhfTrainerBase):
+    """PPO [55, 68]: the 8-line driver of Figure 6."""
+
+    algo = AlgoType.PPO
+
+    def step(self, prompts: DataBatch) -> Dict[str, Any]:
+        cfg = self.config
+        # Stage 1: generation
+        gen_batch = self.actor.generate_sequences(prompts).get()
+        # Stage 2: experience preparation — all scoring passes consume the
+        # generation output and can overlap across pools
+        values = self.critic.compute_values(gen_batch)
+        batch = self._prepare_common(gen_batch).union(values.get())
+        batch = compute_advantages(
+            batch,
+            AlgoType.PPO,
+            kl_coef=cfg.kl_coef,
+            gamma=cfg.gamma,
+            lam=cfg.lam,
+            whiten_advantages=cfg.whiten_advantages,
+        )
+        # Stage 3: actor and critic training
+        metrics: Dict[str, Any] = {"score_mean": float(batch["scores"].mean())}
+        for _ in range(cfg.ppo_epochs):
+            for mini in self._minibatches(batch):
+                critic_metrics = self.critic.update_critic(
+                    mini, loss_func="ppo"
+                ).get()
+                actor_metrics = self.actor.update_actor(
+                    mini, loss_func="ppo"
+                ).get()
+            metrics.update({f"critic/{k}": v for k, v in critic_metrics.items()})
+            metrics.update({f"actor/{k}": v for k, v in actor_metrics.items()})
+        return metrics
+
+
+class ReMaxTrainer(RlhfTrainerBase):
+    """ReMax [43]: extra greedy generation pass, no critic (Figure 6)."""
+
+    algo = AlgoType.REMAX
+
+    def step(self, prompts: DataBatch) -> Dict[str, Any]:
+        cfg = self.config
+        batch = self.actor.generate_sequences(prompts).get()
+        baseline = self.actor.generate_sequences(prompts, do_sample=False).get()
+        batch = self._prepare_common(batch)
+        baseline_scores = self.reward.compute_reward(baseline).get()["scores"]
+        batch = batch.union(
+            DataBatch({"baseline_scores": baseline_scores}, meta=batch.meta)
+        )
+        batch = compute_advantages(batch, AlgoType.REMAX, kl_coef=cfg.kl_coef)
+        metrics: Dict[str, Any] = {
+            "score_mean": float(batch["scores"].mean()),
+            "baseline_score_mean": float(baseline_scores.mean()),
+        }
+        for _ in range(cfg.ppo_epochs):
+            for mini in self._minibatches(batch):
+                actor_metrics = self.actor.update_actor(
+                    mini, loss_func="remax"
+                ).get()
+            metrics.update({f"actor/{k}": v for k, v in actor_metrics.items()})
+        return metrics
+
+
+class SafeRLHFTrainer(RlhfTrainerBase):
+    """Safe-RLHF [19]: PPO plus a cost model, Lagrangian dual, pretrain loss."""
+
+    algo = AlgoType.SAFE_RLHF
+
+    def __init__(self, *args, pretrain_dataset=None, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if self.cost is None:
+            raise ValueError("Safe-RLHF requires a cost worker")
+        self.lagrange_multiplier = 0.0
+        self.pretrain_dataset = pretrain_dataset
+
+    def state_dict(self):
+        state = super().state_dict()
+        state["lagrange_multiplier"] = self.lagrange_multiplier
+        return state
+
+    def load_state_dict(self, state) -> None:
+        self.lagrange_multiplier = float(state["lagrange_multiplier"])
+        super().load_state_dict(state)
+
+    def _pretrain_batch(self, size: int) -> Optional[DataBatch]:
+        if self.pretrain_dataset is None:
+            return None
+        start = int(self._rng.integers(0, len(self.pretrain_dataset) - size + 1))
+        pretrain = self.pretrain_dataset.batch(start, size)
+        return DataBatch({"tokens": pretrain["prompts"]})
+
+    def step(self, prompts: DataBatch) -> Dict[str, Any]:
+        cfg = self.config
+        gen_batch = self.actor.generate_sequences(prompts).get()
+        values = self.critic.compute_values(gen_batch)
+        costs = self.cost.compute_cost(gen_batch)
+        batch = (
+            self._prepare_common(gen_batch)
+            .union(values.get())
+            .union(costs.get())
+        )
+        batch = compute_advantages(
+            batch,
+            AlgoType.SAFE_RLHF,
+            kl_coef=cfg.kl_coef,
+            gamma=cfg.gamma,
+            lam=cfg.lam,
+            whiten_advantages=cfg.whiten_advantages,
+        )
+        self.lagrange_multiplier = update_lagrange_multiplier(
+            self.lagrange_multiplier,
+            batch["costs"],
+            cfg.cost_limit,
+            cfg.lagrange_lr,
+        )
+        metrics: Dict[str, Any] = {
+            "score_mean": float(batch["scores"].mean()),
+            "cost_mean": float(batch["costs"].mean()),
+            "lagrange_multiplier": self.lagrange_multiplier,
+        }
+        pretrain = self._pretrain_batch(len(prompts))
+        if pretrain is not None:
+            metrics.update(self.actor.compute_loss(pretrain).get())
+        for _ in range(cfg.ppo_epochs):
+            for mini_index, mini in enumerate(self._minibatches(batch)):
+                critic_metrics = self.critic.update_critic(
+                    mini, loss_func="safe-rlhf"
+                ).get()
+                actor_metrics = self.actor.update_actor(
+                    mini,
+                    loss_func="safe-rlhf",
+                    lagrange_multiplier=self.lagrange_multiplier,
+                    pretrain_batch=pretrain,
+                    ptx_coef=cfg.ptx_coef,
+                ).get()
+            metrics.update({f"critic/{k}": v for k, v in critic_metrics.items()})
+            metrics.update({f"actor/{k}": v for k, v in actor_metrics.items()})
+        return metrics
+
+
+class GRPOTrainer(RlhfTrainerBase):
+    """GRPO [70]: group-relative advantages, no critic (§9's reasoning recipe)."""
+
+    algo = AlgoType.GRPO
+
+    def step(self, prompts: DataBatch) -> Dict[str, Any]:
+        cfg = self.config
+        grouped = prompts.repeat(cfg.group_size)
+        batch = self.actor.generate_sequences(grouped).get()
+        batch = self._prepare_common(batch)
+        batch = compute_advantages(
+            batch, AlgoType.GRPO, group_size=cfg.group_size
+        )
+        metrics: Dict[str, Any] = {"score_mean": float(batch["scores"].mean())}
+        for _ in range(cfg.ppo_epochs):
+            for mini in self._minibatches(batch):
+                actor_metrics = self.actor.update_actor(
+                    mini, loss_func="grpo", kl_coef=cfg.kl_coef
+                ).get()
+            metrics.update({f"actor/{k}": v for k, v in actor_metrics.items()})
+        return metrics

@@ -1,0 +1,17 @@
+"""Runtime glue: placement plans and end-to-end RLHF system construction."""
+
+from repro.runtime.placement import ModelAssignment, PlacementPlan
+from repro.runtime.builder import RlhfSystem, build_rlhf_system
+from repro.runtime.timeline import Timeline, TimelineEvent, build_timeline
+from repro.runtime.report import system_report
+
+__all__ = [
+    "ModelAssignment",
+    "PlacementPlan",
+    "RlhfSystem",
+    "Timeline",
+    "TimelineEvent",
+    "build_rlhf_system",
+    "build_timeline",
+    "system_report",
+]

@@ -1,0 +1,135 @@
+"""Placement plans: which models share which GPU pools (§2.3, §8.3).
+
+A :class:`PlacementPlan` names a set of resource pools (with GPU counts) and
+assigns each model a pool plus its parallelism strategy.  The canonical plans
+of the paper's evaluation — *colocate* (DeepSpeed-Chat), *standalone*
+(OpenRLHF), *split* (NeMo-Aligner) — are provided as constructors, and the
+auto-mapping algorithm (§6) emits the same structure.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from repro.config import GenParallelConfig, ParallelConfig
+
+
+@dataclasses.dataclass
+class ModelAssignment:
+    """One model's pool and parallelism choice."""
+
+    pool: str
+    parallel: ParallelConfig
+    gen_parallel: Optional[GenParallelConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.gen_parallel is not None:
+            mp = self.parallel.model_parallel_size
+            gen_mp = self.gen_parallel.model_parallel_size
+            if gen_mp * self.gen_parallel.micro_dp != mp:
+                raise ValueError(
+                    f"generation groups {self.gen_parallel} inconsistent with "
+                    f"training {self.parallel}"
+                )
+
+
+@dataclasses.dataclass
+class PlacementPlan:
+    """Pools plus per-model assignments for one RLHF dataflow."""
+
+    pools: Dict[str, int]
+    assignments: Dict[str, ModelAssignment]
+
+    def __post_init__(self) -> None:
+        for model, assignment in self.assignments.items():
+            if assignment.pool not in self.pools:
+                raise ValueError(
+                    f"model {model!r} assigned to unknown pool "
+                    f"{assignment.pool!r}"
+                )
+            n = self.pools[assignment.pool]
+            if assignment.parallel.world_size != n:
+                raise ValueError(
+                    f"model {model!r}: parallel config {assignment.parallel} "
+                    f"needs {assignment.parallel.world_size} GPUs but pool "
+                    f"{assignment.pool!r} has {n}"
+                )
+
+    @property
+    def total_gpus(self) -> int:
+        return sum(self.pools.values())
+
+    def models(self) -> List[str]:
+        return list(self.assignments)
+
+    def colocated_models(self, pool: str) -> List[str]:
+        return [m for m, a in self.assignments.items() if a.pool == pool]
+
+    def pool_of(self, model: str) -> str:
+        return self.assignments[model].pool
+
+    # -- canonical plans of §8.3 -----------------------------------------------------
+
+    @classmethod
+    def colocate(
+        cls,
+        models: List[str],
+        n_gpus: int,
+        parallel: Dict[str, ParallelConfig],
+        gen_parallel: Optional[GenParallelConfig] = None,
+    ) -> "PlacementPlan":
+        """All models time-share one pool (DeepSpeed-Chat's placement)."""
+        assignments = {
+            m: ModelAssignment(
+                pool="shared",
+                parallel=parallel[m],
+                gen_parallel=gen_parallel if m == "actor" else None,
+            )
+            for m in models
+        }
+        return cls(pools={"shared": n_gpus}, assignments=assignments)
+
+    @classmethod
+    def standalone(
+        cls,
+        gpus_per_model: Dict[str, int],
+        parallel: Dict[str, ParallelConfig],
+        gen_parallel: Optional[GenParallelConfig] = None,
+    ) -> "PlacementPlan":
+        """Every model on its own devices (OpenRLHF's placement)."""
+        pools = {f"pool-{m}": n for m, n in gpus_per_model.items()}
+        assignments = {
+            m: ModelAssignment(
+                pool=f"pool-{m}",
+                parallel=parallel[m],
+                gen_parallel=gen_parallel if m == "actor" else None,
+            )
+            for m in gpus_per_model
+        }
+        return cls(pools=pools, assignments=assignments)
+
+    @classmethod
+    def split(
+        cls,
+        actor_side: List[str],
+        critic_side: List[str],
+        actor_gpus: int,
+        critic_gpus: int,
+        parallel: Dict[str, ParallelConfig],
+        gen_parallel: Optional[GenParallelConfig] = None,
+    ) -> "PlacementPlan":
+        """NeMo-Aligner's split: actor+reference vs critic+reward pools."""
+        assignments: Dict[str, ModelAssignment] = {}
+        for m in actor_side:
+            assignments[m] = ModelAssignment(
+                pool="actor_side",
+                parallel=parallel[m],
+                gen_parallel=gen_parallel if m == "actor" else None,
+            )
+        for m in critic_side:
+            assignments[m] = ModelAssignment(pool="critic_side", parallel=parallel[m])
+        return cls(
+            pools={"actor_side": actor_gpus, "critic_side": critic_gpus},
+            assignments=assignments,
+        )

@@ -1,0 +1,109 @@
+"""Project a functional dataflow trace onto full-scale analytical timing.
+
+The functional layer runs miniature models, but its controller trace is the
+*real* RLHF dataflow DAG.  This module assigns each traced call the latency
+the analytical simulators predict for a full-scale model under the traced
+placement — bridging the two layers: write and debug a dataflow at toy
+scale, then read off its projected iteration time and per-pool utilisation
+on (simulated) Llama-class models and A100 clusters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.config import ClusterSpec, ModelSpec, ParallelConfig, RlhfWorkload
+from repro.perf.compute import inference_latency, training_latency
+from repro.perf.generation import generation_latency
+from repro.runtime.builder import RlhfSystem
+from repro.runtime.timeline import Timeline, build_timeline
+from repro.single_controller.controller import ExecutionRecord
+
+#: Which analytical simulator each primitive API maps to (Table 4's
+#: "Computation" column).
+_METHOD_KIND = {
+    "generate_sequences": "generation",
+    "update_actor": "training",
+    "update_critic": "training",
+    "compute_values": "inference",
+    "compute_ref_log_prob": "inference",
+    "compute_reward": "inference",
+    "compute_cost": "inference",
+    "compute_log_prob": "inference",
+    "compute_loss": "inference",
+}
+
+
+def perf_duration_fn(
+    system: RlhfSystem,
+    model_specs: Mapping[str, ModelSpec],
+    workload: RlhfWorkload,
+    cluster: ClusterSpec,
+    gen_tp: Optional[int] = None,
+    gen_pp: int = 1,
+):
+    """A timeline duration function backed by the perf simulators.
+
+    Args:
+        system: The functional system whose trace is being projected; its
+            worker groups supply each model's pool size and parallel shape
+            (scaled to the projection cluster by keeping the MP sizes and
+            widening DP).
+        model_specs: Full-scale architecture per model role.
+        gen_tp/gen_pp: Generation parallel sizes for the actor (defaults to
+            its training TP).
+    """
+    scaled: Dict[str, ParallelConfig] = {}
+    total = sum(g.resource_pool.size for g in set(system.groups.values()))
+    for role, group in system.groups.items():
+        cfg = group.train_topology.config
+        share = group.resource_pool.size / total
+        n_gpus = max(
+            cfg.model_parallel_size,
+            int(cluster.n_gpus * share)
+            // cfg.model_parallel_size
+            * cfg.model_parallel_size,
+        )
+        scaled[role] = ParallelConfig(
+            pp=cfg.pp, tp=cfg.tp, dp=n_gpus // cfg.model_parallel_size
+        )
+
+    def duration(record: ExecutionRecord) -> float:
+        role = record.group
+        kind = _METHOD_KIND.get(record.method)
+        if role not in model_specs or kind is None:
+            return 0.01  # non-NN workers (reward functions etc.)
+        spec = model_specs[role]
+        parallel = scaled[role]
+        if kind == "generation":
+            tp = gen_tp or parallel.tp
+            n_replicas = max(1, parallel.world_size // (tp * gen_pp))
+            return generation_latency(
+                spec, cluster, tp, gen_pp, n_replicas, workload
+            ).total
+        if kind == "training":
+            # one traced update call covers one minibatch of the epoch
+            n_updates = max(1, workload.ppo_updates_per_epoch)
+            return (
+                training_latency(spec, cluster, parallel, workload) / n_updates
+            )
+        return inference_latency(spec, cluster, parallel, workload)
+
+    return duration
+
+
+def project_timeline(
+    system: RlhfSystem,
+    model_specs: Mapping[str, ModelSpec],
+    workload: RlhfWorkload,
+    cluster: ClusterSpec,
+    gen_tp: Optional[int] = None,
+    gen_pp: int = 1,
+) -> Timeline:
+    """Schedule the system's trace with projected full-scale durations."""
+    return build_timeline(
+        system.controller,
+        duration_fn=perf_duration_fn(
+            system, model_specs, workload, cluster, gen_tp=gen_tp, gen_pp=gen_pp
+        ),
+    )

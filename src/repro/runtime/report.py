@@ -1,0 +1,124 @@
+"""Run reports: summarise a functional RLHF system after training.
+
+``system_report`` renders what an operator would want on one screen: the
+model placement and parallelism, per-device memory peaks from the ledgers,
+communication volume from the traffic meter, the execution-pattern timeline,
+and the training metrics trend.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.runtime.builder import RlhfSystem
+from repro.runtime.timeline import build_timeline
+
+
+def _fmt_bytes(n: float) -> str:
+    for unit in ("B", "KB", "MB", "GB"):
+        if n < 1024:
+            return f"{n:.1f} {unit}"
+        n /= 1024
+    return f"{n:.1f} TB"
+
+
+def placement_summary(system: RlhfSystem) -> List[str]:
+    lines = ["placement:"]
+    for role, group in system.groups.items():
+        cfg = group.train_topology.config
+        gen = ""
+        if group.gen_topology is not None:
+            g = group.gen_topology.config
+            gen = f", generation {g} ({group.gen_topology.mode.value})"
+        n_params = getattr(group.workers[0], "model_config", None)
+        size = ""
+        if n_params is not None:
+            from repro.models.tinylm import TinyLM
+
+            size = f", {TinyLM(n_params).n_params():,} params"
+        lines.append(
+            f"  {role:9s} pool={group.resource_pool.name} "
+            f"({group.world_size} GPUs), 3D {cfg}{gen}{size}"
+        )
+    return lines
+
+
+def memory_summary(system: RlhfSystem) -> List[str]:
+    lines = ["device memory (peak used):"]
+    seen = set()
+    for group in system.groups.values():
+        for worker in group.workers:
+            device = worker.ctx.device
+            if device.global_rank in seen:
+                continue
+            seen.add(device.global_rank)
+            lines.append(
+                f"  GPU {device.global_rank}: peak "
+                f"{_fmt_bytes(device.memory.peak_used)}, resident "
+                f"{_fmt_bytes(device.memory.used)}"
+            )
+    return lines
+
+
+def traffic_summary(system: RlhfSystem, top: int = 6) -> List[str]:
+    meter = system.controller.meter
+    by_op: Dict[str, int] = {}
+    for (group, op), volume in meter.snapshot().items():
+        key = f"{group.split('/')[0]}:{op}"
+        by_op[key] = by_op.get(key, 0) + volume
+    lines = [f"communication ({_fmt_bytes(meter.total_bytes())} total):"]
+    for key, volume in sorted(by_op.items(), key=lambda kv: -kv[1])[:top]:
+        lines.append(f"  {key:40s} {_fmt_bytes(volume)}")
+    return lines
+
+
+def dataflow_summary(system: RlhfSystem) -> List[str]:
+    counts: Dict[str, int] = {}
+    for record in system.controller.trace:
+        name = f"{record.group}.{record.method}"
+        counts[name] = counts.get(name, 0) + 1
+    lines = ["dataflow calls:"]
+    for name, count in sorted(counts.items(), key=lambda kv: -kv[1]):
+        lines.append(f"  {name:35s} x{count}")
+    return lines
+
+
+def metrics_summary(system: RlhfSystem) -> List[str]:
+    history = system.trainer.history
+    if not history:
+        return ["metrics: (no training iterations recorded)"]
+    first = history[0].get("score_mean")
+    last = history[-1].get("score_mean")
+    lines = [f"metrics over {len(history)} iterations:"]
+    if first is not None and last is not None:
+        lines.append(f"  score_mean {first:+.3f} -> {last:+.3f}")
+    for key in sorted(history[-1]):
+        value = history[-1][key]
+        if key != "score_mean" and isinstance(value, float):
+            lines.append(f"  {key} = {value:+.4f} (last)")
+    return lines
+
+
+def system_report(
+    system: RlhfSystem,
+    include_timeline: bool = True,
+    timeline_width: int = 60,
+) -> str:
+    """A one-screen report of a functional RLHF run."""
+    sections = [
+        ["=== RLHF system report ==="],
+        placement_summary(system),
+        dataflow_summary(system),
+        traffic_summary(system),
+        memory_summary(system),
+        metrics_summary(system),
+    ]
+    if include_timeline and system.controller.trace:
+        timeline = build_timeline(system.controller)
+        sections.append(
+            ["execution timeline:"]
+            + build_timeline(system.controller)
+            .render_ascii(timeline_width)
+            .splitlines()[: 3 + len(timeline.pools())]
+        )
+    return "\n".join("\n".join(section) for section in sections)

@@ -1,0 +1,41 @@
+"""The hybrid programming model (§4): single-controller inter-node dataflow.
+
+The single controller coordinates *worker groups* (one per model in the RLHF
+dataflow).  Each worker group runs SPMD workers under the multi-controller
+paradigm; the controller only moves :class:`DataFuture` handles between
+groups, with **transfer protocols** (Table 3) describing how a group's inputs
+are distributed across its ranks and how outputs are collected back.
+
+The user-facing surface mirrors the paper's Figure 5/6: create a
+:class:`ResourcePool`, apply it to model worker classes through
+:class:`WorkerGroup`, then write the RLHF algorithm as a single-process
+sequence of primitive API calls.
+"""
+
+from repro.single_controller.future import DataFuture
+from repro.single_controller.resource_pool import ResourcePool
+from repro.single_controller.decorator import register
+from repro.single_controller.protocols import (
+    TRANSFER_PROTOCOLS,
+    TransferProtocol,
+    get_protocol,
+    register_protocol,
+)
+from repro.single_controller.worker import Worker, WorkerContext
+from repro.single_controller.worker_group import WorkerGroup
+from repro.single_controller.controller import ExecutionRecord, SingleController
+
+__all__ = [
+    "DataFuture",
+    "ExecutionRecord",
+    "ResourcePool",
+    "SingleController",
+    "TRANSFER_PROTOCOLS",
+    "TransferProtocol",
+    "Worker",
+    "WorkerContext",
+    "WorkerGroup",
+    "get_protocol",
+    "register",
+    "register_protocol",
+]

@@ -1,0 +1,154 @@
+"""The single controller: pools, groups, execution trace, checkpoints.
+
+One :class:`SingleController` per RLHF job.  It owns the simulated cluster,
+hands out non-overlapping resource pools, tracks every remote call in an
+execution trace (used to verify execution *patterns* — Table 1), and
+coordinates checkpointing across worker groups via "RPC" (§9: "Our
+programming model enables the single controller to coordinate checkpoint
+operations via RPC").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+import time
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.cluster import SimCluster
+from repro.comm.groups import TrafficMeter
+from repro.config import ClusterSpec
+from repro.single_controller.resource_pool import ResourcePool
+from repro.single_controller.worker_group import WorkerGroup
+
+
+@dataclasses.dataclass(frozen=True)
+class ExecutionRecord:
+    """One remote call: which group ran which method, in global order.
+
+    ``deps`` holds the trace sequence numbers of the calls whose output
+    futures fed this call — the edges of the RLHF dataflow DAG, which the
+    timeline scheduler replays with asynchronous-execution semantics (§4.1).
+    """
+
+    seq: int
+    group: str
+    method: str
+    pool: str
+    deps: tuple = ()
+
+
+class SingleController:
+    """Central coordinator of the RLHF dataflow."""
+
+    def __init__(self, cluster_spec: Optional[ClusterSpec] = None) -> None:
+        self.cluster = SimCluster(cluster_spec or ClusterSpec())
+        self.meter = TrafficMeter()
+        self.pools: Dict[str, ResourcePool] = {}
+        self.groups: List[WorkerGroup] = []
+        self.trace: List[ExecutionRecord] = []
+        self._seq = 0
+
+    # -- resources -----------------------------------------------------------------
+
+    def create_pool(self, n_gpus: int, name: Optional[str] = None) -> ResourcePool:
+        pool = ResourcePool.allocate(self.cluster, n_gpus, name=name)
+        if pool.name in self.pools:
+            raise ValueError(f"duplicate pool name {pool.name!r}")
+        self.pools[pool.name] = pool
+        return pool
+
+    def attach_group(self, group: WorkerGroup) -> None:
+        self.groups.append(group)
+
+    def group_named(self, name: str) -> WorkerGroup:
+        for group in self.groups:
+            if group.name == name:
+                return group
+        raise KeyError(f"no worker group named {name!r}")
+
+    # -- tracing -----------------------------------------------------------------------
+
+    def record_execution(
+        self, group: WorkerGroup, method: str, deps: tuple = ()
+    ) -> int:
+        seq = self._seq
+        self.trace.append(
+            ExecutionRecord(
+                seq=seq,
+                group=group.name,
+                method=method,
+                pool=group.resource_pool.name,
+                deps=tuple(deps),
+            )
+        )
+        self._seq += 1
+        return seq
+
+    def trace_methods(self) -> List[str]:
+        """The execution pattern as ``"group.method"`` strings, in order."""
+        return [f"{r.group}.{r.method}" for r in self.trace]
+
+    def reset_trace(self) -> None:
+        self.trace.clear()
+        self._seq = 0
+
+    # -- checkpointing (§9) ---------------------------------------------------------------
+
+    def save_checkpoint(self, directory: str) -> None:
+        """Persist every worker's rank-local state plus an RNG-aware manifest."""
+        root = pathlib.Path(directory)
+        root.mkdir(parents=True, exist_ok=True)
+        manifest: Dict[str, Any] = {
+            "saved_at": time.time(),
+            "groups": [],
+        }
+        for gi, group in enumerate(self.groups):
+            group_entry = {"name": group.name, "workers": []}
+            for wi, worker in enumerate(group.workers):
+                state = worker.state_for_checkpoint()
+                arrays = {
+                    k: v for k, v in state.items() if isinstance(v, np.ndarray)
+                }
+                scalars = {
+                    k: v for k, v in state.items() if not isinstance(v, np.ndarray)
+                }
+                fname = f"group{gi}_worker{wi}.npz"
+                if arrays:
+                    np.savez(root / fname, **arrays)
+                group_entry["workers"].append(
+                    {"file": fname if arrays else None, "scalars": scalars}
+                )
+            manifest["groups"].append(group_entry)
+        (root / "manifest.json").write_text(json.dumps(manifest, indent=2))
+
+    def load_checkpoint(self, directory: str) -> None:
+        root = pathlib.Path(directory)
+        manifest = json.loads((root / "manifest.json").read_text())
+        saved = {g["name"]: g for g in manifest["groups"]}
+        for group in self.groups:
+            if group.name not in saved:
+                raise ValueError(
+                    f"checkpoint has no state for group {group.name!r}"
+                )
+            entry = saved[group.name]
+            if len(entry["workers"]) != len(group.workers):
+                raise ValueError(
+                    f"checkpoint rank count mismatch for {group.name!r}: "
+                    f"{len(entry['workers'])} vs {len(group.workers)}"
+                )
+            for worker, wentry in zip(group.workers, entry["workers"]):
+                state: Dict[str, Any] = dict(wentry["scalars"])
+                if wentry["file"]:
+                    with np.load(root / wentry["file"]) as data:
+                        state.update({k: data[k] for k in data.files})
+                worker.load_from_checkpoint(state)
+
+    def __repr__(self) -> str:
+        return (
+            f"SingleController(cluster={self.cluster!r}, "
+            f"groups={[g.name for g in self.groups]})"
+        )

@@ -1,0 +1,53 @@
+"""The ``@register`` decorator binding worker methods to transfer protocols.
+
+§4.1: "We unify this data transfer implementation by associating each
+operation in each model class with a transfer protocol, using @register."
+
+The decorator only annotates; dispatch happens in
+:class:`~repro.single_controller.worker_group.WorkerGroup`, keeping the
+worker's computation code free of any data-resharding logic — the decoupling
+the hybrid programming model is about.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Callable, Optional
+
+PROTOCOL_ATTR = "_transfer_protocol"
+BLOCKING_ATTR = "_transfer_blocking"
+
+
+def register(
+    protocol: str = "one_to_all",
+    blocking: bool = True,
+) -> Callable[[Callable], Callable]:
+    """Mark a worker method as a remote-callable with a transfer protocol.
+
+    Args:
+        protocol: Name of a registered transfer protocol (Table 3), e.g.
+            ``"3d_proto"`` or ``"one_to_all"``.
+        blocking: When False, :class:`WorkerGroup` returns an *unresolved*
+            :class:`DataFuture` whose computation is deferred until ``get()``
+            — the asynchronous-execution hook of §4.1.
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            return fn(*args, **kwargs)
+
+        setattr(wrapper, PROTOCOL_ATTR, protocol)
+        setattr(wrapper, BLOCKING_ATTR, blocking)
+        return wrapper
+
+    return decorate
+
+
+def registered_protocol(method: Callable) -> Optional[str]:
+    """The protocol name a method was registered with, or None."""
+    return getattr(method, PROTOCOL_ATTR, None)
+
+
+def registered_blocking(method: Callable) -> bool:
+    return getattr(method, BLOCKING_ATTR, True)

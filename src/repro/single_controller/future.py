@@ -1,0 +1,66 @@
+"""Data futures: the handles the single controller passes between models.
+
+§4.1: "the data future from actor is immediately returned after the
+controller's call ... actual data transfer only occurs between GPUs, avoiding
+any central bottleneck."  In this in-process simulation the value is computed
+by the time the future exists, but the future still carries *provenance* (the
+producing group and method), which the runtime layer uses to overlap stages
+of models placed on disjoint devices in simulated time.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Optional
+
+_future_ids = itertools.count()
+
+
+class DataFuture:
+    """A handle to the output of a worker-group call."""
+
+    def __init__(
+        self,
+        value: Any = None,
+        producer: str = "",
+        method: str = "",
+        thunk: Optional[Callable[[], Any]] = None,
+        record_seq: Optional[int] = None,
+    ) -> None:
+        if thunk is not None and value is not None:
+            raise ValueError("give either a value or a thunk, not both")
+        self._value = value
+        self._thunk = thunk
+        self._resolved = thunk is None
+        self.producer = producer
+        self.method = method
+        #: Unique id, and the execution-trace record that produced this
+        #: future (None for user-constructed futures) — the provenance the
+        #: timeline scheduler uses to recover the dataflow DAG.
+        self.uid = next(_future_ids)
+        self.record_seq = record_seq
+
+    @property
+    def resolved(self) -> bool:
+        return self._resolved
+
+    def get(self) -> Any:
+        """Materialise the value (runs the deferred thunk at most once)."""
+        if not self._resolved:
+            assert self._thunk is not None
+            self._value = self._thunk()
+            self._thunk = None
+            self._resolved = True
+        return self._value
+
+    @staticmethod
+    def unwrap(maybe_future: Any) -> Any:
+        """Return the value whether or not the argument is a future."""
+        if isinstance(maybe_future, DataFuture):
+            return maybe_future.get()
+        return maybe_future
+
+    def __repr__(self) -> str:
+        state = "resolved" if self._resolved else "pending"
+        src = f" from {self.producer}.{self.method}" if self.producer else ""
+        return f"DataFuture({state}{src})"

@@ -1,0 +1,59 @@
+"""``ResourcePool``: virtualised GPU sets for model placement (§4.1).
+
+"We provide a ResourcePool class that virtualizes a set of GPU devices.  When
+applying a ResourcePool instance to a model class, distributed computation of
+the model will be mapped to the devices.  Models utilizing the same
+ResourcePool instance are colocated on the same set of GPUs."
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional
+
+from repro.cluster import DeviceSet, SimCluster
+
+_pool_ids = itertools.count()
+
+
+class ResourcePool:
+    """A named, non-overlapping set of simulated devices.
+
+    Worker groups built on the same pool are *colocated*: they share device
+    memory and execute sequentially in a time-sharing manner (§2.3).
+    """
+
+    def __init__(self, devices: DeviceSet, name: Optional[str] = None) -> None:
+        self.devices = devices
+        self.name = name if name is not None else f"pool-{next(_pool_ids)}"
+        #: Worker groups mapped onto this pool, in creation order.  Used for
+        #: colocation queries and sequential-execution accounting.
+        self.worker_groups: List[object] = []
+
+    @classmethod
+    def allocate(
+        cls, cluster: SimCluster, n_gpus: int, name: Optional[str] = None
+    ) -> "ResourcePool":
+        """Take the next ``n_gpus`` devices from the cluster."""
+        return cls(cluster.allocate(n_gpus), name=name)
+
+    @property
+    def size(self) -> int:
+        return self.devices.size
+
+    @property
+    def global_ranks(self) -> List[int]:
+        return self.devices.global_ranks
+
+    def overlaps(self, other: "ResourcePool") -> bool:
+        return self.devices.overlaps(other.devices)
+
+    def attach(self, worker_group: object) -> None:
+        self.worker_groups.append(worker_group)
+
+    def colocated_with(self, other: "ResourcePool") -> bool:
+        """True when the two pools are the same device set (colocated models)."""
+        return set(self.global_ranks) == set(other.global_ranks)
+
+    def __repr__(self) -> str:
+        return f"ResourcePool({self.name!r}, ranks={self.global_ranks})"

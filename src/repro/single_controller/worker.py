@@ -1,0 +1,108 @@
+"""Worker base class and per-rank context (the multi-controller side, §4.1).
+
+Each worker simulates one device's controller process: it owns that rank's
+model shard and state, sees only its local view, and reaches peers strictly
+through process groups / the worker group — mirroring how real multi-
+controller ranks interact through NCCL rather than shared memory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+from repro.cluster import SimDevice
+from repro.comm.groups import ProcessGroup
+from repro.parallel.topology import GenTopology, ParallelTopology, Rank3D, Rank4D
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.single_controller.worker_group import WorkerGroup
+
+
+@dataclasses.dataclass
+class WorkerContext:
+    """Everything a rank knows about itself and its groups."""
+
+    global_rank: int
+    local_rank: int
+    device: SimDevice
+    train_topology: ParallelTopology
+    gen_topology: Optional[GenTopology] = None
+    group: Optional["WorkerGroup"] = None
+
+    @property
+    def coords(self) -> Rank3D:
+        return self.train_topology.coords(self.global_rank)
+
+    @property
+    def gen_coords(self) -> Rank4D:
+        if self.gen_topology is None:
+            raise RuntimeError("no generation topology configured on this group")
+        return self.gen_topology.coords(self.global_rank)
+
+    @property
+    def tp_group(self) -> ProcessGroup:
+        return self.train_topology.tp_group(self.global_rank)
+
+    @property
+    def pp_group(self) -> ProcessGroup:
+        return self.train_topology.pp_group(self.global_rank)
+
+    @property
+    def dp_group(self) -> ProcessGroup:
+        return self.train_topology.dp_group(self.global_rank)
+
+    @property
+    def mp_group(self) -> ProcessGroup:
+        return self.train_topology.mp_group(self.global_rank)
+
+    @property
+    def micro_dp_group(self) -> ProcessGroup:
+        if self.gen_topology is None:
+            raise RuntimeError("no generation topology configured on this group")
+        return self.gen_topology.micro_dp_group(self.global_rank)
+
+    @property
+    def is_collect_rank(self) -> bool:
+        """Last pipeline stage, tensor rank 0 — where 3d_proto collects."""
+        c = self.coords
+        return c.p == self.train_topology.config.pp - 1 and c.t == 0
+
+    @property
+    def is_replica_lead(self) -> bool:
+        """First rank of this DP replica's model-parallel group."""
+        c = self.coords
+        return c.p == 0 and c.t == 0
+
+    def peer(self, global_rank: int) -> "Worker":
+        """Another worker in the same group (simulated point-to-point reach)."""
+        if self.group is None:
+            raise RuntimeError("context not attached to a worker group")
+        return self.group.worker_at_global_rank(global_rank)
+
+
+class Worker:
+    """Base class for all model workers; subclasses add @register methods."""
+
+    def __init__(self, ctx: WorkerContext) -> None:
+        self.ctx = ctx
+
+    @property
+    def global_rank(self) -> int:
+        return self.ctx.global_rank
+
+    # -- checkpoint hooks (§9 fault tolerance) -------------------------------------
+
+    def state_for_checkpoint(self) -> Dict[str, Any]:
+        """Rank-local state to persist; overridden by model workers."""
+        return {}
+
+    def load_from_checkpoint(self, state: Dict[str, Any]) -> None:
+        if state:
+            raise NotImplementedError(
+                f"{type(self).__name__} received checkpoint state but does "
+                "not implement load_from_checkpoint"
+            )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(rank={self.ctx.global_rank})"

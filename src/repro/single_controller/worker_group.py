@@ -1,0 +1,215 @@
+"""``WorkerGroup``: one model's SPMD ranks plus protocol-driven dispatch.
+
+Applying a worker class to a :class:`ResourcePool` spawns one worker per
+device and builds the model's parallel topology over those devices (the
+``3DParallelWorker`` initialisation of Figure 5a).  Calling a method that was
+``@register``-ed runs the full single-controller round trip:
+
+1. the method's transfer protocol *distributes* the inputs across ranks,
+2. every rank executes its local computation (multi-controller SPMD),
+3. the protocol *collects* the designated ranks' outputs,
+4. the controller receives a :class:`DataFuture`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Type
+
+from repro.config import GenParallelConfig, ParallelConfig
+from repro.parallel.topology import GenGroupingMode, GenTopology, ParallelTopology
+from repro.single_controller.decorator import (
+    registered_blocking,
+    registered_protocol,
+)
+from repro.single_controller.future import DataFuture
+from repro.single_controller.protocols import get_protocol
+from repro.single_controller.resource_pool import ResourcePool
+from repro.single_controller.worker import Worker, WorkerContext
+
+
+class RemoteMethod:
+    """A bound, protocol-dispatched method of a worker group."""
+
+    def __init__(self, group: "WorkerGroup", method_name: str) -> None:
+        self.group = group
+        self.method_name = method_name
+        method = getattr(group.worker_cls, method_name)
+        protocol_name = registered_protocol(method)
+        if protocol_name is None:
+            raise AttributeError(
+                f"{group.worker_cls.__name__}.{method_name} is not @register-ed"
+            )
+        self.protocol = get_protocol(protocol_name)
+        self.blocking = registered_blocking(method)
+
+    @staticmethod
+    def _dependency_seqs(args: tuple, kwargs: dict) -> tuple:
+        """Trace records whose outputs feed this call (the dataflow edges).
+
+        Dependencies flow two ways: through unresolved :class:`DataFuture`
+        handles, and through the lineage metadata stamped on every
+        :class:`DataBatch` a remote call returned (which survives ``get()``,
+        ``union`` and ``concat``).
+        """
+        from repro.data.batch import DataBatch, LINEAGE_KEY
+
+        deps = set()
+        for value in list(args) + list(kwargs.values()):
+            if isinstance(value, DataFuture):
+                if value.record_seq is not None:
+                    deps.add(value.record_seq)
+                if value.resolved:
+                    value = value.get()
+            if isinstance(value, DataBatch):
+                deps.update(value.meta.get(LINEAGE_KEY, ()))
+        return tuple(sorted(deps))
+
+    def _execute(self, args: tuple, kwargs: dict):
+        from repro.data.batch import DataBatch, LINEAGE_KEY
+
+        deps = self._dependency_seqs(args, kwargs)
+        calls = self.protocol.distribute(self.group, args, kwargs)
+        outputs: List[Any] = []
+        for worker, (wargs, wkwargs) in zip(self.group.workers, calls):
+            outputs.append(getattr(worker, self.method_name)(*wargs, **wkwargs))
+        result = self.protocol.collect(self.group, outputs)
+        seq = self.group.notify_executed(self.method_name, deps)
+        if isinstance(result, DataBatch) and seq is not None:
+            result.meta[LINEAGE_KEY] = (seq,)
+        return result, seq
+
+    def __call__(self, *args: Any, **kwargs: Any) -> DataFuture:
+        if self.blocking:
+            result, seq = self._execute(args, kwargs)
+            return DataFuture(
+                result,
+                producer=self.group.name,
+                method=self.method_name,
+                record_seq=seq,
+            )
+        future = DataFuture(
+            thunk=lambda: None,  # replaced below (needs the future in scope)
+            producer=self.group.name,
+            method=self.method_name,
+        )
+
+        def run_deferred() -> Any:
+            result, seq = self._execute(args, kwargs)
+            future.record_seq = seq
+            return result
+
+        future._thunk = run_deferred
+        return future
+
+
+class WorkerGroup:
+    """SPMD workers of one model over one resource pool."""
+
+    def __init__(
+        self,
+        worker_cls: Type[Worker],
+        resource_pool: ResourcePool,
+        parallel_config: Optional[ParallelConfig] = None,
+        gen_config: Optional[GenParallelConfig] = None,
+        gen_mode: GenGroupingMode = GenGroupingMode.HYBRIDFLOW,
+        name: Optional[str] = None,
+        controller: Optional[Any] = None,
+        worker_kwargs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if parallel_config is None:
+            parallel_config = ParallelConfig(pp=1, tp=1, dp=resource_pool.size)
+        if parallel_config.world_size != resource_pool.size:
+            raise ValueError(
+                f"parallel config {parallel_config} needs "
+                f"{parallel_config.world_size} devices but pool "
+                f"{resource_pool.name!r} has {resource_pool.size}"
+            )
+        self.worker_cls = worker_cls
+        self.resource_pool = resource_pool
+        self.name = name or f"{worker_cls.__name__.lower()}@{resource_pool.name}"
+        self.controller = controller
+        meter = controller.meter if controller is not None else None
+        self.train_topology = ParallelTopology(
+            parallel_config,
+            global_ranks=resource_pool.global_ranks,
+            meter=meter,
+            name=self.name,
+        )
+        self.gen_topology: Optional[GenTopology] = None
+        if gen_config is not None:
+            self.gen_topology = GenTopology(
+                self.train_topology, gen_config, mode=gen_mode
+            )
+
+        worker_kwargs = worker_kwargs or {}
+        self.workers: List[Worker] = []
+        self._by_global_rank: Dict[int, Worker] = {}
+        for local_rank, device in enumerate(resource_pool.devices):
+            ctx = WorkerContext(
+                global_rank=device.global_rank,
+                local_rank=local_rank,
+                device=device,
+                train_topology=self.train_topology,
+                gen_topology=self.gen_topology,
+            )
+            worker = worker_cls(ctx, **worker_kwargs)
+            ctx.group = self
+            self.workers.append(worker)
+            self._by_global_rank[device.global_rank] = worker
+        resource_pool.attach(self)
+        if controller is not None:
+            controller.attach_group(self)
+
+    # -- protocol-facing API -------------------------------------------------------
+
+    @property
+    def world_size(self) -> int:
+        return len(self.workers)
+
+    def coords(self, local_rank: int):
+        return self.train_topology.coords(self.global_rank_of(local_rank))
+
+    def global_rank_of(self, local_rank: int) -> int:
+        return self.workers[local_rank].ctx.global_rank
+
+    def worker_at_global_rank(self, global_rank: int) -> Worker:
+        try:
+            return self._by_global_rank[global_rank]
+        except KeyError:
+            raise ValueError(
+                f"rank {global_rank} not in group {self.name!r}"
+            ) from None
+
+    # -- dispatch --------------------------------------------------------------------
+
+    def __getattr__(self, attr: str) -> Any:
+        # only called when normal lookup fails: resolve remote methods
+        if attr.startswith("_"):
+            raise AttributeError(attr)
+        worker_method = getattr(self.worker_cls, attr, None)
+        if worker_method is not None and registered_protocol(worker_method):
+            return RemoteMethod(self, attr)
+        raise AttributeError(
+            f"{type(self).__name__} {self.name!r} has no remote method {attr!r}"
+        )
+
+    def notify_executed(self, method_name: str, deps: tuple = ()) -> Optional[int]:
+        if self.controller is not None:
+            return self.controller.record_execution(self, method_name, deps)
+        return None
+
+    def set_gen_topology(self, gen_config, mode=GenGroupingMode.HYBRIDFLOW) -> None:
+        """Install/replace the generation topology (HybridEngine setup)."""
+        self.gen_topology = GenTopology(self.train_topology, gen_config, mode=mode)
+        for worker in self.workers:
+            worker.ctx.gen_topology = self.gen_topology
+
+    def broadcast_call(self, fn: Callable[[Worker], Any]) -> List[Any]:
+        """Apply ``fn`` to every worker (setup/inspection helper)."""
+        return [fn(w) for w in self.workers]
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkerGroup({self.name!r}, {self.train_topology.config}, "
+            f"{self.world_size} workers)"
+        )

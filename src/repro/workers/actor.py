@@ -1,0 +1,260 @@
+"""``ActorWorker``: generation, log-prob, and policy-update primitives (Table 4).
+
+``generate_sequences`` runs the full 3D-HybridEngine workflow of Figure 7:
+transition to the generation layout (step ①), per-replica KV-cached decoding
+of its micro-batch (step ②), the result all-gather within micro-DP groups
+(step ③), and the transition back to the training layout (step ④).
+``update_actor`` implements the PPO / Safe-RLHF / GRPO policy losses on top
+of the shared data-parallel training machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.data.batch import DataBatch
+from repro.hybrid_engine.engine import HybridEngine3D
+from repro.models.sampler import generate
+from repro.models.tinylm import TinyLM
+from repro.rlhf import losses as L
+from repro.single_controller.decorator import register
+from repro.single_controller.worker import WorkerContext
+from repro.models.tinylm import TinyLMConfig
+from repro.workers.base import ThreeDParallelWorker
+
+
+class ActorWorker(ThreeDParallelWorker):
+    """The policy model undergoing RLHF."""
+
+    def __init__(
+        self,
+        ctx: WorkerContext,
+        model_config: TinyLMConfig,
+        seed: int = 0,
+        tag: str = "actor",
+        lr: float = 1e-3,
+        max_grad_norm: Optional[float] = 1.0,
+        clip_ratio: float = 0.2,
+        temperature: float = 1.0,
+        max_new_tokens: int = 8,
+    ) -> None:
+        super().__init__(
+            ctx,
+            model_config,
+            seed=seed,
+            tag=tag,
+            lr=lr,
+            max_grad_norm=max_grad_norm,
+        )
+        self.clip_ratio = clip_ratio
+        self.temperature = temperature
+        self.max_new_tokens = max_new_tokens
+        self._gen_calls = 0
+
+    # -- engine plumbing -------------------------------------------------------------
+
+    def _engine(self) -> HybridEngine3D:
+        group = self.ctx.group
+        engine = getattr(group, "hybrid_engine", None)
+        if engine is None:
+            engine = HybridEngine3D(group)
+            group.hybrid_engine = engine
+        return engine
+
+    def _is_gen_replica_lead(self) -> bool:
+        c = self.ctx.gen_coords
+        return c.pg == 0 and c.tg == 0
+
+    # -- Table 4 primitives --------------------------------------------------------------
+
+    @register(protocol="3d_all_micro_dp")
+    def generate_sequences(
+        self,
+        batch: DataBatch,
+        do_sample: bool = True,
+        max_new_tokens: Optional[int] = None,
+    ) -> Optional[DataBatch]:
+        """Generate responses for this rank's micro-batch of prompts.
+
+        Returns prompt+response sequences plus the sampling log-probs (the
+        behaviour policy's ``old_log_probs`` for PPO).
+        """
+        engine = self._engine()
+        if self.ctx.local_rank == 0:
+            engine.to_generation()  # Figure 7 step 1 (group-wide)
+        self._gen_calls += 1
+
+        if self._is_gen_replica_lead():
+            full = engine.materialize_generation_replica(self)
+            model = self._build_model(full, requires_grad=False)
+            rng = np.random.default_rng(
+                (self.seed, self.ctx.global_rank, self._gen_calls)
+            )
+            out = generate(
+                model,
+                batch["prompts"],
+                max_new_tokens=max_new_tokens or self.max_new_tokens,
+                temperature=self.temperature,
+                greedy=not do_sample,
+                rng=rng,
+            )
+            self.ctx.device.memory.alloc(
+                f"{self.tag}/kv_cache", out.kv_cache_bytes
+            )
+            self._stashed_output = DataBatch(
+                {
+                    "prompts": batch["prompts"],
+                    "sequences": out.sequences,
+                    "old_log_probs": out.response_log_probs,
+                },
+                meta={"prompt_length": out.prompt_length},
+            )
+        result = self._stashed_output if self._is_gen_replica_lead() else None
+
+        if self.ctx.local_rank == len(self.ctx.group.workers) - 1:
+            self._gather_generation_results()  # Figure 7 step 3
+            self._release_kv_caches()
+            engine.to_training()  # Figure 7 step 4
+        return result
+
+    def _gather_generation_results(self) -> None:
+        """Step ③: all-gather generated sequences within micro-DP groups."""
+        gen = self.ctx.gen_topology
+        assert gen is not None
+        for group in gen.all_micro_dp_groups():
+            leads = [
+                self.ctx.peer(r)
+                for r in group.ranks
+                if isinstance(self.ctx.peer(r), ActorWorker)
+                and self.ctx.peer(r)._is_gen_replica_lead()
+            ]
+            payload = sum(
+                out._stashed_output.nbytes()
+                for out in leads
+                if out._stashed_output is not None
+            )
+            per_rank = (
+                (group.size - 1) * payload // group.size if group.size > 1 else 0
+            )
+            group.record_traffic("gen_results_all_gather", per_rank)
+
+    def _release_kv_caches(self) -> None:
+        """Offload the KV cache to host memory after generation (§7)."""
+        for worker in self.ctx.group.workers:
+            worker.ctx.device.memory.free_tag(f"{worker.tag}/kv_cache")
+
+    # -- checkpointing (§9: "... and Random Number Generator (RNG) states to
+    # ensure system-wide consistency") -----------------------------------------
+
+    def state_for_checkpoint(self):
+        state = super().state_for_checkpoint()
+        # the sampling rng stream is derived from (seed, rank, call count),
+        # so persisting the counter restores bit-identical generation
+        state["gen_calls"] = self._gen_calls
+        return state
+
+    def load_from_checkpoint(self, state) -> None:
+        self._gen_calls = int(state.pop("gen_calls", 0))
+        super().load_from_checkpoint(state)
+
+    @register(protocol="3d_proto")
+    def compute_log_prob(self, batch: DataBatch) -> Optional[DataBatch]:
+        """Recompute response log-probs under the current policy (Table 4)."""
+
+        def compute(model: TinyLM):
+            prompt_len = batch.meta["prompt_length"]
+            logp = model.token_log_probs(batch["sequences"]).data
+            return batch.select(["sequences"]).union(
+                DataBatch(
+                    {"log_probs": logp[:, prompt_len - 1 :]},
+                    meta=batch.meta,
+                )
+            )
+
+        return self.replica_forward(compute)
+
+    @register(protocol="3d_proto")
+    def compute_loss(self, pretrain_batch: DataBatch) -> Optional[Dict[str, float]]:
+        """Pretraining NLL on auxiliary data (PPO-ptx / Safe-RLHF, Table 4)."""
+
+        def compute(model: TinyLM):
+            logp = model.token_log_probs(pretrain_batch["tokens"])
+            return {"pretrain_loss": float(L.pretrain_loss(logp).item())}
+
+        return self.replica_forward(compute)
+
+    @register(protocol="3d_proto")
+    def update_sft(self, batch: DataBatch) -> Optional[Dict[str, float]]:
+        """Supervised fine-tuning step: next-token NLL on ``tokens``.
+
+        The stage that precedes RLHF in the alignment pipeline (§1: LLMs are
+        "trained on domain-specific datasets via supervised fine-tuning");
+        reuses the same data-parallel training machinery as ``update_actor``.
+        """
+
+        def compute(model: TinyLM):
+            logp = model.token_log_probs(batch["tokens"])
+            loss = L.pretrain_loss(logp)
+            return loss, {"sft_loss": float(loss.item())}
+
+        return self.replica_train_step(compute)
+
+    @register(protocol="3d_proto")
+    def update_actor(
+        self,
+        batch: DataBatch,
+        loss_func: str = "ppo",
+        kl_coef: float = 0.04,
+        lagrange_multiplier: float = 0.0,
+        pretrain_batch: Optional[DataBatch] = None,
+        ptx_coef: float = 0.1,
+    ) -> Optional[Dict[str, float]]:
+        """One policy-gradient update on this replica's chunk (Table 4).
+
+        ``loss_func`` selects the algorithm's objective: ``"ppo"``/``"remax"``
+        (clipped surrogate), ``"safe-rlhf"`` (PPO-Lagrangian, optionally with
+        the pretraining auxiliary loss), or ``"grpo"`` (clip + k3 KL).
+        """
+
+        def compute(model: TinyLM):
+            prompt_len = batch.meta["prompt_length"]
+            logp = model.token_log_probs(batch["sequences"])[
+                :, prompt_len - 1 :
+            ]
+            old = batch["old_log_probs"]
+            advantages = batch["advantages"]
+            if loss_func in ("ppo", "remax"):
+                loss, metrics = L.ppo_policy_loss(
+                    logp, old, advantages, self.clip_ratio
+                )
+            elif loss_func == "safe-rlhf":
+                loss, metrics = L.safe_rlhf_policy_loss(
+                    logp,
+                    old,
+                    advantages,
+                    batch["cost_advantages"],
+                    lagrange_multiplier,
+                    self.clip_ratio,
+                )
+                if pretrain_batch is not None:
+                    ptx_logp = model.token_log_probs(pretrain_batch["tokens"])
+                    ptx = L.pretrain_loss(ptx_logp)
+                    loss = loss + ptx_coef * ptx
+                    metrics = dict(metrics)
+                    metrics["pretrain_loss"] = float(ptx.item())
+            elif loss_func == "grpo":
+                loss, metrics = L.grpo_policy_loss(
+                    logp,
+                    old,
+                    advantages,
+                    batch["ref_log_probs"],
+                    self.clip_ratio,
+                    kl_coef,
+                )
+            else:
+                raise ValueError(f"unknown actor loss {loss_func!r}")
+            return loss, metrics
+
+        return self.replica_train_step(compute)

@@ -1,0 +1,223 @@
+"""Gradient-correctness tests for the autograd engine (finite differences)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.models import autograd as ag
+from repro.models.autograd import Tensor, no_grad
+
+
+def finite_diff(f, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar-valued ``f`` at ``x``."""
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        up = f(x)
+        flat[i] = orig - eps
+        down = f(x)
+        flat[i] = orig
+        gflat[i] = (up - down) / (2 * eps)
+    return grad
+
+
+def check_gradient(op, shape=(3, 4), seed=0, positive=False):
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=shape)
+    if positive:
+        data = np.abs(data) + 0.5
+    x = Tensor(data.copy(), requires_grad=True)
+    out = op(x)
+    loss = out.sum() if out.size > 1 else out
+    loss.backward()
+
+    def f(arr):
+        return float(op(Tensor(arr)).sum().item())
+
+    expected = finite_diff(f, data.copy())
+    np.testing.assert_allclose(x.grad, expected, rtol=1e-5, atol=1e-7)
+
+
+UNARY_OPS = {
+    "exp": lambda x: x.exp(),
+    "log": lambda x: x.log(),
+    "tanh": lambda x: x.tanh(),
+    "sigmoid": lambda x: x.sigmoid(),
+    "silu": lambda x: x.silu(),
+    "relu": lambda x: x.relu(),
+    "sqrt": lambda x: x.sqrt(),
+    "abs": lambda x: x.abs(),
+    "neg": lambda x: -x,
+    "square": lambda x: x**2,
+    "clip": lambda x: x.clip(-0.5, 0.5),
+    "mean": lambda x: x.mean(),
+    "sum_axis": lambda x: x.sum(axis=1),
+    "reshape": lambda x: x.reshape(12),
+    "transpose": lambda x: x.transpose(1, 0),
+    "softmax": lambda x: ag.softmax(x),
+    "log_softmax": lambda x: ag.log_softmax(x),
+    "getitem": lambda x: x[1:, :2],
+}
+
+
+@pytest.mark.parametrize("name", sorted(UNARY_OPS))
+def test_unary_gradients(name):
+    positive = name in ("log", "sqrt")
+    check_gradient(UNARY_OPS[name], positive=positive)
+
+
+def test_matmul_gradients():
+    rng = np.random.default_rng(1)
+    a_data = rng.normal(size=(3, 4))
+    b_data = rng.normal(size=(4, 5))
+    a = Tensor(a_data.copy(), requires_grad=True)
+    b = Tensor(b_data.copy(), requires_grad=True)
+    (a @ b).sum().backward()
+    fd_a = finite_diff(lambda arr: float((Tensor(arr) @ Tensor(b_data)).sum().item()), a_data.copy())
+    fd_b = finite_diff(lambda arr: float((Tensor(a_data) @ Tensor(arr)).sum().item()), b_data.copy())
+    np.testing.assert_allclose(a.grad, fd_a, rtol=1e-6)
+    np.testing.assert_allclose(b.grad, fd_b, rtol=1e-6)
+
+
+def test_batched_matmul_gradients():
+    rng = np.random.default_rng(2)
+    a = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+    b = Tensor(rng.normal(size=(2, 4, 5)), requires_grad=True)
+    (a @ b).sum().backward()
+    assert a.grad.shape == (2, 3, 4)
+    assert b.grad.shape == (2, 4, 5)
+    np.testing.assert_allclose(a.grad, np.ones((2, 3, 5)) @ np.swapaxes(b.data, -1, -2))
+
+
+def test_broadcast_gradients_fold_back():
+    bias = Tensor(np.zeros(4), requires_grad=True)
+    x = Tensor(np.ones((3, 4)))
+    (x + bias).sum().backward()
+    np.testing.assert_allclose(bias.grad, [3.0, 3.0, 3.0, 3.0])
+
+
+def test_scalar_broadcast():
+    x = Tensor(np.ones((2, 2)), requires_grad=True)
+    (2.0 * x + 1.0).sum().backward()
+    np.testing.assert_allclose(x.grad, 2.0 * np.ones((2, 2)))
+
+
+def test_ndarray_left_operand_defers_to_tensor():
+    x = Tensor(np.ones(3), requires_grad=True)
+    out = np.array([1.0, 2.0, 3.0]) + x
+    assert isinstance(out, Tensor)
+    out = np.array([2.0, 2.0, 2.0]) * x
+    assert isinstance(out, Tensor)
+    out.sum().backward()
+    np.testing.assert_allclose(x.grad, [2.0, 2.0, 2.0])
+
+
+def test_division_gradients():
+    rng = np.random.default_rng(3)
+    a_data = rng.normal(size=(3,)) + 3.0
+    b_data = rng.normal(size=(3,)) + 3.0
+    a = Tensor(a_data.copy(), requires_grad=True)
+    b = Tensor(b_data.copy(), requires_grad=True)
+    (a / b).sum().backward()
+    np.testing.assert_allclose(a.grad, 1.0 / b_data)
+    np.testing.assert_allclose(b.grad, -a_data / b_data**2)
+
+
+def test_maximum_routes_gradient_to_winner():
+    a = Tensor(np.array([1.0, 5.0]), requires_grad=True)
+    b = Tensor(np.array([3.0, 2.0]), requires_grad=True)
+    a.maximum(b).sum().backward()
+    np.testing.assert_allclose(a.grad, [0.0, 1.0])
+    np.testing.assert_allclose(b.grad, [1.0, 0.0])
+
+
+def test_where_routes_gradient():
+    a = Tensor(np.ones(3), requires_grad=True)
+    b = Tensor(np.zeros(3), requires_grad=True)
+    cond = np.array([True, False, True])
+    ag.where(cond, a, b).sum().backward()
+    np.testing.assert_allclose(a.grad, [1.0, 0.0, 1.0])
+    np.testing.assert_allclose(b.grad, [0.0, 1.0, 0.0])
+
+
+def test_concatenate_and_stack_gradients():
+    a = Tensor(np.ones((2, 2)), requires_grad=True)
+    b = Tensor(np.ones((3, 2)), requires_grad=True)
+    out = ag.concatenate([a, b], axis=0)
+    (out * Tensor(np.arange(10.0).reshape(5, 2))).sum().backward()
+    np.testing.assert_allclose(a.grad, [[0, 1], [2, 3]])
+    np.testing.assert_allclose(b.grad, [[4, 5], [6, 7], [8, 9]])
+
+    c = Tensor(np.ones(3), requires_grad=True)
+    d = Tensor(np.ones(3), requires_grad=True)
+    ag.stack([c, d])[1].sum().backward()
+    np.testing.assert_allclose(c.grad, [0, 0, 0])
+    np.testing.assert_allclose(d.grad, [1, 1, 1])
+
+
+def test_embedding_accumulates_duplicate_indices():
+    table = Tensor(np.zeros((4, 2)), requires_grad=True)
+    ids = np.array([[1, 1, 3]])
+    ag.embedding(table, ids).sum().backward()
+    np.testing.assert_allclose(table.grad[1], [2.0, 2.0])
+    np.testing.assert_allclose(table.grad[3], [1.0, 1.0])
+    np.testing.assert_allclose(table.grad[0], [0.0, 0.0])
+
+
+def test_gather_last_gradient():
+    x = Tensor(np.zeros((2, 3)), requires_grad=True)
+    idx = np.array([2, 0])
+    ag.gather_last(x, idx).sum().backward()
+    expected = np.zeros((2, 3))
+    expected[0, 2] = 1.0
+    expected[1, 0] = 1.0
+    np.testing.assert_allclose(x.grad, expected)
+
+
+def test_gradient_accumulates_across_uses():
+    x = Tensor(np.ones(2), requires_grad=True)
+    (x + x).sum().backward()
+    np.testing.assert_allclose(x.grad, [2.0, 2.0])
+
+
+def test_no_grad_blocks_graph():
+    x = Tensor(np.ones(2), requires_grad=True)
+    with no_grad():
+        y = (x * 2).sum()
+    assert not y.requires_grad
+    with pytest.raises(RuntimeError):
+        y.backward()
+
+
+def test_backward_requires_scalar_or_grad():
+    x = Tensor(np.ones(3), requires_grad=True)
+    with pytest.raises(RuntimeError, match="scalar"):
+        (x * 2).backward()
+    (x * 2).backward(np.ones(3))
+    np.testing.assert_allclose(x.grad, [2.0, 2.0, 2.0])
+
+
+def test_deep_graph_no_recursion_error():
+    x = Tensor(np.array([1.0]), requires_grad=True)
+    y = x
+    for _ in range(3000):
+        y = y + 1.0
+    y.sum().backward()
+    np.testing.assert_allclose(x.grad, [1.0])
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    rows=st.integers(1, 4),
+    cols=st.integers(2, 6),
+    seed=st.integers(0, 100),
+)
+def test_softmax_rows_sum_to_one_and_logsoftmax_consistent(rows, cols, seed):
+    rng = np.random.default_rng(seed)
+    x = Tensor(rng.normal(size=(rows, cols)) * 5)
+    sm = ag.softmax(x).data
+    np.testing.assert_allclose(sm.sum(axis=-1), np.ones(rows), rtol=1e-12)
+    np.testing.assert_allclose(np.log(sm), ag.log_softmax(x).data, atol=1e-9)

@@ -1,0 +1,99 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["throughput", "--model", "gpt-5"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["map"])
+        args2 = build_parser().parse_args(["throughput"])
+        assert args.model == args2.model == "llama-7b"
+        assert args.machines == 2
+
+
+class TestCommands:
+    def test_throughput(self, capsys):
+        assert main(["throughput", "--model", "llama-7b", "--machines", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "HybridFlow" in out
+        assert "speedup vs" in out
+
+    def test_map(self, capsys):
+        assert main(["map", "--model", "llama-7b", "--machines", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "best mapping" in out
+        assert "throughput" in out
+
+    def test_map_remax(self, capsys):
+        assert main(
+            ["map", "--model", "llama-7b", "--machines", "1", "--algo", "remax"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "critic" not in out
+
+    def test_transition(self, capsys):
+        assert main(
+            [
+                "transition",
+                "--model",
+                "llama-13b",
+                "--tp",
+                "8",
+                "--dp",
+                "2",
+                "--gen-tp",
+                "2",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "hybridflow " in out or "hybridflow  " in out
+        assert "redundant= 0.00 GB" in out
+
+    def test_sweep_gen(self, capsys):
+        assert main(["sweep-gen", "--model", "llama-13b"]) == 0
+        out = capsys.readouterr().out
+        assert "best generation TP size" in out
+        assert "t_g=8" in out
+
+    def test_custom_workload(self, capsys):
+        assert main(
+            [
+                "throughput",
+                "--model",
+                "llama-7b",
+                "--machines",
+                "1",
+                "--batch",
+                "512",
+                "--prompt-length",
+                "512",
+                "--response-length",
+                "512",
+            ]
+        ) == 0
+        assert "512/512 tokens" in capsys.readouterr().out
+
+
+class TestMapHetero:
+    def test_default_zones(self, capsys):
+        assert main(["map-hetero", "--model", "llama-7b"]) == 0
+        out = capsys.readouterr().out
+        assert "heterogeneous mapping" in out
+        assert "zone" in out
+
+    def test_bad_zone_spec(self, capsys):
+        assert main(["map-hetero", "--zone", "nonsense"]) == 2
+        assert "bad --zone" in capsys.readouterr().err
+
+    def test_unknown_gpu(self, capsys):
+        assert main(["map-hetero", "--zone", "z:TPU-v5:1"]) == 2

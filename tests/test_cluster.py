@@ -1,0 +1,123 @@
+"""Tests for the simulated cluster and device memory accounting."""
+
+import pytest
+
+from repro.cluster import OutOfDeviceMemory, SimCluster
+from repro.config import ClusterSpec, GpuSpec
+
+
+def small_cluster(n_machines=2, gpus_per_machine=4, mem=1000):
+    spec = ClusterSpec(
+        n_machines=n_machines,
+        gpus_per_machine=gpus_per_machine,
+        gpu=GpuSpec(memory_bytes=mem),
+    )
+    return SimCluster(spec)
+
+
+class TestDeviceMemory:
+    def test_alloc_and_free(self):
+        device = small_cluster().device(0)
+        device.memory.alloc("weights", 400)
+        assert device.memory.used == 400
+        assert device.memory.free == 600
+        assert device.memory.free_tag("weights") == 400
+        assert device.memory.used == 0
+
+    def test_alloc_accumulates_under_same_tag(self):
+        device = small_cluster().device(0)
+        device.memory.alloc("kv", 100)
+        device.memory.alloc("kv", 150)
+        assert device.memory.bytes_for("kv") == 250
+
+    def test_oom_raises_with_context(self):
+        device = small_cluster().device(0)
+        device.memory.alloc("weights", 900)
+        with pytest.raises(OutOfDeviceMemory) as err:
+            device.memory.alloc("kv", 200)
+        assert err.value.tag == "kv"
+        assert err.value.requested == 200
+
+    def test_peak_tracking(self):
+        device = small_cluster().device(0)
+        device.memory.alloc("a", 700)
+        device.memory.free_tag("a")
+        device.memory.alloc("b", 100)
+        assert device.memory.peak_used == 700
+        device.memory.reset_peak()
+        assert device.memory.peak_used == 100
+
+    def test_resize_shrinks_and_grows(self):
+        device = small_cluster().device(0)
+        device.memory.alloc("w", 500)
+        device.memory.resize("w", 200)
+        assert device.memory.bytes_for("w") == 200
+        device.memory.resize("w", 0)
+        assert device.memory.bytes_for("w") == 0
+
+    def test_resize_oom(self):
+        device = small_cluster().device(0)
+        device.memory.alloc("other", 900)
+        device.memory.alloc("w", 50)
+        with pytest.raises(OutOfDeviceMemory):
+            device.memory.resize("w", 200)
+
+    def test_negative_alloc_rejected(self):
+        device = small_cluster().device(0)
+        with pytest.raises(ValueError):
+            device.memory.alloc("x", -1)
+
+    def test_free_unknown_tag_is_zero(self):
+        device = small_cluster().device(0)
+        assert device.memory.free_tag("nothing") == 0
+
+
+class TestSimCluster:
+    def test_devices_know_their_machines(self):
+        cluster = small_cluster()
+        assert cluster.device(0).machine == 0
+        assert cluster.device(5).machine == 1
+
+    def test_contiguous_allocation(self):
+        cluster = small_cluster()
+        a = cluster.allocate(3)
+        b = cluster.allocate(2)
+        assert a.global_ranks == [0, 1, 2]
+        assert b.global_ranks == [3, 4]
+        assert not a.overlaps(b)
+
+    def test_exhaustion(self):
+        cluster = small_cluster()
+        cluster.allocate(8)
+        with pytest.raises(RuntimeError, match="exhausted"):
+            cluster.allocate(1)
+
+    def test_release_all(self):
+        cluster = small_cluster()
+        cluster.allocate(8)
+        cluster.release_all()
+        assert cluster.allocate(8).size == 8
+
+    def test_device_set_spans_machines(self):
+        cluster = small_cluster()
+        ds = cluster.device_set([0, 3, 4])
+        assert ds.spans_machines() == 2
+
+    def test_device_set_rejects_duplicates(self):
+        cluster = small_cluster()
+        with pytest.raises(ValueError, match="duplicate"):
+            cluster.device_set([0, 0])
+
+    def test_min_free_memory(self):
+        cluster = small_cluster()
+        cluster.device(1).memory.alloc("w", 300)
+        ds = cluster.device_set([0, 1, 2])
+        assert ds.min_free_memory() == 700
+
+    def test_busy_time_accounting(self):
+        device = small_cluster().device(0)
+        device.occupy(1.5)
+        device.occupy(0.5)
+        assert device.busy_time == 2.0
+        with pytest.raises(ValueError):
+            device.occupy(-1.0)

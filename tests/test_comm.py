@@ -1,0 +1,190 @@
+"""Tests for functional collectives and the analytical cost model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.comm import collectives as C
+from repro.comm.cost import (
+    all_gather_time,
+    all_gather_volume_per_rank,
+    all_reduce_time,
+    all_reduce_volume_per_rank,
+    broadcast_time,
+    group_bandwidth,
+    p2p_time,
+    reduce_scatter_volume_per_rank,
+)
+from repro.comm.groups import ProcessGroup, TrafficMeter
+from repro.config import ClusterSpec
+
+
+def group_of(n, meter=None):
+    return ProcessGroup(list(range(n)), name="g", meter=meter)
+
+
+class TestProcessGroup:
+    def test_group_rank_lookup(self):
+        g = ProcessGroup([4, 2, 9])
+        assert g.group_rank_of(9) == 2
+        assert g.contains(2)
+        with pytest.raises(ValueError):
+            g.group_rank_of(5)
+
+    def test_rejects_duplicates_and_empty(self):
+        with pytest.raises(ValueError):
+            ProcessGroup([1, 1])
+        with pytest.raises(ValueError):
+            ProcessGroup([])
+
+
+class TestCollectives:
+    def test_all_gather_concatenates_in_rank_order(self):
+        g = group_of(3)
+        shards = [np.full((2,), i) for i in range(3)]
+        out = C.all_gather(shards, g)
+        expected = np.array([0, 0, 1, 1, 2, 2])
+        for o in out:
+            np.testing.assert_array_equal(o, expected)
+
+    def test_all_gather_outputs_do_not_alias(self):
+        g = group_of(2)
+        out = C.all_gather([np.zeros(2), np.ones(2)], g)
+        out[0][0] = 99
+        assert out[1][0] == 0
+
+    def test_all_reduce_ops(self):
+        g = group_of(2)
+        a, b = np.array([1.0, 5.0]), np.array([3.0, 1.0])
+        assert np.allclose(C.all_reduce([a, b], g, "sum")[0], [4, 6])
+        assert np.allclose(C.all_reduce([a, b], g, "mean")[1], [2, 3])
+        assert np.allclose(C.all_reduce([a, b], g, "max")[0], [3, 5])
+        assert np.allclose(C.all_reduce([a, b], g, "min")[0], [1, 1])
+
+    def test_all_reduce_rejects_bad_op_and_shapes(self):
+        g = group_of(2)
+        with pytest.raises(ValueError, match="unsupported"):
+            C.all_reduce([np.zeros(2), np.zeros(2)], g, "prod")
+        with pytest.raises(ValueError, match="mismatched"):
+            C.all_reduce([np.zeros(2), np.zeros(3)], g)
+
+    def test_reduce_scatter_inverse_of_gather(self):
+        g = group_of(2)
+        tensors = [np.arange(4.0), np.arange(4.0) * 10]
+        out = C.reduce_scatter(tensors, g)
+        np.testing.assert_allclose(out[0], [0.0, 11.0])
+        np.testing.assert_allclose(out[1], [22.0, 33.0])
+
+    def test_reduce_scatter_rejects_indivisible(self):
+        g = group_of(2)
+        with pytest.raises(ValueError, match="not divisible"):
+            C.reduce_scatter([np.zeros(3), np.zeros(3)], g)
+
+    def test_broadcast_and_scatter(self):
+        g = group_of(3)
+        out = C.broadcast(np.array([7.0]), g)
+        assert all(o[0] == 7.0 for o in out)
+        chunks = [np.array([i]) for i in range(3)]
+        out = C.scatter(chunks, g)
+        assert [o[0] for o in out] == [0, 1, 2]
+
+    def test_gather_only_root_receives(self):
+        g = group_of(3)
+        out = C.gather([np.array([i]) for i in range(3)], g, root_group_rank=1)
+        assert out[0] == [] and out[2] == []
+        assert [x[0] for x in out[1]] == [0, 1, 2]
+
+    def test_all_to_all_transpose(self):
+        g = group_of(2)
+        send = [[np.array([0]), np.array([1])], [np.array([10]), np.array([11])]]
+        out = C.all_to_all(send, g)
+        assert out[0][0] == 0 and out[0][1] == 10
+        assert out[1][0] == 1 and out[1][1] == 11
+
+    def test_wrong_input_count_raises(self):
+        g = group_of(3)
+        with pytest.raises(ValueError, match="expected 3"):
+            C.all_gather([np.zeros(1)], g)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(2, 5),
+        size=st.integers(1, 8),
+        seed=st.integers(0, 1000),
+    )
+    def test_all_reduce_sum_matches_numpy(self, n, size, seed):
+        rng = np.random.default_rng(seed)
+        tensors = [rng.normal(size=size) for _ in range(n)]
+        out = C.all_reduce(tensors, group_of(n), "sum")
+        expected = np.sum(tensors, axis=0)
+        for o in out:
+            np.testing.assert_allclose(o, expected)
+
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.integers(1, 5), rows=st.integers(1, 4), seed=st.integers(0, 99))
+    def test_gather_scatter_roundtrip(self, n, rows, seed):
+        """all_gather then re-split returns the original shards."""
+        rng = np.random.default_rng(seed)
+        shards = [rng.normal(size=(rows, 3)) for _ in range(n)]
+        gathered = C.all_gather(shards, group_of(n))[0]
+        for i, shard in enumerate(np.split(gathered, n, axis=0)):
+            np.testing.assert_allclose(shard, shards[i])
+
+
+class TestTrafficMeter:
+    def test_all_gather_traffic_matches_formula(self):
+        meter = TrafficMeter()
+        g = group_of(4, meter)
+        shards = [np.zeros(10, dtype=np.float64) for _ in range(4)]
+        C.all_gather(shards, g)
+        total_payload = 4 * 10 * 8
+        per_rank = 3 * total_payload // 4
+        assert meter.bytes_for("g", "all_gather") == per_rank * 4
+        assert meter.bytes_for_rank(0) == per_rank
+
+    def test_single_rank_groups_move_nothing(self):
+        meter = TrafficMeter()
+        g = group_of(1, meter)
+        C.all_reduce([np.zeros(100)], g)
+        C.broadcast(np.zeros(100), g)
+        assert meter.total_bytes() == 0
+
+    def test_reset(self):
+        meter = TrafficMeter()
+        g = group_of(2, meter)
+        C.broadcast(np.zeros(10), g)
+        meter.reset()
+        assert meter.total_bytes() == 0
+
+
+class TestCostModel:
+    def test_ring_volume_formulas(self):
+        assert all_gather_volume_per_rank(100, 4) == 75.0
+        assert reduce_scatter_volume_per_rank(100, 4) == 75.0
+        assert all_reduce_volume_per_rank(100, 4) == 150.0
+        assert all_gather_volume_per_rank(100, 1) == 0.0
+
+    def test_intra_machine_bandwidth(self):
+        cluster = ClusterSpec()
+        assert group_bandwidth(cluster, [0, 1, 2]) == cluster.intra_node_bandwidth
+
+    def test_cross_machine_bandwidth_shared_by_local_ranks(self):
+        cluster = ClusterSpec()
+        # 8 ranks on machine 0 and 8 on machine 1 share each NIC
+        ranks = list(range(16))
+        assert group_bandwidth(cluster, ranks) == cluster.inter_node_bandwidth / 8
+
+    def test_times_scale_with_volume(self):
+        cluster = ClusterSpec()
+        small = all_gather_time(10**9, cluster, [0, 1])
+        large = all_gather_time(10**10, cluster, [0, 1])
+        assert large > small
+        assert all_reduce_time(10**9, cluster, [0, 1]) > small
+
+    def test_broadcast_and_p2p(self):
+        cluster = ClusterSpec()
+        assert broadcast_time(10**9, cluster, [0]) == 0.0
+        assert p2p_time(10**9, cluster, 0, 0) == 0.0
+        intra = p2p_time(10**9, cluster, 0, 1)
+        inter = p2p_time(10**9, cluster, 0, 8)
+        assert inter > intra > 0

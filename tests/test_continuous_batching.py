@@ -1,0 +1,92 @@
+"""Tests for the continuous-vs-static batching simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import MODEL_SPECS, ClusterSpec
+from repro.perf.continuous_batching import (
+    continuous_batching_speedup,
+    sample_response_lengths,
+    serve_continuous,
+    serve_static,
+)
+
+SPEC = MODEL_SPECS["llama-7b"]
+CLUSTER = ClusterSpec(n_machines=1)
+
+
+class TestSampling:
+    def test_lengths_within_bounds(self):
+        lengths = sample_response_lengths(100, 64, 256, np.random.default_rng(0))
+        assert lengths.min() >= 1 and lengths.max() <= 256
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            sample_response_lengths(0, 64, 256, rng)
+        with pytest.raises(ValueError):
+            sample_response_lengths(10, 64, 32, rng)
+
+
+class TestServing:
+    def test_equal_lengths_make_disciplines_equal(self):
+        """With the paper's fairness control (all lengths equal) the two
+        disciplines coincide — which is why §8.1 could enforce it."""
+        lengths = [32] * 16
+        static = serve_static(lengths, 8, SPEC, CLUSTER)
+        continuous = serve_continuous(lengths, 8, SPEC, CLUSTER)
+        assert static.n_steps == continuous.n_steps
+        assert static.total_time == pytest.approx(continuous.total_time, rel=0.02)
+
+    def test_skewed_lengths_favour_continuous(self):
+        lengths = [4] * 15 + [256]
+        static = serve_static(lengths, 8, SPEC, CLUSTER)
+        continuous = serve_continuous(lengths, 8, SPEC, CLUSTER)
+        assert continuous.total_time < static.total_time
+        assert continuous.slot_utilisation >= static.slot_utilisation
+
+    def test_all_requests_complete(self):
+        lengths = [3, 7, 1, 12, 5]
+        result = serve_continuous(lengths, 2, SPEC, CLUSTER)
+        # steps must cover the total generated tokens at >= 1 token/step
+        assert result.n_steps >= max(lengths)
+        assert result.n_steps <= sum(lengths)
+
+    def test_capacity_one_serialises(self):
+        lengths = [4, 4]
+        result = serve_continuous(lengths, 1, SPEC, CLUSTER)
+        assert result.n_steps == 8
+        assert result.slot_utilisation == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            serve_static([3], 0, SPEC, CLUSTER)
+        with pytest.raises(ValueError):
+            serve_continuous([3], 0, SPEC, CLUSTER)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(0, 50),
+        capacity=st.sampled_from([4, 8, 16]),
+    )
+    def test_continuous_never_slower_property(self, seed, capacity):
+        rng = np.random.default_rng(seed)
+        lengths = sample_response_lengths(32, 32, 128, rng)
+        static = serve_static(lengths, capacity, SPEC, CLUSTER)
+        continuous = serve_continuous(lengths, capacity, SPEC, CLUSTER)
+        assert continuous.total_time <= static.total_time * 1.01
+
+
+class TestSpeedup:
+    def test_realistic_workload_speedup_band(self):
+        speedup = continuous_batching_speedup(
+            n_requests=64,
+            mean_length=64,
+            max_length=512,
+            capacity=16,
+            spec=SPEC,
+            cluster=CLUSTER,
+        )
+        # Orca/vLLM report multi-x gains on skewed lengths
+        assert 1.2 < speedup < 20

@@ -1,0 +1,137 @@
+"""Tests for the single controller: pools, worker groups, trace, checkpoints."""
+
+import numpy as np
+import pytest
+
+from repro.config import ClusterSpec, ParallelConfig
+from repro.single_controller import (
+    ResourcePool,
+    SingleController,
+    Worker,
+    WorkerGroup,
+    register,
+)
+
+
+class CounterWorker(Worker):
+    def __init__(self, ctx, start=0):
+        super().__init__(ctx)
+        self.count = start
+
+    @register(protocol="one_to_all")
+    def bump(self):
+        self.count += 1
+        return self.count
+
+    def state_for_checkpoint(self):
+        return {"count": self.count, "arr": np.full(3, self.count, dtype=float)}
+
+    def load_from_checkpoint(self, state):
+        self.count = int(state["count"])
+        assert state["arr"].shape == (3,)
+
+
+def controller_with_group(n=2, **kwargs):
+    controller = SingleController(ClusterSpec(n_machines=1))
+    pool = controller.create_pool(n, name="main")
+    group = WorkerGroup(
+        CounterWorker, pool, controller=controller, name="counter", **kwargs
+    )
+    return controller, group
+
+
+class TestResourcePools:
+    def test_pools_do_not_overlap(self):
+        controller = SingleController(ClusterSpec(n_machines=1))
+        a = controller.create_pool(4, name="a")
+        b = controller.create_pool(4, name="b")
+        assert not a.overlaps(b)
+        assert not a.colocated_with(b)
+
+    def test_duplicate_pool_name_rejected(self):
+        controller = SingleController(ClusterSpec(n_machines=1))
+        controller.create_pool(1, name="x")
+        with pytest.raises(ValueError, match="duplicate"):
+            controller.create_pool(1, name="x")
+
+    def test_colocated_groups_share_pool(self):
+        controller = SingleController(ClusterSpec(n_machines=1))
+        pool = controller.create_pool(2, name="shared")
+        g1 = WorkerGroup(CounterWorker, pool, controller=controller, name="g1")
+        g2 = WorkerGroup(CounterWorker, pool, controller=controller, name="g2")
+        assert pool.worker_groups == [g1, g2]
+        assert g1.resource_pool.colocated_with(g2.resource_pool)
+
+    def test_parallel_config_must_match_pool_size(self):
+        controller = SingleController(ClusterSpec(n_machines=1))
+        pool = controller.create_pool(2)
+        with pytest.raises(ValueError, match="devices"):
+            WorkerGroup(
+                CounterWorker,
+                pool,
+                parallel_config=ParallelConfig(1, 1, 4),
+                controller=controller,
+            )
+
+
+class TestExecutionTrace:
+    def test_trace_records_order(self):
+        controller, group = controller_with_group()
+        group.bump()
+        group.bump()
+        assert controller.trace_methods() == ["counter.bump", "counter.bump"]
+        assert [r.seq for r in controller.trace] == [0, 1]
+        controller.reset_trace()
+        assert controller.trace == []
+
+    def test_group_lookup(self):
+        controller, group = controller_with_group()
+        assert controller.group_named("counter") is group
+        with pytest.raises(KeyError):
+            controller.group_named("nope")
+
+
+class TestCheckpoint:
+    def test_roundtrip(self, tmp_path):
+        controller, group = controller_with_group()
+        group.bump()
+        group.bump()
+        controller.save_checkpoint(tmp_path / "ckpt")
+
+        controller2, group2 = controller_with_group()
+        controller2.load_checkpoint(tmp_path / "ckpt")
+        assert [w.count for w in group2.workers] == [2, 2]
+
+    def test_missing_group_rejected(self, tmp_path):
+        controller, _ = controller_with_group()
+        controller.save_checkpoint(tmp_path / "ckpt")
+        controller2 = SingleController(ClusterSpec(n_machines=1))
+        pool = controller2.create_pool(2)
+        WorkerGroup(CounterWorker, pool, controller=controller2, name="other")
+        with pytest.raises(ValueError, match="no state"):
+            controller2.load_checkpoint(tmp_path / "ckpt")
+
+    def test_rank_count_mismatch_rejected(self, tmp_path):
+        controller, _ = controller_with_group(2)
+        controller.save_checkpoint(tmp_path / "ckpt")
+        controller2, _ = controller_with_group(4)
+        with pytest.raises(ValueError, match="rank count"):
+            controller2.load_checkpoint(tmp_path / "ckpt")
+
+
+class TestWorkerContext:
+    def test_peer_access(self):
+        _, group = controller_with_group(3)
+        w0 = group.workers[0]
+        assert w0.ctx.peer(2) is group.workers[2]
+        with pytest.raises(ValueError):
+            w0.ctx.peer(99)
+
+    def test_worker_kwargs_forwarded(self):
+        _, group = controller_with_group(2, worker_kwargs={"start": 10})
+        assert all(w.count == 10 for w in group.workers)
+
+    def test_gen_topology_absent_by_default(self):
+        _, group = controller_with_group(2)
+        with pytest.raises(RuntimeError, match="generation topology"):
+            group.workers[0].ctx.gen_coords

@@ -1,0 +1,100 @@
+"""Tests for heterogeneous-device mapping (the §6 extension)."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import MODEL_SPECS, ClusterSpec, GpuSpec, RlhfWorkload
+from repro.mapping.auto_parallel import clear_cache
+from repro.mapping.heterogeneous import (
+    ClusterZone,
+    map_dataflow_heterogeneous,
+)
+from repro.rlhf.core import AlgoType
+
+WL = RlhfWorkload()
+SPEC7 = MODEL_SPECS["llama-7b"]
+PPO = {m: SPEC7 for m in ("actor", "critic", "reference", "reward")}
+
+A100 = GpuSpec()
+#: An H800-class device: ~2.5x compute, ~1.6x memory bandwidth.
+H800 = dataclasses.replace(
+    A100, name="H800-80GB", peak_flops=790e12, hbm_bandwidth=3350e9
+)
+
+
+def zone(name, n_machines, gpu):
+    return ClusterZone(
+        name, ClusterSpec(n_machines=n_machines, gpu=gpu)
+    )
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_cache()
+
+
+class TestZoneEnumeration:
+    def test_single_zone_matches_homogeneous_search(self):
+        from repro.mapping import map_dataflow
+
+        zones = [zone("a100", 1, A100)]
+        hetero = map_dataflow_heterogeneous(AlgoType.PPO, PPO, zones, WL)
+        homo = map_dataflow(AlgoType.PPO, PPO, zones[0].spec, WL)
+        assert hetero.cost == pytest.approx(homo.cost, rel=0.05)
+
+    def test_requires_actor_and_zones(self):
+        with pytest.raises(ValueError, match="actor"):
+            map_dataflow_heterogeneous(
+                AlgoType.PPO, {"critic": SPEC7}, [zone("z", 1, A100)], WL
+            )
+        with pytest.raises(ValueError, match="zone"):
+            map_dataflow_heterogeneous(AlgoType.PPO, PPO, [], WL)
+
+    def test_duplicate_zone_names_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            map_dataflow_heterogeneous(
+                AlgoType.PPO, PPO, [zone("z", 1, A100), zone("z", 1, H800)], WL
+            )
+
+
+class TestHeterogeneousChoices:
+    def test_actor_lands_on_the_fast_zone(self):
+        """Generation + actor training dominate (§2.3), so the mapper should
+        give the actor the faster devices."""
+        zones = [zone("a100", 1, A100), zone("h800", 1, H800)]
+        result = map_dataflow_heterogeneous(AlgoType.PPO, PPO, zones, WL)
+        assert result.zone_of("actor") == "h800"
+
+    def test_mixed_cluster_beats_slow_zone_alone(self):
+        slow_only = map_dataflow_heterogeneous(
+            AlgoType.PPO, PPO, [zone("a100", 2, A100)], WL
+        )
+        mixed = map_dataflow_heterogeneous(
+            AlgoType.PPO,
+            PPO,
+            [zone("a100", 1, A100), zone("h800", 1, H800)],
+            WL,
+        )
+        assert mixed.cost < slow_only.cost
+
+    def test_allocation_respects_zone_capacity(self):
+        zones = [zone("a100", 1, A100), zone("h800", 1, H800)]
+        result = map_dataflow_heterogeneous(AlgoType.PPO, PPO, zones, WL)
+        used = {}
+        for set_index, zone_name in enumerate(result.zone_of_set):
+            used[zone_name] = used.get(zone_name, 0) + result.allocation[set_index]
+        for z in zones:
+            assert used.get(z.name, 0) <= z.n_gpus
+
+    def test_describe_mentions_zones(self):
+        zones = [zone("a100", 1, A100), zone("h800", 1, H800)]
+        result = map_dataflow_heterogeneous(AlgoType.PPO, PPO, zones, WL)
+        assert "h800" in result.describe() or "a100" in result.describe()
+
+    def test_infeasible_everywhere_raises(self):
+        big = {m: MODEL_SPECS["llama-70b"] for m in PPO}
+        with pytest.raises(RuntimeError, match="no feasible"):
+            map_dataflow_heterogeneous(
+                AlgoType.PPO, big, [zone("tiny", 1, A100)], WL
+            )

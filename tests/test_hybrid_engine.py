@@ -1,0 +1,261 @@
+"""Tests for the 3D-HybridEngine: functional resharding and Table 2 claims."""
+
+import dataclasses
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.config import ClusterSpec, GenParallelConfig, ParallelConfig
+from repro.hybrid_engine import (
+    EngineKind,
+    HybridEngine3D,
+    transition_overhead,
+)
+from repro.models.sharding import shard_nbytes, shard_params
+from repro.models.tinylm import TinyLM, TinyLMConfig
+from repro.parallel.topology import GenGroupingMode
+from repro.single_controller import SingleController, WorkerGroup
+from repro.workers import ActorWorker
+
+LM_CFG = TinyLMConfig(
+    n_layers=4,
+    hidden_size=32,
+    n_heads=4,
+    ffn_hidden_size=48,
+    vocab_size=16,
+    max_seq_len=32,
+)
+
+
+def actor_group(parallel, gen_tp, gen_pp=1, mode=GenGroupingMode.HYBRIDFLOW):
+    controller = SingleController(ClusterSpec(n_machines=2))
+    pool = controller.create_pool(parallel.world_size)
+    gen = GenParallelConfig.derive(parallel, gen_pp, gen_tp)
+    group = WorkerGroup(
+        ActorWorker,
+        pool,
+        parallel_config=parallel,
+        gen_config=gen,
+        gen_mode=mode,
+        controller=controller,
+        name="actor",
+        worker_kwargs={"model_config": LM_CFG},
+    )
+    return controller, group
+
+
+GRIDS = [
+    (ParallelConfig(1, 4, 2), 2, 1),  # Figure 8
+    (ParallelConfig(1, 4, 1), 1, 1),
+    (ParallelConfig(2, 2, 2), 2, 1),
+    (ParallelConfig(2, 2, 1), 1, 1),
+    (ParallelConfig(4, 2, 1), 2, 2),
+]
+
+
+class TestFunctionalTransition:
+    @pytest.mark.parametrize("parallel,gen_tp,gen_pp", GRIDS)
+    @pytest.mark.parametrize(
+        "mode", [GenGroupingMode.HYBRIDFLOW, GenGroupingMode.VANILLA]
+    )
+    def test_gen_shards_are_bit_exact(self, parallel, gen_tp, gen_pp, mode):
+        """Each rank's generation shard equals the slice of the full model
+        that its generation coordinates prescribe — for both groupings."""
+        _, group = actor_group(parallel, gen_tp, gen_pp, mode)
+        engine = HybridEngine3D(group)
+        engine.to_generation()
+        full = TinyLM(LM_CFG, seed=0).state_dict()
+        gen = group.gen_topology
+        for worker in group.workers:
+            c = gen.coords(worker.ctx.global_rank)
+            expected = shard_params(
+                full,
+                tp_rank=c.tg,
+                tp_size=gen.config.tp,
+                pp_rank=c.pg,
+                pp_size=gen.config.pp,
+                n_layers=LM_CFG.n_layers,
+            )
+            assert set(worker.gen_shard) == set(expected)
+            for name in expected:
+                np.testing.assert_array_equal(
+                    worker.gen_shard[name], expected[name]
+                )
+
+    def test_hybridflow_zero_redundancy_observed(self):
+        _, group = actor_group(ParallelConfig(1, 4, 2), gen_tp=2)
+        report = HybridEngine3D(group).to_generation()
+        assert report.total_redundant_bytes == 0
+        for worker in group.workers:
+            extra = worker.ctx.device.memory.bytes_for("actor/gen_params_extra")
+            gen_bytes = shard_nbytes(worker.gen_shard)
+            train_bytes = shard_nbytes(worker.shard)
+            # extra allocation is exactly the non-resident part of the shard
+            assert extra == gen_bytes - train_bytes
+
+    def test_vanilla_redundancy_observed_on_figure8_ranks(self):
+        _, group = actor_group(
+            ParallelConfig(1, 4, 2), gen_tp=2, mode=GenGroupingMode.VANILLA
+        )
+        report = HybridEngine3D(group).to_generation()
+        # G2, G3, G6, G7 (0-indexed 1, 2, 5, 6) hold fully-duplicate weights
+        for rank in (1, 2, 5, 6):
+            assert report.redundant_bytes_per_rank[rank] > 0
+        for rank in (0, 3, 4, 7):
+            assert report.redundant_bytes_per_rank[rank] == 0
+
+    def test_vanilla_peak_is_full_model(self):
+        _, group = actor_group(
+            ParallelConfig(1, 4, 1), gen_tp=2, mode=GenGroupingMode.VANILLA
+        )
+        engine = HybridEngine3D(group)
+        report = engine.to_generation()
+        full_bytes = sum(
+            arr.nbytes for arr in TinyLM(LM_CFG, seed=0).state_dict().values()
+        )
+        assert report.max_peak_bytes == full_bytes
+        # the device ledger saw the transient gather buffer
+        for worker in group.workers:
+            assert worker.ctx.device.memory.peak_used >= full_bytes
+
+    def test_to_training_frees_generation_memory(self):
+        _, group = actor_group(ParallelConfig(1, 4, 1), gen_tp=1)
+        engine = HybridEngine3D(group)
+        engine.to_generation()
+        engine.to_training()
+        for worker in group.workers:
+            assert not hasattr(worker, "gen_shard")
+            assert (
+                worker.ctx.device.memory.bytes_for("actor/gen_params_extra") == 0
+            )
+
+    def test_double_transition_rejected(self):
+        _, group = actor_group(ParallelConfig(1, 2, 1), gen_tp=1)
+        engine = HybridEngine3D(group)
+        engine.to_generation()
+        with pytest.raises(RuntimeError, match="already"):
+            engine.to_generation()
+        engine.to_training()
+        with pytest.raises(RuntimeError, match="not in"):
+            engine.to_training()
+
+    def test_requires_gen_topology(self):
+        controller = SingleController(ClusterSpec(n_machines=1))
+        pool = controller.create_pool(2)
+        group = WorkerGroup(
+            ActorWorker,
+            pool,
+            parallel_config=ParallelConfig(1, 2, 1),
+            controller=controller,
+            worker_kwargs={"model_config": LM_CFG},
+        )
+        with pytest.raises(ValueError, match="generation topology"):
+            HybridEngine3D(group)
+
+    def test_materialize_generation_replica_equals_full_model(self):
+        _, group = actor_group(ParallelConfig(1, 4, 1), gen_tp=2)
+        engine = HybridEngine3D(group)
+        engine.to_generation()
+        full = TinyLM(LM_CFG, seed=0).state_dict()
+        state = engine.materialize_generation_replica(group.workers[0])
+        for name in full:
+            np.testing.assert_array_equal(state[name], full[name])
+
+    def test_transition_after_update_carries_new_weights(self):
+        """The §5.2 workflow: weights updated in iteration i are what the
+        generation stage of iteration i+1 sees."""
+        from repro.data.batch import DataBatch
+
+        _, group = actor_group(ParallelConfig(1, 2, 1), gen_tp=1)
+        rng = np.random.default_rng(0)
+        p = DataBatch({"prompts": rng.integers(0, 16, size=(2, 4))})
+        out = group.generate_sequences(p).get()
+        resp_len = out["old_log_probs"].shape[1]
+        batch = out.union(group.compute_log_prob(out).get()).union(
+            DataBatch({"advantages": np.ones((2, resp_len))}, meta=out.meta)
+        )
+        group.update_actor(batch, loss_func="ppo").get()
+        engine = group.hybrid_engine
+        engine.to_generation()
+        updated = group.workers[0].materialize_full_state()
+        state = engine.materialize_generation_replica(group.workers[0])
+        for name in state:
+            np.testing.assert_array_equal(state[name], updated[name])
+        engine.to_training()
+
+
+class TestCommVolumeMatchesTable2:
+    @pytest.mark.parametrize("parallel,gen_tp,gen_pp", GRIDS)
+    def test_hybridflow_comm_at_most_formula(self, parallel, gen_tp, gen_pp):
+        """Observed per-rank all-gather bytes stay within the Table 2 bound.
+
+        The formula assumes an even parameter split across ranks; real
+        parameters include replicated norms so per-rank bytes vary slightly —
+        the observed maximum must stay within a small factor of the bound.
+        """
+        _, group = actor_group(parallel, gen_tp, gen_pp)
+        report = HybridEngine3D(group).to_generation()
+        gen = GenParallelConfig.derive(parallel, gen_pp, gen_tp)
+        bound = transition_overhead(
+            EngineKind.HYBRIDFLOW, parallel, gen
+        ).comm_bytes(sum(
+            arr.nbytes for arr in TinyLM(LM_CFG, seed=0).state_dict().values()
+        ))
+        if gen.micro_dp == 1:
+            assert report.max_comm_bytes == 0
+        else:
+            assert report.max_comm_bytes <= bound * 1.6
+            assert report.max_comm_bytes > 0
+
+
+class TestOverheadAlgebra:
+    def setup_method(self):
+        self.train = ParallelConfig(pp=1, tp=8, dp=2)
+        self.gen = GenParallelConfig.derive(self.train, 1, 2)
+
+    def test_ds_chat_row(self):
+        o = transition_overhead(EngineKind.DS_CHAT, self.train, self.gen)
+        assert o.comm_fraction == Fraction(15, 16)
+        assert o.peak_memory_fraction == 1
+        assert o.redundancy_fraction == Fraction(1, 16)
+
+    def test_hybridflow_v_row(self):
+        o = transition_overhead(EngineKind.HYBRIDFLOW_V, self.train, self.gen)
+        assert o.comm_fraction == Fraction(7, 8)
+        assert o.peak_memory_fraction == 1
+        assert o.redundancy_fraction == Fraction(1, 8)
+
+    def test_hybridflow_row(self):
+        o = transition_overhead(EngineKind.HYBRIDFLOW, self.train, self.gen)
+        # (tp - tg*pg) / (tg*pg*tp) with tp=8, tg*pg=2 -> 6/16 = 3/8
+        assert o.comm_fraction == Fraction(3, 8)
+        assert o.peak_memory_fraction == Fraction(1, 2)
+        assert o.redundancy_fraction == 0
+
+    def test_hybridflow_strictly_dominates(self):
+        for gen_tp in (1, 2, 4, 8):
+            gen = GenParallelConfig.derive(self.train, 1, gen_tp)
+            hf = transition_overhead(EngineKind.HYBRIDFLOW, self.train, gen)
+            v = transition_overhead(EngineKind.HYBRIDFLOW_V, self.train, gen)
+            ds = transition_overhead(EngineKind.DS_CHAT, self.train, gen)
+            assert hf.comm_fraction <= v.comm_fraction <= ds.comm_fraction
+            assert hf.peak_memory_fraction <= v.peak_memory_fraction
+            assert hf.redundancy_fraction <= v.redundancy_fraction
+
+    def test_identity_config_costs_nothing(self):
+        gen = GenParallelConfig.derive(self.train, 1, 8)
+        o = transition_overhead(EngineKind.HYBRIDFLOW, self.train, gen)
+        assert o.comm_fraction == 0
+        assert o.redundancy_fraction == 0
+
+    def test_bytes_helpers(self):
+        o = transition_overhead(EngineKind.HYBRIDFLOW, self.train, self.gen)
+        assert o.comm_bytes(16) == 6.0
+        assert o.peak_memory_bytes(16) == 8.0
+        assert o.redundancy_bytes(16) == 0.0
+
+    def test_invalid_gen_size_rejected(self):
+        bad = GenParallelConfig(pp=1, tp=3, micro_dp=1)
+        with pytest.raises(ValueError):
+            transition_overhead(EngineKind.HYBRIDFLOW, self.train, bad)

@@ -1,0 +1,173 @@
+"""Cross-module integration tests: checkpoint/resume, grouping equivalence,
+pipeline-parallel end-to-end, and dataflow consistency."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.config import ClusterSpec, GenParallelConfig, ParallelConfig
+from repro.data.dataset import PromptDataset, SyntheticPreferenceTask
+from repro.models.tinylm import TinyLMConfig
+from repro.parallel.topology import GenGroupingMode
+from repro.rlhf.core import AlgoType
+from repro.rlhf.trainers import TrainerConfig
+from repro.runtime import ModelAssignment, PlacementPlan, build_rlhf_system
+
+CFG = TinyLMConfig(
+    n_layers=4,
+    hidden_size=32,
+    n_heads=4,
+    ffn_hidden_size=48,
+    vocab_size=16,
+    max_seq_len=32,
+)
+TASK = SyntheticPreferenceTask(vocab_size=16, target_token=7)
+
+
+def build(parallel, gen_tp=1, gen_pp=1, gen_mode=GenGroupingMode.HYBRIDFLOW, seed=0):
+    gen = GenParallelConfig.derive(parallel, gen_pp, gen_tp)
+    plan = PlacementPlan(
+        pools={"main": parallel.world_size, "r": 1},
+        assignments={
+            "actor": ModelAssignment("main", parallel, gen),
+            "critic": ModelAssignment("main", parallel),
+            "reference": ModelAssignment("main", parallel),
+            "reward": ModelAssignment("r", ParallelConfig(1, 1, 1)),
+        },
+    )
+    return build_rlhf_system(
+        AlgoType.PPO,
+        plan,
+        CFG,
+        trainer_config=TrainerConfig(kl_coef=0.01, seed=seed),
+        gen_mode=gen_mode,
+        reward_fn=TASK.reward,
+        max_new_tokens=6,
+        lr=5e-3,
+        seed=seed,
+    )
+
+
+def dataset():
+    return PromptDataset(n_prompts=64, prompt_length=4, vocab_size=16, seed=1)
+
+
+def actor_full_state(system):
+    return system.groups["actor"].workers[0].materialize_full_state()
+
+
+class TestGroupingEquivalence:
+    def test_vanilla_and_hybridflow_train_identically(self):
+        """The generation *grouping method* changes memory/communication,
+        never the numerics: training trajectories must match bit-for-bit."""
+        ds = dataset()
+        runs = {}
+        for mode in (GenGroupingMode.HYBRIDFLOW, GenGroupingMode.VANILLA):
+            system = build(ParallelConfig(1, 2, 1), gen_tp=1, gen_mode=mode)
+            history = system.trainer.train(ds, 3, 8)
+            runs[mode] = (history, actor_full_state(system))
+        h_hf, state_hf = runs[GenGroupingMode.HYBRIDFLOW]
+        h_v, state_v = runs[GenGroupingMode.VANILLA]
+        assert [h["score_mean"] for h in h_hf] == [h["score_mean"] for h in h_v]
+        for name in state_hf:
+            np.testing.assert_array_equal(state_hf[name], state_v[name])
+
+    def test_gen_tp_choice_does_not_change_numerics(self):
+        """Different generation TP sizes redistribute work across replicas
+        but preserve the same per-prompt rng streams only when replica
+        leads match; here we check training still *works* for each size and
+        produces finite metrics."""
+        ds = dataset()
+        for gen_tp in (1, 2):
+            system = build(ParallelConfig(1, 2, 1), gen_tp=gen_tp)
+            history = system.trainer.train(ds, 2, 8)
+            assert all(np.isfinite(h["score_mean"]) for h in history)
+
+
+class TestPipelineParallelEndToEnd:
+    def test_pp2_tp2_full_rlhf_iteration(self):
+        system = build(ParallelConfig(pp=2, tp=2, dp=1), gen_tp=1, gen_pp=1)
+        history = system.trainer.train(dataset(), 2, 8)
+        assert len(history) == 2
+        assert np.isfinite(history[-1]["actor/policy_loss"])
+
+    def test_pp_generation_grouping(self):
+        system = build(ParallelConfig(pp=2, tp=2, dp=1), gen_tp=2, gen_pp=1)
+        gen = system.groups["actor"].gen_topology
+        assert gen.config.micro_dp == 2
+        history = system.trainer.train(dataset(), 1, 8)
+        assert history
+
+
+class TestCheckpointResume:
+    def test_resume_reproduces_exact_trajectory(self, tmp_path):
+        """Train 2+2 iterations with a checkpoint after 2; the resumed run
+        must match an uninterrupted 4-iteration run exactly (§9: parameters,
+        dataloader position, and RNG state all restored)."""
+        ds = dataset()
+
+        # uninterrupted reference run
+        ref = build(ParallelConfig(1, 2, 1), seed=3)
+        ref_history = ref.trainer.train(ds, 4, 8)
+
+        # interrupted run
+        first = build(ParallelConfig(1, 2, 1), seed=3)
+        first.trainer.train(ds, 2, 8)
+        first.controller.save_checkpoint(tmp_path / "ck")
+        trainer_state = first.trainer.state_dict()
+
+        resumed = build(ParallelConfig(1, 2, 1), seed=3)
+        resumed.controller.load_checkpoint(tmp_path / "ck")
+        resumed.trainer.load_state_dict(trainer_state)
+        # continue the dataloader from where the first run stopped
+        batches = ds.iter_batches(8, epochs=10**6)
+        for _ in range(2):
+            next(batches)
+        history2 = []
+        for _ in range(2):
+            history2.append(resumed.trainer.step(next(batches)))
+
+        ref_scores = [h["score_mean"] for h in ref_history[2:]]
+        resumed_scores = [h["score_mean"] for h in history2]
+        assert ref_scores == resumed_scores
+        ref_state = actor_full_state(ref)
+        res_state = actor_full_state(resumed)
+        for name in ref_state:
+            np.testing.assert_array_equal(ref_state[name], res_state[name])
+
+
+class TestDataflowConsistency:
+    def test_generation_batch_order_preserved_across_micro_dp(self):
+        """Prompts fan out over micro-DP replicas and come back in order."""
+        system = build(ParallelConfig(1, 4, 1), gen_tp=1)  # micro_dp = 4
+        actor = system.groups["actor"]
+        rng = np.random.default_rng(5)
+        from repro.data.batch import DataBatch
+
+        prompts = DataBatch({"prompts": rng.integers(0, 16, size=(8, 4))})
+        out = actor.generate_sequences(prompts).get()
+        np.testing.assert_array_equal(out["sequences"][:, :4], prompts["prompts"])
+
+    def test_memory_ledger_returns_to_baseline_after_iteration(self):
+        """Generation-only buffers and KV caches are transient (§7 offload)."""
+        system = build(ParallelConfig(1, 2, 2))
+        devices = [w.ctx.device for w in system.groups["actor"].workers]
+        before = [d.memory.used for d in devices]
+        system.trainer.train(dataset(), 1, 8)
+        after = [d.memory.used for d in devices]
+        assert after == before
+
+    def test_traffic_meter_accumulates_all_models(self):
+        system = build(ParallelConfig(1, 2, 2))
+        system.trainer.train(dataset(), 1, 8)
+        meter = system.controller.meter
+        assert meter.bytes_for("actor/mp[d0]", "all_gather_params") > 0
+        assert meter.total_bytes() > 0
+
+    def test_hybrid_engine_transitions_per_iteration(self):
+        system = build(ParallelConfig(1, 2, 1))
+        system.trainer.train(dataset(), 2, 8)
+        engine = system.groups["actor"].hybrid_engine
+        assert not engine.in_generation  # back in training layout
+        assert engine.last_report is not None

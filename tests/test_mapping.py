@@ -1,0 +1,197 @@
+"""Tests for the auto device-mapping algorithms (§6, Algorithms 1 and 2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import MODEL_SPECS, ClusterSpec, ParallelConfig, RlhfWorkload
+from repro.mapping import (
+    allowed_allocations,
+    auto_parallel,
+    enum_alloc,
+    map_dataflow,
+    set_partitions,
+)
+from repro.mapping.auto_parallel import ModelRole, clear_cache, search_generation_strategy
+from repro.mapping.device_mapping import get_min_alloc, persistent_bytes
+from repro.mapping.placement_enum import bell_number
+from repro.rlhf.core import AlgoType
+
+WL = RlhfWorkload()
+SPEC7 = MODEL_SPECS["llama-7b"]
+
+
+class TestSetPartitions:
+    def test_ppo_has_15_placements(self):
+        """§6: 'the PPO algorithm involves four models, resulting in 15
+        possible placements (from the Bell partition problem)'."""
+        parts = list(set_partitions(["actor", "critic", "reference", "reward"]))
+        assert len(parts) == 15
+
+    def test_safe_rlhf_has_52_placements(self):
+        parts = list(set_partitions(list("abcde")))
+        assert len(parts) == 52
+
+    @given(n=st.integers(0, 6))
+    def test_counts_are_bell_numbers(self, n):
+        assert len(list(set_partitions(list(range(n))))) == bell_number(n)
+
+    def test_each_partition_covers_all_models(self):
+        models = ["a", "b", "c", "d"]
+        for partition in set_partitions(models):
+            flat = sorted(m for group in partition for m in group)
+            assert flat == sorted(models)
+
+
+class TestEnumAlloc:
+    def test_allowed_sizes(self):
+        assert allowed_allocations(32, 8) == [1, 2, 4, 8, 16, 24, 32]
+        assert allowed_allocations(4, 8) == [1, 2, 4]
+
+    def test_allocations_sum_to_total(self):
+        for alloc in enum_alloc(16, [1, 1, 1], 8):
+            assert sum(alloc) == 16
+            assert all(a >= 1 for a in alloc)
+
+    def test_minimums_respected(self):
+        allocs = list(enum_alloc(16, [8, 2], 8))
+        assert allocs
+        for a in allocs:
+            assert a[0] >= 8 and a[1] >= 2
+
+    def test_infeasible_minimums_give_nothing(self):
+        assert list(enum_alloc(8, [8, 8], 8)) == []
+
+    def test_single_set_gets_everything(self):
+        assert list(enum_alloc(16, [1], 8)) == [(16,)]
+
+
+class TestAutoParallel:
+    def setup_method(self):
+        clear_cache()
+
+    def test_finds_feasible_strategy_for_7b_on_8(self):
+        choice = auto_parallel(
+            SPEC7, ClusterSpec(n_machines=1), 8, WL, ModelRole.ACTOR
+        )
+        assert choice is not None
+        assert choice.parallel.world_size == 8
+        assert choice.gen_tp is not None
+
+    def test_infeasible_returns_none(self):
+        choice = auto_parallel(
+            MODEL_SPECS["llama-70b"], ClusterSpec(n_machines=1), 2, WL,
+            ModelRole.ACTOR,
+        )
+        assert choice is None
+
+    def test_scorer_needs_less_mp_than_trainer(self):
+        cluster = ClusterSpec(n_machines=1)
+        scorer = auto_parallel(SPEC7, cluster, 8, WL, ModelRole.SCORER)
+        trainer = auto_parallel(SPEC7, cluster, 8, WL, ModelRole.CRITIC)
+        assert scorer is not None and trainer is not None
+        assert (
+            scorer.parallel.model_parallel_size
+            <= trainer.parallel.model_parallel_size
+        )
+
+    def test_cache_hit_returns_same_object(self):
+        cluster = ClusterSpec(n_machines=2)
+        a = auto_parallel(SPEC7, cluster, 8, WL, ModelRole.SCORER)
+        b = auto_parallel(SPEC7, cluster, 8, WL, ModelRole.SCORER)
+        assert a is b
+
+    def test_generation_search_divides_training_mp(self):
+        train = ParallelConfig(1, 8, 2)
+        gen_tp, gen_pp, latency = search_generation_strategy(
+            SPEC7, ClusterSpec(n_machines=2), train, WL
+        )
+        assert train.tp % gen_tp == 0
+        assert train.pp % gen_pp == 0
+        assert latency > 0
+
+
+class TestGetMinAlloc:
+    def test_single_7b_scorer_fits_on_one_gpu_worth(self):
+        alloc = get_min_alloc(
+            [("reference", SPEC7)], ClusterSpec(n_machines=2), 16
+        )
+        assert alloc == 1
+
+    def test_trainable_needs_more(self):
+        scorer = get_min_alloc([("reference", SPEC7)], ClusterSpec(n_machines=2), 16)
+        trainer = get_min_alloc([("actor", SPEC7)], ClusterSpec(n_machines=2), 16)
+        assert trainer > scorer
+
+    def test_infeasible_returns_none(self):
+        alloc = get_min_alloc(
+            [("actor", MODEL_SPECS["llama-70b"])], ClusterSpec(n_machines=1), 8
+        )
+        assert alloc is None
+
+    def test_persistent_bytes_roles(self):
+        assert persistent_bytes(SPEC7, ModelRole.ACTOR) == 18 * SPEC7.n_params()
+        assert persistent_bytes(SPEC7, ModelRole.SCORER) == 2 * SPEC7.n_params()
+
+
+class TestMapDataflow:
+    def setup_method(self):
+        clear_cache()
+
+    def test_small_cluster_prefers_colocation(self):
+        """§8.3: 'In smaller clusters ... the colocate strategy ensures
+        maximum GPU usage'."""
+        specs = {m: SPEC7 for m in ("actor", "critic", "reference", "reward")}
+        result = map_dataflow(
+            AlgoType.PPO, specs, ClusterSpec(n_machines=1), WL
+        )
+        assert len(result.placement) == 1
+        assert result.allocation["set0"] == 8
+
+    def test_allocation_exhausts_cluster(self):
+        specs = {m: SPEC7 for m in ("actor", "critic", "reference", "reward")}
+        result = map_dataflow(AlgoType.PPO, specs, ClusterSpec(n_machines=2), WL)
+        assert sum(result.allocation.values()) == 16
+
+    def test_restricted_placement_search(self):
+        specs = {m: SPEC7 for m in ("actor", "critic", "reference", "reward")}
+        split = [["actor", "reference"], ["critic", "reward"]]
+        result = map_dataflow(
+            AlgoType.PPO, specs, ClusterSpec(n_machines=2), WL,
+            placements=[split],
+        )
+        assert sorted(map(sorted, result.placement)) == sorted(map(sorted, split))
+
+    def test_full_search_at_least_as_good_as_any_restriction(self):
+        """§8.3: 'In all cases, our Algorithm 1 produces the best placement.'"""
+        specs = {m: SPEC7 for m in ("actor", "critic", "reference", "reward")}
+        cluster = ClusterSpec(n_machines=2)
+        best = map_dataflow(AlgoType.PPO, specs, cluster, WL)
+        colocate = map_dataflow(
+            AlgoType.PPO, specs, cluster, WL,
+            placements=[[["actor", "critic", "reference", "reward"]]],
+        )
+        assert best.cost <= colocate.cost + 1e-9
+
+    def test_remax_dataflow_maps_without_critic(self):
+        specs = {m: SPEC7 for m in ("actor", "reference", "reward")}
+        result = map_dataflow(AlgoType.REMAX, specs, ClusterSpec(n_machines=1), WL)
+        assert "critic" not in result.strategies
+
+    def test_requires_actor(self):
+        with pytest.raises(ValueError, match="actor"):
+            map_dataflow(
+                AlgoType.PPO, {"critic": SPEC7}, ClusterSpec(n_machines=1), WL
+            )
+
+    def test_infeasible_cluster_raises(self):
+        specs = {m: MODEL_SPECS["llama-70b"] for m in ("actor", "critic", "reference", "reward")}
+        with pytest.raises(RuntimeError, match="no feasible"):
+            map_dataflow(AlgoType.PPO, specs, ClusterSpec(n_machines=1), WL)
+
+    def test_describe_and_pool_lookup(self):
+        specs = {m: SPEC7 for m in ("actor", "critic", "reference", "reward")}
+        result = map_dataflow(AlgoType.PPO, specs, ClusterSpec(n_machines=1), WL)
+        assert "cost=" in result.describe()
+        assert result.pool_of("actor") == "set0"
+        with pytest.raises(KeyError):
+            result.pool_of("ghost")

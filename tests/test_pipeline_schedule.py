@@ -1,0 +1,104 @@
+"""Tests for the pipeline schedule analysis."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.perf.pipeline import (
+    PipelineSchedule,
+    bubble_fraction,
+    bubble_multiplier,
+    gpipe_schedule,
+    peak_in_flight_microbatches,
+)
+
+
+class TestBubbleFormulas:
+    def test_no_pipeline_no_bubble(self):
+        assert bubble_fraction(1, 8) == 0.0
+        assert bubble_multiplier(1, 8) == 1.0
+
+    def test_classic_values(self):
+        assert bubble_fraction(4, 4) == pytest.approx(3 / 7)
+        assert bubble_multiplier(4, 8) == pytest.approx(11 / 8)
+
+    def test_more_microbatches_shrink_bubble(self):
+        assert bubble_fraction(4, 32) < bubble_fraction(4, 4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bubble_fraction(0, 4)
+        with pytest.raises(ValueError):
+            bubble_multiplier(4, 0)
+
+
+class TestGpipeSchedule:
+    @settings(max_examples=20, deadline=None)
+    @given(pp=st.integers(1, 5), m=st.integers(1, 10))
+    def test_makespan_matches_closed_form(self, pp, m):
+        """GPipe with fwd=bwd=t: makespan = (m + p - 1) * (tf + tb)."""
+        schedule = gpipe_schedule(pp, m, fwd_time=1.0, bwd_time=1.0)
+        assert schedule.makespan == pytest.approx(2 * (m + pp - 1))
+
+    @settings(max_examples=20, deadline=None)
+    @given(pp=st.integers(1, 5), m=st.integers(1, 10))
+    def test_observed_bubble_matches_formula(self, pp, m):
+        schedule = gpipe_schedule(pp, m, fwd_time=1.0, bwd_time=1.0)
+        for stage in range(pp):
+            assert schedule.idle_fraction(stage) == pytest.approx(
+                bubble_fraction(pp, m)
+            )
+
+    def test_every_microbatch_runs_everywhere(self):
+        schedule = gpipe_schedule(3, 4)
+        assert len(schedule.ops) == 2 * 3 * 4
+        fwd = [(o.stage, o.microbatch) for o in schedule.ops if o.kind == "fwd"]
+        assert len(set(fwd)) == 12
+
+    def test_forward_dependencies_respected(self):
+        schedule = gpipe_schedule(3, 2, fwd_time=1.0)
+        by_key = {
+            (o.stage, o.microbatch, o.kind): o for o in schedule.ops
+        }
+        for mb in range(2):
+            for s in range(1, 3):
+                assert (
+                    by_key[(s, mb, "fwd")].start
+                    >= by_key[(s - 1, mb, "fwd")].end
+                )
+                assert (
+                    by_key[(s - 1, mb, "bwd")].start
+                    >= by_key[(s, mb, "bwd")].end
+                )
+
+    def test_stage_never_overlaps_itself(self):
+        schedule = gpipe_schedule(4, 6)
+        for stage in range(4):
+            ops = sorted(
+                (o for o in schedule.ops if o.stage == stage),
+                key=lambda o: o.start,
+            )
+            for a, b in zip(ops, ops[1:]):
+                assert b.start >= a.end
+
+    def test_gpipe_keeps_all_microbatches_in_flight(self):
+        schedule = gpipe_schedule(4, 6)
+        assert peak_in_flight_microbatches(schedule, stage=0) == 6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gpipe_schedule(0, 4)
+
+
+class TestConsistencyWithTrainingModel:
+    def test_training_latency_uses_the_same_multiplier(self):
+        """The perf layer's pipeline factor equals the schedule-derived one."""
+        from repro.config import MODEL_SPECS, ClusterSpec, ParallelConfig, RlhfWorkload
+        from repro.perf.compute import training_latency
+
+        spec = MODEL_SPECS["llama-7b"]
+        cluster = ClusterSpec(n_machines=2)
+        wl = RlhfWorkload()
+        flat = training_latency(spec, cluster, ParallelConfig(1, 8, 2), wl)
+        piped = training_latency(spec, cluster, ParallelConfig(2, 4, 2), wl)
+        # with m = batch/dp = 512 microbatches the bubble is ~ (p-1)/m: tiny
+        assert piped == pytest.approx(flat, rel=0.15)

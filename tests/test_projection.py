@@ -1,0 +1,111 @@
+"""Tests for projecting functional traces onto full-scale timing."""
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    MODEL_SPECS,
+    ClusterSpec,
+    GenParallelConfig,
+    ParallelConfig,
+    RlhfWorkload,
+)
+from repro.data.dataset import PromptDataset, SyntheticPreferenceTask
+from repro.models.tinylm import TinyLMConfig
+from repro.rlhf.core import AlgoType
+from repro.runtime import ModelAssignment, PlacementPlan, build_rlhf_system
+from repro.runtime.projection import perf_duration_fn, project_timeline
+
+CFG = TinyLMConfig(
+    n_layers=2,
+    hidden_size=32,
+    n_heads=4,
+    ffn_hidden_size=48,
+    vocab_size=16,
+    max_seq_len=32,
+)
+TASK = SyntheticPreferenceTask(vocab_size=16)
+PAR = ParallelConfig(1, 2, 1)
+GEN = GenParallelConfig.derive(PAR, 1, 1)
+
+
+def run_system(split: bool):
+    if split:
+        plan = PlacementPlan(
+            pools={"a": 2, "c": 2, "r": 1},
+            assignments={
+                "actor": ModelAssignment("a", PAR, GEN),
+                "reference": ModelAssignment("a", PAR),
+                "critic": ModelAssignment("c", PAR),
+                "reward": ModelAssignment("r", ParallelConfig(1, 1, 1)),
+            },
+        )
+    else:
+        plan = PlacementPlan(
+            pools={"a": 2, "r": 1},
+            assignments={
+                "actor": ModelAssignment("a", PAR, GEN),
+                "reference": ModelAssignment("a", PAR),
+                "critic": ModelAssignment("a", PAR),
+                "reward": ModelAssignment("r", ParallelConfig(1, 1, 1)),
+            },
+        )
+    system = build_rlhf_system(
+        AlgoType.PPO, plan, CFG, reward_fn=TASK.reward, max_new_tokens=5
+    )
+    system.trainer.train(PromptDataset(32, 4, 16, seed=1), 1, 8)
+    return system
+
+
+SPECS = {m: MODEL_SPECS["llama-7b"] for m in ("actor", "critic", "reference")}
+WL = RlhfWorkload()
+CLUSTER = ClusterSpec(n_machines=2)
+
+
+class TestProjection:
+    def test_generation_dominates_projected_iteration(self):
+        system = run_system(split=False)
+        timeline = project_timeline(system, SPECS, WL, CLUSTER, gen_tp=1)
+        gen_events = [
+            e for e in timeline.events if e.name.endswith("generate_sequences")
+        ]
+        assert gen_events[0].duration > max(
+            e.duration
+            for e in timeline.events
+            if e.name.endswith("compute_values")
+        )
+        assert timeline.makespan > 0
+
+    def test_split_projection_overlaps_critic(self):
+        colocated = project_timeline(
+            run_system(split=False), SPECS, WL, CLUSTER, gen_tp=1
+        )
+        split = project_timeline(
+            run_system(split=True), SPECS, WL, CLUSTER, gen_tp=1
+        )
+        assert split.makespan < colocated.makespan
+
+    def test_non_nn_workers_are_near_free(self):
+        system = run_system(split=False)
+        fn = perf_duration_fn(system, SPECS, WL, CLUSTER)
+        reward_record = next(
+            r for r in system.controller.trace if r.group == "reward"
+        )
+        assert fn(reward_record) == pytest.approx(0.01)
+
+    def test_bigger_model_projects_slower(self):
+        system = run_system(split=False)
+        small = project_timeline(system, SPECS, WL, CLUSTER, gen_tp=1)
+        big_specs = {m: MODEL_SPECS["llama-13b"] for m in SPECS}
+        big = project_timeline(system, big_specs, WL, CLUSTER, gen_tp=2)
+        assert big.makespan > small.makespan
+
+    def test_update_duration_scales_with_minibatches(self):
+        system = run_system(split=False)
+        fn8 = perf_duration_fn(system, SPECS, WL, CLUSTER)
+        wl1 = RlhfWorkload(ppo_updates_per_epoch=1)
+        fn1 = perf_duration_fn(system, SPECS, wl1, CLUSTER)
+        update = next(
+            r for r in system.controller.trace if r.method == "update_actor"
+        )
+        assert fn1(update) > fn8(update)

@@ -1,0 +1,112 @@
+"""Tests for sampling and auto-regressive generation."""
+
+import numpy as np
+import pytest
+
+from repro.models.sampler import GenerationOutput, generate, sample_tokens
+from repro.models.tinylm import TinyLM, TinyLMConfig
+
+
+@pytest.fixture
+def model():
+    return TinyLM(
+        TinyLMConfig(
+            n_layers=2,
+            hidden_size=16,
+            n_heads=2,
+            ffn_hidden_size=24,
+            vocab_size=13,
+            max_seq_len=24,
+        ),
+        seed=4,
+    )
+
+
+class TestSampleTokens:
+    def test_greedy_is_argmax(self):
+        logits = np.array([[0.0, 5.0, 1.0], [9.0, 0.0, 0.0]])
+        out = sample_tokens(logits, np.random.default_rng(0), greedy=True)
+        np.testing.assert_array_equal(out, [1, 0])
+
+    def test_sampling_respects_distribution(self):
+        logits = np.array([[10.0, -10.0, -10.0]])
+        rng = np.random.default_rng(0)
+        draws = [sample_tokens(logits, rng)[0] for _ in range(50)]
+        assert all(d == 0 for d in draws)
+
+    def test_low_temperature_approaches_greedy(self):
+        rng = np.random.default_rng(0)
+        logits = np.array([[1.0, 2.0, 0.5]])
+        draws = {
+            sample_tokens(logits, rng, temperature=0.01)[0] for _ in range(20)
+        }
+        assert draws == {1}
+
+    def test_temperature_must_be_positive(self):
+        with pytest.raises(ValueError):
+            sample_tokens(np.zeros((1, 3)), np.random.default_rng(0), temperature=0)
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            sample_tokens(np.zeros(3), np.random.default_rng(0))
+
+
+class TestGenerate:
+    def test_output_shapes(self, model):
+        prompts = np.zeros((3, 4), dtype=int)
+        out = generate(model, prompts, max_new_tokens=5, rng=np.random.default_rng(1))
+        assert isinstance(out, GenerationOutput)
+        assert out.sequences.shape == (3, 9)
+        assert out.responses.shape == (3, 5)
+        assert out.response_log_probs.shape == (3, 5)
+        assert out.prompt_length == 4
+        assert out.kv_cache_bytes > 0
+
+    def test_prompt_preserved(self, model):
+        rng = np.random.default_rng(2)
+        prompts = rng.integers(0, 13, size=(2, 5))
+        out = generate(model, prompts, max_new_tokens=3, rng=rng)
+        np.testing.assert_array_equal(out.sequences[:, :5], prompts)
+
+    def test_deterministic_by_seed(self, model):
+        prompts = np.ones((2, 4), dtype=int)
+        a = generate(model, prompts, 6, rng=np.random.default_rng(7))
+        b = generate(model, prompts, 6, rng=np.random.default_rng(7))
+        np.testing.assert_array_equal(a.sequences, b.sequences)
+
+    def test_greedy_is_deterministic_without_rng(self, model):
+        prompts = np.ones((2, 4), dtype=int)
+        a = generate(model, prompts, 6, greedy=True, rng=np.random.default_rng(1))
+        b = generate(model, prompts, 6, greedy=True, rng=np.random.default_rng(2))
+        np.testing.assert_array_equal(a.sequences, b.sequences)
+
+    def test_log_probs_match_model(self, model):
+        """The sampling log-prob of each generated token must equal the
+        model's own log-prob of that token given the prefix."""
+        prompts = np.ones((2, 3), dtype=int)
+        out = generate(model, prompts, 4, rng=np.random.default_rng(3))
+        logp = model.token_log_probs(out.sequences).data
+        np.testing.assert_allclose(
+            out.response_log_probs, logp[:, out.prompt_length - 1 :], atol=1e-9
+        )
+
+    def test_requires_lm_head(self):
+        critic = TinyLM(
+            TinyLMConfig(
+                n_layers=1,
+                hidden_size=8,
+                n_heads=2,
+                ffn_hidden_size=8,
+                vocab_size=5,
+                max_seq_len=8,
+                output_head="scalar",
+            )
+        )
+        with pytest.raises(RuntimeError):
+            generate(critic, np.zeros((1, 2), dtype=int), 2)
+
+    def test_validates_arguments(self, model):
+        with pytest.raises(ValueError):
+            generate(model, np.zeros(4, dtype=int), 2)
+        with pytest.raises(ValueError):
+            generate(model, np.zeros((1, 2), dtype=int), 0)

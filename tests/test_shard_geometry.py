@@ -1,0 +1,141 @@
+"""Tests for shard-rectangle geometry and the zero-redundancy theorem (§5.3)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import GenParallelConfig, ParallelConfig
+from repro.parallel.sharding import (
+    ShardRange,
+    WeightShard,
+    generation_shard,
+    peak_param_fraction,
+    redundant_fraction,
+    shard_overlap_fraction,
+    training_shard,
+)
+from repro.parallel.topology import GenGroupingMode, GenTopology, ParallelTopology
+
+
+class TestShardRange:
+    def test_partition_lengths(self):
+        r = ShardRange.of_partition(1, 4)
+        assert r.start == Fraction(1, 4) and r.length == Fraction(1, 4)
+
+    def test_overlap(self):
+        a = ShardRange(Fraction(0), Fraction(1, 2))
+        b = ShardRange(Fraction(1, 4), Fraction(1))
+        assert a.overlap(b) == Fraction(1, 4)
+        c = ShardRange(Fraction(1, 2), Fraction(1))
+        assert a.overlap(c) == 0
+
+    def test_contains(self):
+        outer = ShardRange(Fraction(0), Fraction(1, 2))
+        inner = ShardRange(Fraction(1, 4), Fraction(1, 2))
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            ShardRange(Fraction(1, 2), Fraction(1, 4))
+        with pytest.raises(ValueError):
+            ShardRange.of_partition(4, 4)
+
+
+class TestWeightShard:
+    def test_fraction_is_product(self):
+        shard = WeightShard(
+            ShardRange.of_partition(0, 2), ShardRange.of_partition(1, 4)
+        )
+        assert shard.fraction == Fraction(1, 8)
+
+    def test_overlap_fraction(self):
+        a = WeightShard(
+            ShardRange.of_partition(0, 1), ShardRange.of_partition(0, 2)
+        )
+        b = WeightShard(
+            ShardRange.of_partition(0, 2), ShardRange.of_partition(0, 4)
+        )
+        assert a.overlap_fraction(b) == Fraction(1, 8)
+
+
+def _grid():
+    return st.tuples(
+        st.sampled_from([1, 2, 4]),  # p
+        st.sampled_from([1, 2, 4, 8]),  # t
+        st.integers(1, 3),  # d
+        st.sampled_from([1, 2]),  # pg divisor
+        st.sampled_from([1, 2, 4]),  # tg divisor
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(_grid())
+def test_hybridflow_grouping_is_zero_redundancy(grid):
+    """§5.3's theorem: with interval grouping, every rank's training shard is
+    contained in its generation shard — zero duplicate memory."""
+    p, t, d, pg_div, tg_div = grid
+    if p % pg_div or t % tg_div:
+        return
+    train = ParallelTopology(ParallelConfig(pp=p, tp=t, dp=d))
+    gen = GenTopology(
+        train,
+        GenParallelConfig.derive(train.config, p // pg_div, t // tg_div),
+        mode=GenGroupingMode.HYBRIDFLOW,
+    )
+    for rank in range(p * t * d):
+        assert redundant_fraction(gen, rank) == 0
+        assert generation_shard(gen, rank).contains(training_shard(train, rank))
+        # the peak memory is exactly the generation shard (Table 2)
+        expected_peak = Fraction(1, (p // pg_div) * (t // tg_div))
+        assert peak_param_fraction(gen, rank) == expected_peak
+
+
+@settings(max_examples=50, deadline=None)
+@given(_grid())
+def test_vanilla_grouping_never_beats_hybridflow(grid):
+    """HybridFlow-V's redundancy and peak memory dominate HybridFlow's.
+
+    Vanilla grouping *can* be redundancy-free for configurations that happen
+    to align (e.g. the collapse is purely along PP while TP is unchanged),
+    but it is never better than interval grouping on any rank.
+    """
+    p, t, d, pg_div, tg_div = grid
+    if p % pg_div or t % tg_div:
+        return
+    train = ParallelTopology(ParallelConfig(pp=p, tp=t, dp=d))
+    gen_cfg = GenParallelConfig.derive(train.config, p // pg_div, t // tg_div)
+    vanilla = GenTopology(train, gen_cfg, mode=GenGroupingMode.VANILLA)
+    hybrid = GenTopology(train, gen_cfg, mode=GenGroupingMode.HYBRIDFLOW)
+    for rank in range(p * t * d):
+        assert redundant_fraction(vanilla, rank) >= 0
+        assert redundant_fraction(vanilla, rank) >= redundant_fraction(
+            hybrid, rank
+        )
+        assert peak_param_fraction(vanilla, rank) >= peak_param_fraction(
+            hybrid, rank
+        )
+
+
+def test_figure8_vanilla_zero_overlap_ranks():
+    """Figure 8(a): G2, G3, G6, G7 get no overlap between stages."""
+    train = ParallelTopology(ParallelConfig(pp=1, tp=4, dp=2))
+    gen = GenTopology(
+        train,
+        GenParallelConfig.derive(train.config, 1, 2),
+        mode=GenGroupingMode.VANILLA,
+    )
+    zero = [r for r in range(8) if shard_overlap_fraction(gen, r) == 0]
+    assert zero == [1, 2, 5, 6]
+
+
+def test_figure8_hybridflow_full_overlap():
+    train = ParallelTopology(ParallelConfig(pp=1, tp=4, dp=2))
+    gen = GenTopology(
+        train,
+        GenParallelConfig.derive(train.config, 1, 2),
+        mode=GenGroupingMode.HYBRIDFLOW,
+    )
+    for rank in range(8):
+        assert shard_overlap_fraction(gen, rank) == Fraction(1, 4)

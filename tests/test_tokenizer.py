@@ -1,0 +1,84 @@
+"""Tests for the character tokenizer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.tokenizer import SPECIALS, CharTokenizer
+
+
+@pytest.fixture
+def tok():
+    return CharTokenizer("abcdefgh ")
+
+
+class TestVocabulary:
+    def test_specials_first(self, tok):
+        assert tok.pad_id == 0
+        assert tok.vocab_size == len(SPECIALS) + 9
+
+    def test_from_corpus(self):
+        t = CharTokenizer.from_corpus(["hi there", "hello"])
+        assert t.vocab_size == len(SPECIALS) + len(set("hi therelo"))
+
+    def test_empty_alphabet_rejected(self):
+        with pytest.raises(ValueError):
+            CharTokenizer("")
+
+
+class TestRoundTrip:
+    def test_encode_decode(self, tok):
+        text = "bad cafe"
+        assert tok.decode(tok.encode(text)) == text
+
+    def test_bos_stripped_on_decode(self, tok):
+        ids = tok.encode("abc", add_bos=True)
+        assert ids[0] == tok.bos_id
+        assert tok.decode(ids) == "abc"
+
+    def test_unknown_chars_become_unk(self, tok):
+        ids = tok.encode("aZb")
+        assert ids[1] == tok.unk_id
+
+    def test_decode_rejects_out_of_range(self, tok):
+        with pytest.raises(ValueError):
+            tok.decode([9999])
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.text(alphabet="abcdefgh ", max_size=20))
+    def test_roundtrip_property(self, text):
+        tok = CharTokenizer("abcdefgh ")
+        assert tok.decode(tok.encode(text)) == text
+
+
+class TestBatch:
+    def test_fixed_length_left_padding(self, tok):
+        batch = tok.encode_batch(["ab", "abcdef"], length=5)
+        assert batch.shape == (2, 5)
+        assert batch[0, 0] == tok.pad_id
+        assert tok.decode(batch[0]) == "ab"
+        assert tok.decode(batch[1]) == "abcd"  # bos + 4 chars fill length 5
+
+    def test_decode_batch(self, tok):
+        batch = tok.encode_batch(["abc", "h g"], length=6)
+        assert tok.decode_batch(batch) == ["abc", "h g"]
+
+    def test_length_validated(self, tok):
+        with pytest.raises(ValueError):
+            tok.encode_batch(["a"], length=0)
+
+    def test_tokens_feed_tinylm(self, tok):
+        from repro.models.tinylm import TinyLM, TinyLMConfig
+
+        cfg = TinyLMConfig(
+            n_layers=1,
+            hidden_size=16,
+            n_heads=2,
+            ffn_hidden_size=16,
+            vocab_size=tok.vocab_size,
+            max_seq_len=16,
+        )
+        model = TinyLM(cfg)
+        batch = tok.encode_batch(["cafe", "dead"], length=6)
+        logits = model.forward(batch)
+        assert logits.shape == (2, 6, tok.vocab_size)

@@ -1,0 +1,175 @@
+"""Tests for training/generation parallel-group construction (§5.1, §5.3)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import GenParallelConfig, ParallelConfig
+from repro.parallel.topology import (
+    GenGroupingMode,
+    GenTopology,
+    ParallelTopology,
+)
+
+
+def topo(p, t, d, ranks=None):
+    return ParallelTopology(ParallelConfig(pp=p, tp=t, dp=d), global_ranks=ranks)
+
+
+def gen_topo(train, gen_pp, gen_tp, mode):
+    cfg = GenParallelConfig.derive(train.config, gen_pp, gen_tp)
+    return GenTopology(train, cfg, mode=mode)
+
+
+class TestTrainingTopology:
+    def test_figure8_training_groups(self):
+        """Paper Figure 8(a): 1-4-2 training on 8 GPUs."""
+        t = topo(1, 4, 2)
+        assert t.tp_group(0).ranks == [0, 1, 2, 3]
+        assert t.tp_group(5).ranks == [4, 5, 6, 7]
+        assert t.dp_group(0).ranks == [0, 4]
+        assert t.dp_group(3).ranks == [3, 7]
+
+    def test_pp_groups_stride_tp(self):
+        t = topo(2, 2, 2)
+        # rank = d*(p*t) + p*t_idx... layout: [d0p0t0, d0p0t1, d0p1t0, d0p1t1, ...]
+        assert t.pp_group(0).ranks == [0, 2]
+        assert t.pp_group(1).ranks == [1, 3]
+        assert t.pp_group(4).ranks == [4, 6]
+
+    def test_mp_group_is_whole_replica(self):
+        t = topo(2, 2, 2)
+        assert t.mp_group(0).ranks == [0, 1, 2, 3]
+        assert t.mp_group(7).ranks == [4, 5, 6, 7]
+
+    def test_custom_global_ranks(self):
+        t = topo(1, 2, 2, ranks=[10, 11, 12, 13])
+        assert t.tp_group(10).ranks == [10, 11]
+        assert t.dp_group(10).ranks == [10, 12]
+
+    def test_wrong_rank_count_rejected(self):
+        with pytest.raises(ValueError):
+            topo(1, 2, 2, ranks=[0, 1, 2])
+
+    def test_unknown_rank_rejected(self):
+        with pytest.raises(ValueError):
+            topo(1, 2, 1).coords(99)
+
+    def test_is_last_pp_stage(self):
+        t = topo(2, 1, 1)
+        assert not t.is_last_pp_stage(0)
+        assert t.is_last_pp_stage(1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        p=st.sampled_from([1, 2, 4]),
+        t=st.sampled_from([1, 2, 4]),
+        d=st.integers(1, 4),
+    )
+    def test_groups_partition_the_world(self, p, t, d):
+        """Every kind of group partitions all ranks exactly once."""
+        topology = topo(p, t, d)
+        world = set(range(p * t * d))
+        for groups in (
+            topology.all_tp_groups(),
+            topology.all_dp_groups(),
+            topology.all_pp_groups(),
+        ):
+            seen = [r for g in groups for r in g.ranks]
+            assert sorted(seen) == sorted(world)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        p=st.sampled_from([1, 2, 4]),
+        t=st.sampled_from([1, 2, 4]),
+        d=st.integers(1, 4),
+    )
+    def test_coords_roundtrip(self, p, t, d):
+        topology = topo(p, t, d)
+        for rank in range(p * t * d):
+            c = topology.coords(rank)
+            assert topology.global_rank_at(c.p, c.t, c.d) == rank
+
+
+class TestGenerationTopologyFigure8:
+    """The worked example of Figure 8: train 1-4-2, generation 1-2-2-2."""
+
+    def setup_method(self):
+        self.train = topo(1, 4, 2)
+
+    def test_hybridflow_gen_tp_groups(self):
+        g = gen_topo(self.train, 1, 2, GenGroupingMode.HYBRIDFLOW)
+        assert g.gen_tp_group(0).ranks == [0, 2]
+        assert g.gen_tp_group(1).ranks == [1, 3]
+        assert g.gen_tp_group(4).ranks == [4, 6]
+        assert g.gen_tp_group(5).ranks == [5, 7]
+
+    def test_hybridflow_micro_dp_groups(self):
+        g = gen_topo(self.train, 1, 2, GenGroupingMode.HYBRIDFLOW)
+        assert g.micro_dp_group(0).ranks == [0, 1]
+        assert g.micro_dp_group(2).ranks == [2, 3]
+        assert g.micro_dp_group(6).ranks == [6, 7]
+
+    def test_vanilla_gen_tp_groups(self):
+        g = gen_topo(self.train, 1, 2, GenGroupingMode.VANILLA)
+        assert g.gen_tp_group(0).ranks == [0, 1]
+        assert g.gen_tp_group(2).ranks == [2, 3]
+
+    def test_vanilla_micro_dp_groups(self):
+        g = gen_topo(self.train, 1, 2, GenGroupingMode.VANILLA)
+        assert g.micro_dp_group(0).ranks == [0, 2]
+        assert g.micro_dp_group(1).ranks == [1, 3]
+
+    def test_effective_dp(self):
+        g = gen_topo(self.train, 1, 2, GenGroupingMode.HYBRIDFLOW)
+        assert g.effective_dp == 4  # d_g=2 times d=2
+
+    def test_generation_dp_ranks_are_unique_per_replica(self):
+        g = gen_topo(self.train, 1, 2, GenGroupingMode.HYBRIDFLOW)
+        leads = {}
+        for rank in range(8):
+            c = g.coords(rank)
+            if c.pg == 0 and c.tg == 0:
+                dp_rank = g.dp_rank_for_generation(rank)
+                assert dp_rank not in leads
+                leads[dp_rank] = rank
+        assert sorted(leads) == [0, 1, 2, 3]
+
+
+class TestGenerationTopologyValidation:
+    def test_rejects_inconsistent_micro_dp(self):
+        train = topo(1, 4, 1)
+        with pytest.raises(ValueError, match="micro_dp must be"):
+            GenTopology(train, GenParallelConfig(pp=1, tp=2, micro_dp=3))
+
+    def test_rejects_non_dividing_sizes(self):
+        train = topo(1, 4, 1)
+        with pytest.raises(ValueError):
+            GenTopology(train, GenParallelConfig(pp=1, tp=3, micro_dp=1))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    p=st.sampled_from([1, 2, 4]),
+    t=st.sampled_from([1, 2, 4, 8]),
+    d=st.integers(1, 3),
+    pg_div=st.sampled_from([1, 2]),
+    tg_div=st.sampled_from([1, 2, 4]),
+    mode=st.sampled_from(list(GenGroupingMode)),
+)
+def test_micro_dp_groups_partition_each_replica(p, t, d, pg_div, tg_div, mode):
+    """Micro-DP groups tile every training replica exactly (both modes)."""
+    if p % pg_div or t % tg_div:
+        return
+    train = topo(p, t, d)
+    g = gen_topo(train, p // pg_div, t // tg_div, mode)
+    seen = set()
+    for group in g.all_micro_dp_groups():
+        for rank in group.ranks:
+            assert rank not in seen
+            seen.add(rank)
+    assert seen == set(range(p * t * d))
+    # every micro DP group has exactly d_g members from one training replica
+    for group in g.all_micro_dp_groups():
+        assert len(group.ranks) == g.config.micro_dp
+        replicas = {train.coords(r).d for r in group.ranks}
+        assert len(replicas) == 1

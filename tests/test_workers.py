@@ -1,0 +1,322 @@
+"""Tests for the model workers: outputs, DP semantics, training updates."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.config import ClusterSpec, GenParallelConfig, ParallelConfig
+from repro.data.batch import DataBatch
+from repro.data.dataset import SyntheticPreferenceTask
+from repro.models.sharding import gather_full_params
+from repro.models.tinylm import TinyLM, TinyLMConfig
+from repro.single_controller import SingleController, WorkerGroup
+from repro.workers import (
+    ActorWorker,
+    CostWorker,
+    CriticWorker,
+    ReferenceWorker,
+    RewardFunctionWorker,
+    RewardWorker,
+)
+
+LM_CFG = TinyLMConfig(
+    n_layers=2,
+    hidden_size=32,
+    n_heads=4,
+    ffn_hidden_size=48,
+    vocab_size=16,
+    max_seq_len=32,
+)
+SCALAR_CFG = dataclasses.replace(LM_CFG, output_head="scalar")
+
+
+def make_group(worker_cls, parallel, gen=None, **worker_kwargs):
+    controller = SingleController(ClusterSpec(n_machines=1))
+    pool = controller.create_pool(parallel.world_size)
+    group = WorkerGroup(
+        worker_cls,
+        pool,
+        parallel_config=parallel,
+        gen_config=gen,
+        controller=controller,
+        name=worker_cls.__name__.lower(),
+        worker_kwargs=worker_kwargs,
+    )
+    return controller, group
+
+
+def actor_group(parallel=ParallelConfig(1, 2, 1), gen_tp=1, gen_pp=1, **kwargs):
+    gen = GenParallelConfig.derive(parallel, gen_pp, gen_tp)
+    kwargs.setdefault("model_config", LM_CFG)
+    kwargs.setdefault("max_new_tokens", 5)
+    return make_group(ActorWorker, parallel, gen=gen, **kwargs)
+
+
+def prompts(batch=4, seq=4, seed=0):
+    rng = np.random.default_rng(seed)
+    return DataBatch({"prompts": rng.integers(0, 16, size=(batch, seq))})
+
+
+class TestActorWorker:
+    def test_generate_sequences_output(self):
+        _, actor = actor_group()
+        out = actor.generate_sequences(prompts()).get()
+        assert out["sequences"].shape == (4, 9)
+        assert out["old_log_probs"].shape == (4, 5)
+        assert out.meta["prompt_length"] == 4
+
+    def test_generation_matches_unsharded_model(self):
+        """Sharded generation must produce the same result as generating
+        straight from the reference single-copy model."""
+        from repro.models.sampler import generate
+
+        _, actor = actor_group(parallel=ParallelConfig(1, 2, 1))
+        p = prompts()
+        out = actor.generate_sequences(p).get()
+        # micro_dp=2: rank 0 generates rows 0-1, rank 1 generates rows 2-3,
+        # each against the same full weights with its own rng stream
+        ref = TinyLM(LM_CFG, seed=0)
+        for lead_rank, rows in ((0, slice(0, 2)), (1, slice(2, 4))):
+            rng = np.random.default_rng((0, lead_rank, 1))
+            expected = generate(
+                ref, p["prompts"][rows], 5, temperature=1.0, rng=rng
+            )
+            np.testing.assert_array_equal(
+                out["sequences"][rows], expected.sequences
+            )
+
+    def test_generation_splits_across_micro_dp(self):
+        _, actor = actor_group(parallel=ParallelConfig(1, 2, 1), gen_tp=1)
+        # micro_dp = 2: two generation replicas each take half the batch
+        out = actor.generate_sequences(prompts(batch=4)).get()
+        assert out["sequences"].shape[0] == 4
+
+    def test_greedy_generation_is_reproducible(self):
+        _, actor = actor_group()
+        a = actor.generate_sequences(prompts(), do_sample=False).get()
+        b = actor.generate_sequences(prompts(), do_sample=False).get()
+        np.testing.assert_array_equal(a["sequences"], b["sequences"])
+
+    def test_compute_log_prob_matches_generation(self):
+        _, actor = actor_group()
+        out = actor.generate_sequences(prompts()).get()
+        logp = actor.compute_log_prob(out).get()
+        np.testing.assert_allclose(
+            logp["log_probs"], out["old_log_probs"], atol=1e-9
+        )
+
+    def test_update_actor_changes_weights(self):
+        _, actor = actor_group()
+        before = {
+            k: v.copy() for k, v in actor.workers[0].shard.items()
+        }
+        out = actor.generate_sequences(prompts()).get()
+        out = out.union(actor.compute_log_prob(out).get())
+        batch = out.union(
+            DataBatch(
+                {"advantages": np.ones((4, 5))},
+                meta=out.meta,
+            )
+        )
+        metrics = actor.update_actor(batch, loss_func="ppo").get()
+        assert "policy_loss" in metrics
+        changed = any(
+            not np.array_equal(before[k], actor.workers[0].shard[k])
+            for k in before
+        )
+        assert changed
+
+    def test_all_ranks_stay_consistent_after_update(self):
+        """After an update, re-gathered weights are identical across DP
+        replicas (data parallelism really synchronised)."""
+        _, actor = actor_group(parallel=ParallelConfig(1, 2, 2))
+        out = actor.generate_sequences(prompts(batch=4)).get()
+        out = out.union(actor.compute_log_prob(out).get())
+        batch = out.union(
+            DataBatch({"advantages": np.ones((4, 5))}, meta=out.meta)
+        )
+        actor.update_actor(batch, loss_func="ppo").get()
+        replica0 = actor.workers[0].materialize_full_state()
+        replica1 = actor.workers[2].materialize_full_state()
+        for name in replica0:
+            np.testing.assert_allclose(replica0[name], replica1[name], atol=1e-12)
+
+    def test_unknown_loss_rejected(self):
+        _, actor = actor_group()
+        out = actor.generate_sequences(prompts()).get()
+        batch = out.union(
+            DataBatch({"advantages": np.ones((4, 5))}, meta=out.meta)
+        )
+        with pytest.raises(ValueError, match="unknown actor loss"):
+            actor.update_actor(batch, loss_func="dpo").get()
+
+    def test_compute_loss_pretrain(self):
+        _, actor = actor_group()
+        pretrain = DataBatch({"tokens": prompts(seq=8)["prompts"]})
+        metrics = actor.compute_loss(pretrain).get()
+        assert metrics["pretrain_loss"] > 0
+
+
+class TestCriticWorker:
+    def test_compute_values_shape(self):
+        _, actor = actor_group()
+        out = actor.generate_sequences(prompts()).get()
+        _, critic = make_group(
+            CriticWorker, ParallelConfig(1, 2, 1), model_config=SCALAR_CFG
+        )
+        values = critic.compute_values(out).get()
+        assert values["values"].shape == (4, 5)
+
+    def test_requires_scalar_head(self):
+        with pytest.raises(ValueError, match="scalar"):
+            make_group(CriticWorker, ParallelConfig(1, 1, 1), model_config=LM_CFG)
+
+    def test_update_critic_reduces_value_loss(self):
+        _, actor = actor_group()
+        out = actor.generate_sequences(prompts()).get()
+        _, critic = make_group(
+            CriticWorker,
+            ParallelConfig(1, 2, 1),
+            model_config=SCALAR_CFG,
+            lr=5e-3,
+        )
+        batch = out.union(critic.compute_values(out).get())
+        returns = np.zeros((4, 5))
+        losses = []
+        for _ in range(10):
+            values = critic.compute_values(batch.select(["sequences"]).union(
+                DataBatch({"prompts": batch["prompts"]}, meta=batch.meta)
+            )).get()
+            train_batch = batch.union(
+                DataBatch({"returns": returns}, meta=batch.meta)
+            )
+            train_batch.tensors["values"] = values["values"]
+            metrics = critic.update_critic(train_batch).get()
+            losses.append(metrics["value_loss"])
+        assert losses[-1] < losses[0]
+
+    def test_unknown_loss_rejected(self):
+        _, critic = make_group(
+            CriticWorker, ParallelConfig(1, 1, 1), model_config=SCALAR_CFG
+        )
+        with pytest.raises(ValueError, match="unknown critic loss"):
+            critic.update_critic(prompts(), loss_func="bogus").get()
+
+
+class TestScorers:
+    def test_reference_log_probs(self):
+        _, actor = actor_group()
+        out = actor.generate_sequences(prompts()).get()
+        _, ref = make_group(
+            ReferenceWorker, ParallelConfig(1, 2, 1), model_config=LM_CFG
+        )
+        logp = ref.compute_ref_log_prob(out).get()
+        assert logp["ref_log_probs"].shape == (4, 5)
+        assert (logp["ref_log_probs"] <= 0).all()
+
+    def test_reference_matches_actor_at_init(self):
+        """Same seed => the reference equals the actor before any updates."""
+        _, actor = actor_group(seed=0)
+        out = actor.generate_sequences(prompts()).get()
+        _, ref = make_group(
+            ReferenceWorker, ParallelConfig(1, 2, 1), model_config=LM_CFG, seed=0
+        )
+        ref_logp = ref.compute_ref_log_prob(out).get()["ref_log_probs"]
+        np.testing.assert_allclose(ref_logp, out["old_log_probs"], atol=1e-9)
+
+    def test_reference_has_no_training_memory(self):
+        _, ref = make_group(
+            ReferenceWorker, ParallelConfig(1, 1, 1), model_config=LM_CFG
+        )
+        device = ref.workers[0].ctx.device
+        assert device.memory.bytes_for("reference/grads") == 0
+        assert device.memory.bytes_for("reference/optim") == 0
+
+    def test_reward_scores(self):
+        _, actor = actor_group()
+        out = actor.generate_sequences(prompts()).get()
+        _, reward = make_group(
+            RewardWorker, ParallelConfig(1, 2, 1), model_config=SCALAR_CFG
+        )
+        scored = reward.compute_reward(out).get()
+        assert scored["scores"].shape == (4,)
+
+    def test_cost_worker_columns(self):
+        _, actor = actor_group()
+        out = actor.generate_sequences(prompts()).get()
+        _, cost = make_group(
+            CostWorker, ParallelConfig(1, 1, 1), model_config=SCALAR_CFG
+        )
+        scored = cost.compute_cost(out).get()
+        assert scored["costs"].shape == (4,)
+        assert scored["cost_values"].shape == (4, 5)
+
+    def test_reward_function_worker(self):
+        _, actor = actor_group()
+        out = actor.generate_sequences(prompts()).get()
+        task = SyntheticPreferenceTask(vocab_size=16, target_token=3)
+        controller = SingleController(ClusterSpec(n_machines=1))
+        group = WorkerGroup(
+            RewardFunctionWorker,
+            controller.create_pool(1),
+            controller=controller,
+            worker_kwargs={"reward_fn": task.reward},
+        )
+        scored = group.compute_reward(out).get()
+        expected = task.reward(out["sequences"][:, 4:])
+        np.testing.assert_allclose(scored["scores"], expected)
+
+    def test_reward_function_shape_validated(self):
+        _, actor = actor_group()
+        out = actor.generate_sequences(prompts()).get()
+        controller = SingleController(ClusterSpec(n_machines=1))
+        group = WorkerGroup(
+            RewardFunctionWorker,
+            controller.create_pool(1),
+            controller=controller,
+            worker_kwargs={"reward_fn": lambda r: np.zeros(99)},
+        )
+        with pytest.raises(ValueError, match="shape"):
+            group.compute_reward(out).get()
+
+
+class TestShardedStorage:
+    def test_worker_shards_reassemble_to_init_model(self):
+        _, actor = actor_group(parallel=ParallelConfig(1, 2, 2))
+        cfg = actor.train_topology.config
+        by_coord = {}
+        for w in actor.workers:
+            c = w.ctx.coords
+            if c.d == 0:
+                by_coord[(c.p, c.t)] = w.shard
+        full = gather_full_params(by_coord, tp_size=cfg.tp, pp_size=cfg.pp)
+        expected = TinyLM(LM_CFG, seed=0).state_dict()
+        for name in expected:
+            np.testing.assert_array_equal(full[name], expected[name])
+
+    def test_memory_ledger_tracks_shards(self):
+        _, actor = actor_group(parallel=ParallelConfig(1, 2, 1))
+        for w in actor.workers:
+            params = w.ctx.device.memory.bytes_for("actor/params")
+            assert params > 0
+            assert w.ctx.device.memory.bytes_for("actor/grads") == params
+            assert w.ctx.device.memory.bytes_for("actor/optim") == 3 * params
+
+    def test_checkpoint_roundtrip_restores_shards_and_optimizer(self, tmp_path):
+        controller, actor = actor_group()
+        out = actor.generate_sequences(prompts()).get()
+        batch = out.union(
+            DataBatch({"advantages": np.ones((4, 5))}, meta=out.meta)
+        ).union(actor.compute_log_prob(out).get())
+        actor.update_actor(batch, loss_func="ppo").get()
+        controller.save_checkpoint(tmp_path / "ck")
+
+        controller2, actor2 = actor_group()
+        controller2.load_checkpoint(tmp_path / "ck")
+        for w1, w2 in zip(actor.workers, actor2.workers):
+            for name in w1.shard:
+                np.testing.assert_array_equal(w1.shard[name], w2.shard[name])
+        lead2 = actor2.workers[0]
+        assert lead2._optimizer is not None
+        assert lead2._optimizer.step_count == 1
