@@ -10,7 +10,6 @@ model weighs the actor's GPU share more heavily, so colocate retains the
 lead there.
 """
 
-import pytest
 
 from benchmarks.common import emit, format_table, specs_for, workload
 from repro.baselines.common import InfeasibleScenario

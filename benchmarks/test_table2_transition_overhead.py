@@ -10,7 +10,6 @@ from fractions import Fraction
 from benchmarks.common import emit, format_table
 from repro.config import ClusterSpec, GenParallelConfig, ParallelConfig
 from repro.hybrid_engine import EngineKind, HybridEngine3D, transition_overhead
-from repro.models.sharding import shard_nbytes
 from repro.models.tinylm import TinyLM, TinyLMConfig
 from repro.parallel.topology import GenGroupingMode
 from repro.single_controller import SingleController, WorkerGroup

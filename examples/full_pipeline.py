@@ -19,7 +19,7 @@ import dataclasses
 import numpy as np
 
 from repro.config import ClusterSpec, GenParallelConfig, ParallelConfig
-from repro.data import DataBatch, PromptDataset, SyntheticPreferenceTask
+from repro.data import PromptDataset, SyntheticPreferenceTask
 from repro.models.tinylm import TinyLMConfig
 from repro.rlhf import AlgoType
 from repro.rlhf.pipeline import RewardModelTrainer, SFTTrainer

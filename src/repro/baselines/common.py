@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.config import ClusterSpec, ModelSpec, ParallelConfig, RlhfWorkload
 from repro.mapping.auto_parallel import ModelRole, auto_parallel

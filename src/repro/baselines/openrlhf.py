@@ -11,7 +11,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from repro.baselines.common import InfeasibleScenario, SystemEstimate, zero3_fits
 from repro.baselines.deepspeed_chat import _generation_tp

@@ -11,6 +11,9 @@ Five subcommands, mirroring the evaluation's workflows:
 * ``sweep-gen`` — Figure 15's generation-TP sweep for one model.
 * ``map-hetero`` — device mapping over heterogeneous zones (the extension
   §6 sketches).
+* ``faults`` — run a tiny functional PPO job under injected failures with
+  automatic recovery (§9) and report MTTR plus the checkpoint-interval
+  goodput trade-off.
 
 Examples::
 
@@ -19,6 +22,7 @@ Examples::
     python -m repro.cli transition --model llama-13b --tp 8 --dp 2 --gen-tp 2
     python -m repro.cli sweep-gen --model llama-13b
     python -m repro.cli map-hetero --zone a100:A100-80GB:1 --zone h100:H100-80GB:1
+    python -m repro.cli faults --kill-machine 0 --at-step 30 --iterations 6
 """
 
 from __future__ import annotations
@@ -262,6 +266,136 @@ def cmd_map_hetero(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_faults(args: argparse.Namespace) -> int:
+    # Functional-path imports stay local so the analytic subcommands keep
+    # their fast import time.
+    import tempfile
+
+    from repro.config import GenParallelConfig as GenPC
+    from repro.data import PromptDataset, SyntheticPreferenceTask
+    from repro.faults import FaultInjector, FaultPlan, RetryPolicy
+    from repro.models.tinylm import TinyLMConfig
+    from repro.perf import goodput_vs_interval, optimal_checkpoint_interval
+    from repro.rlhf.trainers import TrainerConfig
+    from repro.runtime import (
+        ModelAssignment,
+        PlacementPlan,
+        build_rlhf_system,
+        train_with_recovery,
+    )
+
+    cfg = TinyLMConfig(
+        n_layers=2,
+        hidden_size=32,
+        n_heads=4,
+        ffn_hidden_size=48,
+        vocab_size=16,
+        max_seq_len=32,
+    )
+    task = SyntheticPreferenceTask(vocab_size=16, target_token=7)
+    par = ParallelConfig(pp=1, tp=2, dp=1)
+    spec = ClusterSpec(
+        n_machines=args.machines, gpus_per_machine=args.gpus_per_machine
+    )
+
+    def build(cluster=None):
+        plan = PlacementPlan(
+            pools={"main": 2, "r": 1},
+            assignments={
+                "actor": ModelAssignment("main", par, GenPC.derive(par, 1, 1)),
+                "critic": ModelAssignment("main", par),
+                "reference": ModelAssignment("main", par),
+                "reward": ModelAssignment("r", ParallelConfig(1, 1, 1)),
+            },
+        )
+        return build_rlhf_system(
+            AlgoType.PPO,
+            plan,
+            cfg,
+            cluster_spec=spec,
+            trainer_config=TrainerConfig(kl_coef=0.01, seed=7),
+            reward_fn=task.reward,
+            max_new_tokens=6,
+            lr=5e-3,
+            seed=7,
+            cluster=cluster,
+        )
+
+    fault_plan = FaultPlan()
+    if args.kill_machine is not None:
+        if not 0 <= args.kill_machine < spec.n_machines:
+            print(
+                f"--kill-machine {args.kill_machine} out of range for "
+                f"{spec.n_machines} machine(s)",
+                file=sys.stderr,
+            )
+            return 2
+        fault_plan.kill_machine(args.kill_machine, at_step=args.at_step)
+    if args.kill_device is not None:
+        if not 0 <= args.kill_device < spec.n_gpus:
+            print(
+                f"--kill-device {args.kill_device} out of range for "
+                f"{spec.n_gpus} GPU(s)",
+                file=sys.stderr,
+            )
+            return 2
+        fault_plan.kill_device(args.kill_device, at_step=args.at_step)
+    if args.transients:
+        fault_plan.transient(at_step=args.at_step, count=args.transients)
+    injector = FaultInjector(fault_plan)
+
+    print(
+        f"fault-injected PPO on {spec.n_gpus} simulated GPUs "
+        f"({args.iterations} iterations, checkpoint every {args.ckpt_every}, "
+        f"{len(fault_plan)} scheduled fault(s))"
+    )
+    dataset = PromptDataset(n_prompts=128, prompt_length=4, vocab_size=16, seed=1)
+    with tempfile.TemporaryDirectory() as ckpt_dir:
+        try:
+            system, history, report = train_with_recovery(
+                build,
+                dataset,
+                n_iterations=args.iterations,
+                batch_size=8,
+                checkpoint_dir=ckpt_dir,
+                checkpoint_every=args.ckpt_every,
+                injector=injector,
+                retry_policy=RetryPolicy(seed=args.seed),
+            )
+        except (RuntimeError, ValueError) as exc:  # worker lost, exhausted, bad args
+            print(f"unrecoverable failure: {exc}", file=sys.stderr)
+            return 1
+    print("  rewards:", [round(h["score_mean"], 3) for h in history])
+    for line in report.summary_lines():
+        print(line)
+    print(
+        f"  injector: {injector.stats.devices_killed} device(s) killed, "
+        f"{injector.stats.transients_injected} transient(s), "
+        f"{injector.stats.retries_observed} retry(ies)"
+    )
+
+    overhead = report.checkpoint_time + report.total_downtime
+    useful = max(report.total_time - overhead, 1e-9)
+    iter_time = useful / max(len(history) + report.total_lost_iterations, 1)
+    ckpt_time = report.checkpoint_time / max(report.checkpoints_saved, 1)
+    restore = (
+        report.events[0].restore_time if report.events else ckpt_time * 2.0
+    )
+    reinit = report.events[0].reinit_time if report.events else 2.0
+    print(f"\nanalytic model (MTBF {args.mtbf:.0f}s):")
+    interval = optimal_checkpoint_interval(max(ckpt_time, 1e-9), args.mtbf)
+    print(
+        f"  Young optimal interval: {interval:.1f}s of work "
+        f"(~{interval / iter_time:.1f} iterations)"
+    )
+    print("  goodput vs checkpoint interval:")
+    for k, goodput in goodput_vs_interval(
+        iter_time, ckpt_time, restore, reinit, args.mtbf
+    ):
+        print(f"    every {k:3d} iter(s): {goodput:.4f}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli",
@@ -310,6 +444,64 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     p.set_defaults(fn=cmd_map_hetero)
+
+    p = sub.add_parser(
+        "faults",
+        help="fault-injected functional run with automatic recovery (§9)",
+    )
+    p.add_argument(
+        "--machines", type=int, default=2, help="simulated machines"
+    )
+    p.add_argument(
+        "--gpus-per-machine",
+        type=int,
+        default=4,
+        help="GPUs per simulated machine (spare capacity hosts re-placement)",
+    )
+    p.add_argument("--iterations", type=int, default=6, help="PPO iterations")
+    p.add_argument(
+        "--ckpt-every",
+        type=int,
+        default=1,
+        help="checkpoint interval in iterations",
+    )
+    p.add_argument(
+        "--kill-machine",
+        type=int,
+        default=None,
+        metavar="M",
+        help="kill machine M (all its GPUs) at --at-step",
+    )
+    p.add_argument(
+        "--kill-device",
+        type=int,
+        default=None,
+        metavar="RANK",
+        help="kill one GPU at --at-step",
+    )
+    p.add_argument(
+        "--transients",
+        type=int,
+        default=0,
+        metavar="N",
+        help="inject N consecutive transient RPC failures at --at-step",
+    )
+    p.add_argument(
+        "--at-step",
+        type=int,
+        default=30,
+        help="trace sequence number at which scheduled faults arm",
+    )
+    p.add_argument(
+        "--seed", type=int, default=0, help="retry-backoff jitter seed"
+    )
+    p.add_argument(
+        "--mtbf",
+        type=float,
+        default=3600.0,
+        help="assumed mean time between failures for the analytic model (s)",
+    )
+    p.set_defaults(fn=cmd_faults)
     return parser
 
 

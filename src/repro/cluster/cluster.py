@@ -7,7 +7,7 @@ how HybridFlow's ``ResourcePool`` virtualises GPUs (§4.1).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 from repro.cluster.device import SimDevice
 from repro.config import ClusterSpec
@@ -71,31 +71,71 @@ class SimCluster:
             SimDevice(rank, spec.machine_of(rank), spec.gpu)
             for rank in range(spec.n_gpus)
         ]
-        self._next_free_rank = 0
+        self._free = set(range(spec.n_gpus))
 
     @property
     def n_gpus(self) -> int:
         return self.spec.n_gpus
 
+    @property
+    def n_alive(self) -> int:
+        return sum(1 for d in self.devices if d.alive)
+
     def device(self, rank: int) -> SimDevice:
         return self.devices[rank]
 
-    def allocate(self, n_gpus: int) -> DeviceSet:
-        """Allocate the next ``n_gpus`` contiguous devices.
+    def alive_devices(self) -> List[SimDevice]:
+        return [d for d in self.devices if d.alive]
 
-        Raises ``RuntimeError`` when the cluster is exhausted; callers (the
-        mapping algorithm) are expected to have validated total demand.
+    def allocatable_ranks(self) -> List[int]:
+        """Free *and* alive ranks, in rank order."""
+        return [
+            r for r in range(self.n_gpus) if r in self._free and self.devices[r].alive
+        ]
+
+    def allocate(self, n_gpus: int) -> DeviceSet:
+        """Allocate ``n_gpus`` free, alive devices — contiguous when possible.
+
+        First-fit over contiguous rank spans (the paper assumes homogeneous
+        GPUs, so span choice is immaterial to cost); after failures have
+        punched holes in the rank space, falls back to the first ``n_gpus``
+        allocatable ranks in order.  Raises ``RuntimeError`` when the cluster
+        is exhausted; callers (the mapping algorithm) are expected to have
+        validated total demand.
         """
         if n_gpus <= 0:
             raise ValueError(f"must allocate a positive GPU count, got {n_gpus}")
-        if self._next_free_rank + n_gpus > self.n_gpus:
+        available = self.allocatable_ranks()
+        if n_gpus > len(available):
             raise RuntimeError(
                 f"cluster exhausted: want {n_gpus} GPUs, "
-                f"{self.n_gpus - self._next_free_rank} unallocated of {self.n_gpus}"
+                f"{len(available)} allocatable of {self.n_gpus}"
             )
-        start = self._next_free_rank
-        self._next_free_rank += n_gpus
-        return DeviceSet(self.devices[start : start + n_gpus], self)
+        chosen: List[int] = []
+        run: List[int] = []
+        for rank in range(self.n_gpus):
+            if rank in self._free and self.devices[rank].alive:
+                run.append(rank)
+                if len(run) == n_gpus:
+                    chosen = run
+                    break
+            else:
+                run = []
+        if not chosen:  # no contiguous span survives; take the first free ranks
+            chosen = available[:n_gpus]
+        self._free.difference_update(chosen)
+        return DeviceSet([self.devices[r] for r in chosen], self)
+
+    def release(self, devices: DeviceSet, clear_memory: bool = True) -> None:
+        """Return a set's devices to the free pool (recovery teardown).
+
+        The workers that owned these devices are gone, so by default their
+        memory ledgers are wiped; dead devices stay unallocatable.
+        """
+        for device in devices:
+            if clear_memory:
+                device.memory.clear()
+            self._free.add(device.global_rank)
 
     def device_set(self, ranks: Iterable[int]) -> DeviceSet:
         """Build a DeviceSet from explicit global ranks (no bookkeeping)."""
@@ -103,7 +143,28 @@ class SimCluster:
 
     def release_all(self) -> None:
         """Forget all allocations (devices keep their memory ledgers)."""
-        self._next_free_rank = 0
+        self._free = set(range(self.n_gpus))
+
+    # -- failure injection (repro.faults) ----------------------------------------------
+
+    def fail_device(self, rank: int, at_time: Optional[float] = None) -> SimDevice:
+        """Kill one device; its memory is lost and it never allocates again."""
+        device = self.devices[rank]
+        device.fail(at_time)
+        return device
+
+    def fail_machine(self, machine: int, at_time: Optional[float] = None) -> List[int]:
+        """Kill every device on ``machine``; returns the ranks that died now."""
+        if not 0 <= machine < self.spec.n_machines:
+            raise ValueError(
+                f"machine {machine} out of range for {self.spec.n_machines}"
+            )
+        died = []
+        for device in self.devices:
+            if device.machine == machine and device.alive:
+                device.fail(at_time)
+                died.append(device.global_rank)
+        return died
 
     def total_memory_in_use(self) -> int:
         return sum(d.memory.used for d in self.devices)

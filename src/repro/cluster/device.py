@@ -86,6 +86,12 @@ class DeviceMemory:
     def reset_peak(self) -> None:
         self.peak_used = self.used
 
+    def clear(self) -> None:
+        """Drop every allocation (device failed or its workers were torn down).
+
+        ``peak_used`` is kept — it is a historical high-water mark."""
+        self._allocations.clear()
+
     def __repr__(self) -> str:
         return (
             f"DeviceMemory(used={self.used}, free={self.free}, "
@@ -104,11 +110,23 @@ class SimDevice:
         #: Accumulated simulated busy time (seconds), used for utilisation
         #: reports in the runtime layer.
         self.busy_time = 0.0
+        #: False once the device has been killed by fault injection; dead
+        #: devices are never allocatable again and their memory is gone.
+        self.alive = True
+        #: Simulated time of death, when a clock was available.
+        self.failed_at: "float | None" = None
 
     def occupy(self, seconds: float) -> None:
         if seconds < 0:
             raise ValueError(f"negative busy time: {seconds}")
         self.busy_time += seconds
 
+    def fail(self, at_time: "float | None" = None) -> None:
+        """Kill the device: contents lost, permanently unallocatable."""
+        self.alive = False
+        self.failed_at = at_time
+        self.memory.clear()
+
     def __repr__(self) -> str:
-        return f"SimDevice(rank={self.global_rank}, machine={self.machine})"
+        state = "" if self.alive else ", DEAD"
+        return f"SimDevice(rank={self.global_rank}, machine={self.machine}{state})"

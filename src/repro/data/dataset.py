@@ -12,7 +12,7 @@ the reward model with a reward function.
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterator, Optional
+from typing import Iterator
 
 import numpy as np
 

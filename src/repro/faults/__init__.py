@@ -1,0 +1,40 @@
+"""Fault injection and failure policy for the simulated RLHF cluster (§9).
+
+The paper's fault-tolerance story ("the single controller coordinates
+checkpoint operations via RPC") only exercises the happy path; this package
+makes failure a first-class simulated event:
+
+* :class:`FaultPlan` / :class:`FaultEvent` — a deterministic (seeded)
+  schedule of device deaths, machine losses, transient RPC failures, and
+  stragglers, keyed by controller trace step.
+* :class:`FaultInjector` — delivers a plan into a running job; device kills
+  mutate the cluster so recovery re-placement sees the shrunken world.
+* :class:`RetryPolicy` / :class:`SimClock` — retry-with-backoff and per-call
+  timeout semantics on the simulated clock.
+* Typed errors (:class:`TransientRpcError`, :class:`WorkerLostError`) that
+  the recovery driver in :mod:`repro.runtime.recovery` acts on.
+"""
+
+from repro.faults.errors import (
+    CallTimeoutError,
+    FaultError,
+    TransientRpcError,
+    WorkerLostError,
+)
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+from repro.faults.policy import RetryPolicy, SimClock
+from repro.faults.injector import FaultInjector, FaultStats
+
+__all__ = [
+    "CallTimeoutError",
+    "FaultError",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultStats",
+    "RetryPolicy",
+    "SimClock",
+    "TransientRpcError",
+    "WorkerLostError",
+]

@@ -1,0 +1,76 @@
+"""Typed failure exceptions shared by the fault-injection and recovery layers.
+
+These deliberately carry *structured* failure context (which ranks, which
+pool, which trace step) rather than just a message: the recovery path in
+:mod:`repro.runtime.recovery` decides what to rebuild from these fields, and
+tests assert on them.  The module has no imports from the rest of the
+package so any layer may raise or catch these without cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+
+class FaultError(RuntimeError):
+    """Base class for simulated-failure errors."""
+
+
+class TransientRpcError(FaultError):
+    """A retryable RPC failure (flaky link, dropped message).
+
+    The single controller's dispatch retries these with deterministic
+    backoff; only when the retry budget is exhausted does the failure
+    escalate to :class:`WorkerLostError`.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        group: str = "",
+        method: str = "",
+        ranks: Tuple[int, ...] = (),
+    ) -> None:
+        self.group = group
+        self.method = method
+        self.ranks = tuple(ranks)
+        super().__init__(message)
+
+
+class CallTimeoutError(TransientRpcError):
+    """A remote call exceeded the per-call timeout on the simulated clock.
+
+    Subclasses :class:`TransientRpcError` so the retry machinery treats a
+    timeout like any other retryable fault; a *persistent* straggler keeps
+    timing out until the budget is exhausted and the rank is declared lost.
+    """
+
+
+class WorkerLostError(FaultError):
+    """Permanent loss of worker rank(s): device/machine death or exhausted retries.
+
+    Attributes:
+        group: Worker-group name whose call detected the loss.
+        pool: Resource-pool name holding the affected ranks.
+        dead_ranks: Global device ranks that are gone (may be empty when a
+            link, rather than a device, was declared dead).
+        step: Controller trace sequence number at detection time.
+        cause: Short human-readable reason ("machine 0 lost", "retries
+            exhausted", ...).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        group: str = "",
+        pool: str = "",
+        dead_ranks: Tuple[int, ...] = (),
+        step: Optional[int] = None,
+        cause: str = "",
+    ) -> None:
+        self.group = group
+        self.pool = pool
+        self.dead_ranks = tuple(dead_ranks)
+        self.step = step
+        self.cause = cause
+        super().__init__(message)

@@ -1,0 +1,168 @@
+"""``FaultInjector``: deterministic fault delivery against a controller's trace.
+
+The injector is attached to a :class:`~repro.single_controller.SingleController`
+(``controller.attach_fault_injector``) and consulted by every remote call
+before it executes.  Events arm at trace sequence numbers, so delivery is
+bit-reproducible; device/machine kills mutate the *cluster* (devices stay
+dead across controller rebuilds, which is what recovery re-placement runs
+against), while transient and straggler effects live in the injector and
+survive re-binding to the controller a recovery builds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.faults.errors import TransientRpcError, WorkerLostError
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+
+
+@dataclasses.dataclass
+class FaultStats:
+    """Counters the tests and the recovery report read back."""
+
+    events_armed: int = 0
+    transients_injected: int = 0
+    retries_observed: int = 0
+    devices_killed: int = 0
+    detections: int = 0
+
+
+class _ActiveTransient:
+    """A transient event with its remaining failure budget."""
+
+    def __init__(self, event: FaultEvent) -> None:
+        self.event = event
+        self.remaining = event.count
+
+    def matches(self, group_name: str, pool_name: str) -> bool:
+        if self.event.group is not None and self.event.group != group_name:
+            return False
+        if self.event.pool is not None and self.event.pool != pool_name:
+            return False
+        return True
+
+
+class FaultInjector:
+    """Delivers a :class:`FaultPlan` into a running single-controller job."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._pending: List[FaultEvent] = sorted(
+            plan.events, key=lambda e: e.at_step
+        )
+        self._transients: List[_ActiveTransient] = []
+        #: Per-rank latency multipliers of armed stragglers.
+        self.straggle: Dict[int, float] = {}
+        self.stats = FaultStats()
+        self.controller = None
+
+    # -- wiring ----------------------------------------------------------------------
+
+    def bind(self, controller) -> None:
+        """Attach to a controller (re-bound by recovery after a rebuild)."""
+        self.controller = controller
+
+    @property
+    def pending_events(self) -> Tuple[FaultEvent, ...]:
+        return tuple(self._pending)
+
+    # -- the per-call gate -----------------------------------------------------------
+
+    def pre_call(self, group, method: str, seq: int) -> None:
+        """Arm due events, then fail this call if a fault applies.
+
+        Raises:
+            WorkerLostError: a device in the group's pool is dead.
+            TransientRpcError: an armed transient fault consumed this call.
+        """
+        if self.controller is None:
+            raise RuntimeError("FaultInjector used before bind()")
+        self._arm_due(seq)
+        cluster = self.controller.cluster
+        pool = group.resource_pool
+        dead = [r for r in pool.global_ranks if not cluster.device(r).alive]
+        if dead:
+            self.stats.detections += 1
+            raise WorkerLostError(
+                f"{group.name}.{method}: rank(s) {dead} of pool "
+                f"{pool.name!r} are dead (detected at trace step {seq})",
+                group=group.name,
+                pool=pool.name,
+                dead_ranks=tuple(dead),
+                step=seq,
+                cause="device loss",
+            )
+        for transient in self._transients:
+            if transient.remaining > 0 and transient.matches(
+                group.name, pool.name
+            ):
+                transient.remaining -= 1
+                self.stats.transients_injected += 1
+                raise TransientRpcError(
+                    f"injected transient RPC failure on {group.name}.{method} "
+                    f"(trace step {seq})",
+                    group=group.name,
+                    method=method,
+                )
+
+    def note_retry(self) -> None:
+        self.stats.retries_observed += 1
+
+    # -- durations / stragglers --------------------------------------------------------
+
+    def call_duration(self, group, method: str) -> float:
+        """Simulated duration of one call, inflated by the pool's slowest rank."""
+        # Lazy import: runtime.timeline imports the controller module, which
+        # imports worker_group; resolving the table at call time avoids the cycle.
+        from repro.runtime.timeline import DEFAULT_DURATIONS, FALLBACK_DURATION
+
+        base = DEFAULT_DURATIONS.get(method, FALLBACK_DURATION)
+        factor = max(
+            (self.straggle.get(r, 1.0) for r in group.resource_pool.global_ranks),
+            default=1.0,
+        )
+        return base * factor
+
+    def straggler_ranks(self, group) -> Tuple[int, ...]:
+        return tuple(
+            r
+            for r in group.resource_pool.global_ranks
+            if self.straggle.get(r, 1.0) > 1.0
+        )
+
+    # -- event activation --------------------------------------------------------------
+
+    def _arm_due(self, seq: int) -> None:
+        cluster = self.controller.cluster
+        clock = getattr(self.controller, "clock", None)
+        now = clock.now if clock is not None else None
+        while self._pending and self._pending[0].at_step <= seq:
+            event = self._pending.pop(0)
+            self.stats.events_armed += 1
+            if event.kind is FaultKind.DEVICE_LOSS:
+                if cluster.device(event.rank).alive:
+                    cluster.fail_device(event.rank, at_time=now)
+                    self.stats.devices_killed += 1
+            elif event.kind is FaultKind.MACHINE_LOSS:
+                self.stats.devices_killed += len(
+                    cluster.fail_machine(event.machine, at_time=now)
+                )
+            elif event.kind is FaultKind.TRANSIENT_RPC:
+                self._transients.append(_ActiveTransient(event))
+            elif event.kind is FaultKind.STRAGGLER:
+                self.straggle[event.rank] = max(
+                    self.straggle.get(event.rank, 1.0), event.slow_factor
+                )
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultInjector({len(self._pending)} pending of "
+            f"{len(self.plan)} events)"
+        )
+
+
+def has_faults(controller) -> Optional[FaultInjector]:
+    """The controller's injector, or ``None`` (duck-typed for bare controllers)."""
+    return getattr(controller, "fault_injector", None)

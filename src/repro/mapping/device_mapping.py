@@ -16,7 +16,6 @@ from typing import Dict, List, Optional, Tuple
 from repro.config import (
     BYTES_BF16,
     ClusterSpec,
-    GenParallelConfig,
     ModelSpec,
     ParallelConfig,
     RlhfWorkload,

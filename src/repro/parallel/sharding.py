@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import dataclasses
 from fractions import Fraction
-from typing import Tuple
 
 from repro.parallel.topology import GenTopology, ParallelTopology
 

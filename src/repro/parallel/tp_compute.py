@@ -116,9 +116,9 @@ def vocab_parallel_log_softmax(
     """
     _require_shards(head_shards, group)
     local_logits = [np.asarray(x) @ np.asarray(w) for w in head_shards]
-    local_max = [l.max(axis=-1, keepdims=True) for l in local_logits]
+    local_max = [lg.max(axis=-1, keepdims=True) for lg in local_logits]
     global_max = collectives.all_reduce(local_max, group, op="max")
-    shifted = [l - m for l, m in zip(local_logits, global_max)]
+    shifted = [lg - m for lg, m in zip(local_logits, global_max)]
     local_sum = [np.exp(s).sum(axis=-1, keepdims=True) for s in shifted]
     global_sum = collectives.all_reduce(local_sum, group, op="sum")
     local_logp = [

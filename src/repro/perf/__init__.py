@@ -26,6 +26,12 @@ from repro.perf.pipeline import (
     bubble_multiplier,
     gpipe_schedule,
 )
+from repro.perf.recovery import (
+    expected_goodput,
+    goodput_vs_interval,
+    mean_time_to_recover,
+    optimal_checkpoint_interval,
+)
 
 __all__ = [
     "GenerationEstimate",
@@ -39,8 +45,12 @@ __all__ = [
     "Stage",
     "StageMemory",
     "estimate_iteration",
+    "expected_goodput",
     "generation_latency",
+    "goodput_vs_interval",
     "inference_latency",
+    "mean_time_to_recover",
+    "optimal_checkpoint_interval",
     "simulate_latency",
     "training_latency",
     "transition_time",

@@ -15,7 +15,6 @@ Both disciplines share the per-step decode cost model of
 from __future__ import annotations
 
 import dataclasses
-import math
 from typing import List, Sequence
 
 import numpy as np

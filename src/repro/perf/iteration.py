@@ -10,7 +10,7 @@ set, max across sets, sum over stages).
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.config import (
     BYTES_BF16,

@@ -3,15 +3,26 @@
 from repro.runtime.placement import ModelAssignment, PlacementPlan
 from repro.runtime.builder import RlhfSystem, build_rlhf_system
 from repro.runtime.timeline import Timeline, TimelineEvent, build_timeline
-from repro.runtime.report import system_report
+from repro.runtime.report import recovery_summary, system_report
+from repro.runtime.recovery import (
+    RecoveryCostModel,
+    RecoveryEvent,
+    RecoveryReport,
+    train_with_recovery,
+)
 
 __all__ = [
     "ModelAssignment",
     "PlacementPlan",
+    "RecoveryCostModel",
+    "RecoveryEvent",
+    "RecoveryReport",
     "RlhfSystem",
     "Timeline",
     "TimelineEvent",
     "build_rlhf_system",
     "build_timeline",
+    "recovery_summary",
     "system_report",
+    "train_with_recovery",
 ]

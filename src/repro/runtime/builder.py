@@ -94,6 +94,7 @@ def build_rlhf_system(
     lr: float = 1e-3,
     seed: int = 0,
     pretrain_dataset=None,
+    cluster=None,
 ) -> RlhfSystem:
     """Construct controller, pools, worker groups, and trainer.
 
@@ -109,6 +110,10 @@ def build_rlhf_system(
             assign ``"reward"`` to a 1-GPU pool.
         pretrain_dataset: Optional pretraining prompts for Safe-RLHF's
             auxiliary loss.
+        cluster: Re-use an existing :class:`~repro.cluster.SimCluster`
+            instead of materialising ``cluster_spec`` — the recovery path
+            passes the surviving cluster back in so re-placement runs on
+            the devices that are still alive (§9).
     """
     algo = AlgoType(algo)
     models = required_models(algo)
@@ -123,7 +128,7 @@ def build_rlhf_system(
     lm_config = actor_config
     scalar_config = critic_config
 
-    controller = SingleController(cluster_spec)
+    controller = SingleController(cluster_spec, cluster=cluster)
     pools: Dict[str, ResourcePool] = {
         name: controller.create_pool(n, name=name)
         for name, n in plan.pools.items()

@@ -99,12 +99,24 @@ def metrics_summary(system: RlhfSystem) -> List[str]:
     return lines
 
 
+def recovery_summary(report) -> List[str]:
+    """Recovery-cost lines from a :class:`~repro.runtime.RecoveryReport`."""
+    return report.summary_lines()
+
+
 def system_report(
     system: RlhfSystem,
     include_timeline: bool = True,
     timeline_width: int = 60,
+    recovery=None,
 ) -> str:
-    """A one-screen report of a functional RLHF run."""
+    """A one-screen report of a functional RLHF run.
+
+    Args:
+        recovery: Optional :class:`~repro.runtime.RecoveryReport` from
+            :func:`~repro.runtime.train_with_recovery`; adds a fault-
+            tolerance section with lost work, restore time, and MTTR.
+    """
     sections = [
         ["=== RLHF system report ==="],
         placement_summary(system),
@@ -113,6 +125,8 @@ def system_report(
         memory_summary(system),
         metrics_summary(system),
     ]
+    if recovery is not None:
+        sections.append(recovery_summary(recovery))
     if include_timeline and system.controller.trace:
         timeline = build_timeline(system.controller)
         sections.append(

@@ -23,9 +23,14 @@ from repro.single_controller.protocols import (
 )
 from repro.single_controller.worker import Worker, WorkerContext
 from repro.single_controller.worker_group import WorkerGroup
-from repro.single_controller.controller import ExecutionRecord, SingleController
+from repro.single_controller.controller import (
+    CheckpointError,
+    ExecutionRecord,
+    SingleController,
+)
 
 __all__ = [
+    "CheckpointError",
     "DataFuture",
     "ExecutionRecord",
     "ResourcePool",

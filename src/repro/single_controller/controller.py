@@ -6,6 +6,19 @@ execution trace (used to verify execution *patterns* — Table 1), and
 coordinates checkpointing across worker groups via "RPC" (§9: "Our
 programming model enables the single controller to coordinate checkpoint
 operations via RPC").
+
+Beyond the happy path, the controller carries the job's failure policy: a
+simulated clock, a retry/backoff/timeout :class:`~repro.faults.RetryPolicy`
+consulted on every remote call, an optional
+:class:`~repro.faults.FaultInjector`, and ``release_pools`` — the teardown
+half of recovery, which returns devices to the cluster so a rebuilt job can
+re-place itself on the survivors.
+
+Checkpoints are written atomically (staged in a sibling directory, then
+renamed into place) so a crash mid-save can never leave a half-written
+checkpoint that a later ``load_checkpoint`` trusts, and every load failure
+surfaces as a typed :class:`CheckpointError` rather than a raw
+``KeyError``/``JSONDecodeError``.
 """
 
 from __future__ import annotations
@@ -13,6 +26,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import pathlib
+import shutil
 import time
 from typing import Any, Dict, List, Optional
 
@@ -21,8 +35,17 @@ import numpy as np
 from repro.cluster import SimCluster
 from repro.comm.groups import TrafficMeter
 from repro.config import ClusterSpec
+from repro.faults.policy import RetryPolicy, SimClock
 from repro.single_controller.resource_pool import ResourcePool
 from repro.single_controller.worker_group import WorkerGroup
+
+
+class CheckpointError(ValueError):
+    """A checkpoint is missing, truncated, corrupted, or inconsistent.
+
+    Subclasses ``ValueError`` so pre-existing callers that guarded the
+    structural mismatches (missing group, rank count) keep working.
+    """
 
 
 @dataclasses.dataclass(frozen=True)
@@ -41,16 +64,60 @@ class ExecutionRecord:
     deps: tuple = ()
 
 
+def _json_safe(value: Any, where: str) -> Any:
+    """Coerce checkpoint scalars to JSON-serializable Python types.
+
+    Worker ``state_for_checkpoint`` dicts routinely contain numpy scalar
+    types (``np.float32``, ``np.int64``, 0-d arrays); these crash
+    ``json.dumps`` unless coerced.  Anything non-serializable raises a
+    :class:`CheckpointError` naming the offending key.
+    """
+    if isinstance(value, np.ndarray):
+        if value.ndim == 0:
+            return value.item()
+        raise CheckpointError(
+            f"non-scalar array at {where!r} must be a top-level value of "
+            "state_for_checkpoint (saved to .npz), not nested JSON state"
+        )
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v, f"{where}.{k}") for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v, f"{where}[{i}]") for i, v in enumerate(value)]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise CheckpointError(
+        f"cannot serialize {type(value).__name__} at {where!r} into a "
+        "checkpoint manifest"
+    )
+
+
 class SingleController:
     """Central coordinator of the RLHF dataflow."""
 
-    def __init__(self, cluster_spec: Optional[ClusterSpec] = None) -> None:
-        self.cluster = SimCluster(cluster_spec or ClusterSpec())
+    def __init__(
+        self,
+        cluster_spec: Optional[ClusterSpec] = None,
+        cluster: Optional[SimCluster] = None,
+    ) -> None:
+        #: Recovery rebuilds pass the *surviving* cluster back in so dead
+        #: devices stay dead and re-placement runs on the shrunken world.
+        self.cluster = (
+            cluster if cluster is not None else SimCluster(cluster_spec or ClusterSpec())
+        )
         self.meter = TrafficMeter()
         self.pools: Dict[str, ResourcePool] = {}
         self.groups: List[WorkerGroup] = []
         self.trace: List[ExecutionRecord] = []
         self._seq = 0
+        #: Simulated wall clock; remote calls, backoff waits, and recovery
+        #: actions all advance it (repro.faults.SimClock).
+        self.clock = SimClock()
+        #: Transient-fault handling for every remote call.
+        self.retry_policy = RetryPolicy()
+        #: Optional fault delivery (repro.faults.FaultInjector).
+        self.fault_injector = None
 
     # -- resources -----------------------------------------------------------------
 
@@ -61,6 +128,18 @@ class SingleController:
         self.pools[pool.name] = pool
         return pool
 
+    def release_pools(self) -> None:
+        """Return every pool's devices to the cluster (recovery teardown).
+
+        The job's workers are considered gone: surviving devices get their
+        memory ledgers wiped so a rebuilt job can allocate cleanly, and dead
+        devices stay dead.  The trace is kept — it documents the failed run.
+        """
+        for pool in self.pools.values():
+            self.cluster.release(pool.devices, clear_memory=True)
+        self.pools.clear()
+        self.groups.clear()
+
     def attach_group(self, group: WorkerGroup) -> None:
         self.groups.append(group)
 
@@ -70,7 +149,19 @@ class SingleController:
                 return group
         raise KeyError(f"no worker group named {name!r}")
 
+    # -- fault policy ------------------------------------------------------------------
+
+    def attach_fault_injector(self, injector) -> None:
+        """Install a :class:`repro.faults.FaultInjector` on this job."""
+        injector.bind(self)
+        self.fault_injector = injector
+
     # -- tracing -----------------------------------------------------------------------
+
+    @property
+    def next_seq(self) -> int:
+        """Sequence number the next remote call will record."""
+        return self._seq
 
     def record_execution(
         self, group: WorkerGroup, method: str, deps: tuple = ()
@@ -98,54 +189,122 @@ class SingleController:
 
     # -- checkpointing (§9) ---------------------------------------------------------------
 
-    def save_checkpoint(self, directory: str) -> None:
-        """Persist every worker's rank-local state plus an RNG-aware manifest."""
+    def save_checkpoint(
+        self, directory: str, extra: Optional[Dict[str, Any]] = None
+    ) -> None:
+        """Persist every worker's rank-local state plus an RNG-aware manifest.
+
+        The write is atomic: everything is staged into a sibling temp
+        directory and renamed into place, so an interrupted save leaves
+        either the previous checkpoint or the new one — never a mix.
+
+        Args:
+            extra: Caller state (e.g. the trainer's ``state_dict``) stored in
+                the manifest; must sanitize to JSON.
+        """
         root = pathlib.Path(directory)
-        root.mkdir(parents=True, exist_ok=True)
+        root.parent.mkdir(parents=True, exist_ok=True)
+        staging = root.parent / f".{root.name}.saving"
+        if staging.exists():
+            shutil.rmtree(staging)
+        staging.mkdir(parents=True)
+
         manifest: Dict[str, Any] = {
             "saved_at": time.time(),
+            "trace_seq": self._seq,
+            "clock": self.clock.now,
             "groups": [],
+            "extra": _json_safe(extra, "extra") if extra is not None else None,
         }
         for gi, group in enumerate(self.groups):
             group_entry = {"name": group.name, "workers": []}
             for wi, worker in enumerate(group.workers):
                 state = worker.state_for_checkpoint()
                 arrays = {
-                    k: v for k, v in state.items() if isinstance(v, np.ndarray)
+                    k: v
+                    for k, v in state.items()
+                    if isinstance(v, np.ndarray) and v.ndim > 0
                 }
                 scalars = {
-                    k: v for k, v in state.items() if not isinstance(v, np.ndarray)
+                    k: _json_safe(v, f"{group.name}[{wi}].{k}")
+                    for k, v in state.items()
+                    if k not in arrays
                 }
                 fname = f"group{gi}_worker{wi}.npz"
                 if arrays:
-                    np.savez(root / fname, **arrays)
+                    np.savez(staging / fname, **arrays)
                 group_entry["workers"].append(
                     {"file": fname if arrays else None, "scalars": scalars}
                 )
             manifest["groups"].append(group_entry)
-        (root / "manifest.json").write_text(json.dumps(manifest, indent=2))
+        (staging / "manifest.json").write_text(json.dumps(manifest, indent=2))
 
-    def load_checkpoint(self, directory: str) -> None:
+        if root.exists():
+            replaced = root.parent / f".{root.name}.replaced"
+            if replaced.exists():
+                shutil.rmtree(replaced)
+            root.rename(replaced)
+            staging.rename(root)
+            shutil.rmtree(replaced)
+        else:
+            staging.rename(root)
+
+    def load_checkpoint(self, directory: str) -> Dict[str, Any]:
+        """Restore every worker from ``directory``; returns the manifest.
+
+        The controller's trace sequence counter resumes from the saved value
+        so a recovered run continues numbering instead of restarting at 0.
+        Any missing, truncated, or corrupted file raises
+        :class:`CheckpointError` with the reason.
+        """
         root = pathlib.Path(directory)
-        manifest = json.loads((root / "manifest.json").read_text())
+        if not root.is_dir():
+            raise CheckpointError(f"no checkpoint directory at {root}")
+        manifest_path = root / "manifest.json"
+        if not manifest_path.is_file():
+            raise CheckpointError(f"checkpoint at {root} has no manifest.json")
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except (ValueError, OSError) as exc:
+            raise CheckpointError(
+                f"corrupt manifest.json in checkpoint {root}: {exc}"
+            ) from exc
+        if not isinstance(manifest, dict) or "groups" not in manifest:
+            raise CheckpointError(
+                f"manifest.json in checkpoint {root} lacks a 'groups' section"
+            )
+
         saved = {g["name"]: g for g in manifest["groups"]}
         for group in self.groups:
             if group.name not in saved:
-                raise ValueError(
+                raise CheckpointError(
                     f"checkpoint has no state for group {group.name!r}"
                 )
             entry = saved[group.name]
             if len(entry["workers"]) != len(group.workers):
-                raise ValueError(
+                raise CheckpointError(
                     f"checkpoint rank count mismatch for {group.name!r}: "
                     f"{len(entry['workers'])} vs {len(group.workers)}"
                 )
             for worker, wentry in zip(group.workers, entry["workers"]):
                 state: Dict[str, Any] = dict(wentry["scalars"])
                 if wentry["file"]:
-                    with np.load(root / wentry["file"]) as data:
-                        state.update({k: data[k] for k in data.files})
+                    array_path = root / wentry["file"]
+                    if not array_path.is_file():
+                        raise CheckpointError(
+                            f"checkpoint array file missing: {array_path}"
+                        )
+                    try:
+                        with np.load(array_path) as data:
+                            state.update({k: data[k] for k in data.files})
+                    except Exception as exc:
+                        raise CheckpointError(
+                            f"corrupt or truncated checkpoint array file "
+                            f"{array_path}: {exc}"
+                        ) from exc
                 worker.load_from_checkpoint(state)
+        self._seq = int(manifest.get("trace_seq", self._seq))
+        return manifest
 
     def __repr__(self) -> str:
         return (

@@ -16,6 +16,11 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List, Optional, Type
 
 from repro.config import GenParallelConfig, ParallelConfig
+from repro.faults.errors import (
+    CallTimeoutError,
+    TransientRpcError,
+    WorkerLostError,
+)
 from repro.parallel.topology import GenGroupingMode, GenTopology, ParallelTopology
 from repro.single_controller.decorator import (
     registered_blocking,
@@ -64,10 +69,71 @@ class RemoteMethod:
                 deps.update(value.meta.get(LINEAGE_KEY, ()))
         return tuple(sorted(deps))
 
+    def _fault_gate(self) -> None:
+        """Failure detection + retry/backoff/timeout before the call runs (§9).
+
+        With a :class:`~repro.faults.FaultInjector` attached to the
+        controller, every remote call first passes this gate:
+
+        * a dead device in the group's pool raises a typed
+          :class:`~repro.faults.WorkerLostError` (detection-on-contact),
+        * injected transient RPC faults are retried up to the controller's
+          :class:`~repro.faults.RetryPolicy` budget with deterministic
+          backoff on the simulated clock, then escalate to
+          ``WorkerLostError``,
+        * a call whose straggler-inflated duration exceeds the policy's
+          per-call timeout behaves like a transient fault (so a persistent
+          straggler escalates to ``WorkerLostError`` naming the slow ranks).
+
+        The gate runs *before* the protocol distributes inputs and before
+        the trace records anything, so retries never corrupt the execution
+        trace: a call appears exactly once, when it actually runs.
+        """
+        controller = self.group.controller
+        if controller is None:
+            return
+        injector = getattr(controller, "fault_injector", None)
+        if injector is None:
+            return
+        policy = controller.retry_policy
+        clock = controller.clock
+        attempt = 0
+        while True:
+            try:
+                injector.pre_call(self.group, self.method_name, controller.next_seq)
+                duration = injector.call_duration(self.group, self.method_name)
+                if policy.timeout is not None and duration > policy.timeout:
+                    clock.advance(policy.timeout)
+                    raise CallTimeoutError(
+                        f"{self.group.name}.{self.method_name} exceeded the "
+                        f"{policy.timeout:.3f}s call timeout "
+                        f"(would take {duration:.3f}s)",
+                        group=self.group.name,
+                        method=self.method_name,
+                        ranks=injector.straggler_ranks(self.group),
+                    )
+                clock.advance(duration)
+                return
+            except TransientRpcError as exc:
+                attempt += 1
+                if attempt > policy.max_retries:
+                    raise WorkerLostError(
+                        f"{self.group.name}.{self.method_name} still failing "
+                        f"after {policy.max_retries} retries: {exc}",
+                        group=self.group.name,
+                        pool=self.group.resource_pool.name,
+                        dead_ranks=exc.ranks,
+                        step=controller.next_seq,
+                        cause="retries exhausted",
+                    ) from exc
+                injector.note_retry()
+                clock.advance(policy.backoff_delay(attempt))
+
     def _execute(self, args: tuple, kwargs: dict):
         from repro.data.batch import DataBatch, LINEAGE_KEY
 
         deps = self._dependency_seqs(args, kwargs)
+        self._fault_gate()
         calls = self.protocol.distribute(self.group, args, kwargs)
         outputs: List[Any] = []
         for worker, (wargs, wkwargs) in zip(self.group.workers, calls):

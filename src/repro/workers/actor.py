@@ -89,8 +89,11 @@ class ActorWorker(ThreeDParallelWorker):
         if self._is_gen_replica_lead():
             full = engine.materialize_generation_replica(self)
             model = self._build_model(full, requires_grad=False)
+            # local_rank, not global_rank: sampling must not depend on which
+            # physical devices host the pool, or recovery re-placement onto
+            # survivors would diverge from the uninterrupted run (§9).
             rng = np.random.default_rng(
-                (self.seed, self.ctx.global_rank, self._gen_calls)
+                (self.seed, self.ctx.local_rank, self._gen_calls)
             )
             out = generate(
                 model,

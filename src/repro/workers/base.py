@@ -88,7 +88,10 @@ class ShardedModelWorker(Worker):
         self._stashed_grads: Optional[Dict[str, np.ndarray]] = None
         self._stashed_state: Optional[Dict[str, np.ndarray]] = None
         self._stashed_metrics: Optional[Dict[str, float]] = None
-        self._rng = np.random.default_rng((seed, ctx.global_rank))
+        # Seeded by *local* rank: the worker's SPMD identity within its
+        # group, not the physical device it happens to occupy — so a job
+        # recovered onto surviving devices reproduces bit-exactly (§9).
+        self._rng = np.random.default_rng((seed, ctx.local_rank))
 
     # -- layout ---------------------------------------------------------------
 

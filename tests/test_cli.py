@@ -97,3 +97,28 @@ class TestMapHetero:
 
     def test_unknown_gpu(self, capsys):
         assert main(["map-hetero", "--zone", "z:TPU-v5:1"]) == 2
+
+
+class TestFaults:
+    def test_device_kill_recovers(self, capsys):
+        assert main(
+            [
+                "faults",
+                "--iterations",
+                "2",
+                "--kill-device",
+                "0",
+                "--at-step",
+                "5",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "recovery: 1 failure(s)" in out
+        assert "device loss" in out
+        assert "goodput vs checkpoint interval" in out
+        assert "Young optimal interval" in out
+
+    def test_no_faults_clean_run(self, capsys):
+        assert main(["faults", "--iterations", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "recovery: 0 failure(s)" in out

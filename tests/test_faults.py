@@ -1,0 +1,512 @@
+"""Fault injection, retry/backoff, detection, and automatic recovery (§9)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cluster import SimCluster
+from repro.config import ClusterSpec, GenParallelConfig, ParallelConfig
+from repro.data import PromptDataset, SyntheticPreferenceTask
+from repro.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    RetryPolicy,
+    SimClock,
+    TransientRpcError,
+    WorkerLostError,
+)
+from repro.models.tinylm import TinyLMConfig
+from repro.perf import (
+    expected_goodput,
+    goodput_vs_interval,
+    mean_time_to_recover,
+    optimal_checkpoint_interval,
+)
+from repro.rlhf import AlgoType
+from repro.rlhf.trainers import TrainerConfig
+from repro.runtime import (
+    ModelAssignment,
+    PlacementPlan,
+    build_rlhf_system,
+    train_with_recovery,
+)
+from repro.single_controller import (
+    CheckpointError,
+    SingleController,
+    Worker,
+    WorkerGroup,
+    register,
+)
+
+
+class CounterWorker(Worker):
+    def __init__(self, ctx, start=0):
+        super().__init__(ctx)
+        self.count = start
+
+    @register(protocol="one_to_all")
+    def bump(self):
+        self.count += 1
+        return self.count
+
+    def state_for_checkpoint(self):
+        # Mix numpy scalar types in deliberately: the checkpoint sanitizer
+        # must coerce them to plain JSON scalars.
+        return {
+            "count": np.int64(self.count),
+            "gain": np.float32(1.5),
+            "arr": np.full(3, self.count, dtype=float),
+        }
+
+    def load_from_checkpoint(self, state):
+        self.count = int(state["count"])
+
+
+def faulty_controller(plan, n=2, policy=None, n_machines=1):
+    controller = SingleController(ClusterSpec(n_machines=n_machines))
+    if policy is not None:
+        controller.retry_policy = policy
+    injector = FaultInjector(plan)
+    controller.attach_fault_injector(injector)
+    pool = controller.create_pool(n, name="main")
+    group = WorkerGroup(
+        CounterWorker, pool, controller=controller, name="counter"
+    )
+    return controller, group, injector
+
+
+class TestPlanAndPolicy:
+    def test_event_validation(self):
+        with pytest.raises(ValueError, match="rank"):
+            FaultEvent(FaultKind.DEVICE_LOSS, at_step=0)
+        with pytest.raises(ValueError, match="machine"):
+            FaultEvent(FaultKind.MACHINE_LOSS, at_step=0)
+        with pytest.raises(ValueError, match="slower"):
+            FaultEvent(FaultKind.STRAGGLER, at_step=0, rank=0, slow_factor=0.5)
+        with pytest.raises(ValueError, match="at_step"):
+            FaultEvent(FaultKind.TRANSIENT_RPC, at_step=-1)
+
+    def test_plan_sorted_and_fluent(self):
+        plan = FaultPlan().transient(at_step=9).kill_device(0, at_step=2)
+        assert [e.at_step for e in plan] == [2, 9]
+        assert len(plan) == 2
+
+    def test_random_plan_is_seed_deterministic(self):
+        a = FaultPlan.random(seed=5, n_events=8, max_step=50, n_ranks=4)
+        b = FaultPlan.random(seed=5, n_events=8, max_step=50, n_ranks=4)
+        assert a.events == b.events
+        c = FaultPlan.random(seed=6, n_events=8, max_step=50, n_ranks=4)
+        assert a.events != c.events
+
+    def test_backoff_schedule_deterministic(self):
+        p1 = RetryPolicy(max_retries=4, jitter=0.5, seed=11)
+        p2 = RetryPolicy(max_retries=4, jitter=0.5, seed=11)
+        assert p1.schedule() == p2.schedule()
+        # without jitter: pure geometric progression
+        p = RetryPolicy(max_retries=3, backoff_base=0.1, backoff_factor=3.0)
+        assert p.schedule() == pytest.approx([0.1, 0.3, 0.9])
+
+    def test_clock_monotone(self):
+        clock = SimClock()
+        clock.advance(1.5)
+        assert clock.now == 1.5
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+
+class TestTransientRetry:
+    def test_transient_retried_then_succeeds(self):
+        plan = FaultPlan().transient(at_step=0, count=2)
+        controller, group, injector = faulty_controller(plan)
+        result = group.bump().get()
+        assert result == [1, 1]
+        assert injector.stats.transients_injected == 2
+        assert injector.stats.retries_observed == 2
+
+    def test_retries_do_not_corrupt_trace(self):
+        plan = FaultPlan().transient(at_step=0, count=2)
+        controller, group, _ = faulty_controller(plan)
+        group.bump()
+        group.bump()
+        # each call appears exactly once despite the retries
+        assert controller.trace_methods() == ["counter.bump", "counter.bump"]
+        assert [r.seq for r in controller.trace] == [0, 1]
+
+    def test_backoff_advances_simulated_clock(self):
+        plan = FaultPlan().transient(at_step=0, count=2)
+        policy = RetryPolicy(backoff_base=0.05, backoff_factor=2.0)
+        controller, group, _ = faulty_controller(plan, policy=policy)
+        group.bump()
+        # two backoffs (0.05 + 0.10) plus the call's simulated duration
+        assert controller.clock.now == pytest.approx(0.15 + 1.0)
+
+    def test_exhausted_retries_escalate(self):
+        plan = FaultPlan().transient(at_step=0, count=10)
+        policy = RetryPolicy(max_retries=2)
+        controller, group, injector = faulty_controller(plan, policy=policy)
+        with pytest.raises(WorkerLostError) as exc_info:
+            group.bump()
+        err = exc_info.value
+        assert err.cause == "retries exhausted"
+        assert err.group == "counter"
+        assert err.pool == "main"
+        assert isinstance(err.__cause__, TransientRpcError)
+        # first attempt + 2 retries, and the trace stayed clean
+        assert injector.stats.transients_injected == 3
+        assert controller.trace == []
+
+
+class TestTimeoutsAndStragglers:
+    def test_straggler_inflates_duration(self):
+        plan = FaultPlan().straggler(rank=0, at_step=0, slow_factor=4.0)
+        controller, group, injector = faulty_controller(plan)
+        group.bump()
+        assert injector.straggle == {0: 4.0}
+        assert controller.clock.now == pytest.approx(4.0)  # 1.0s base x4
+
+    def test_persistent_straggler_times_out_and_escalates(self):
+        plan = FaultPlan().straggler(rank=1, at_step=0, slow_factor=8.0)
+        policy = RetryPolicy(max_retries=2, timeout=2.0)
+        controller, group, _ = faulty_controller(plan, policy=policy)
+        with pytest.raises(WorkerLostError) as exc_info:
+            group.bump()
+        assert exc_info.value.dead_ranks == (1,)  # the slow rank is named
+        assert exc_info.value.cause == "retries exhausted"
+
+    def test_fast_call_passes_under_timeout(self):
+        controller, group, _ = faulty_controller(
+            FaultPlan(), policy=RetryPolicy(timeout=2.0)
+        )
+        assert group.bump().get() == [1, 1]
+
+
+class TestDetection:
+    def test_dead_device_detected_on_contact(self):
+        plan = FaultPlan().kill_device(1, at_step=0)
+        controller, group, injector = faulty_controller(plan)
+        with pytest.raises(WorkerLostError) as exc_info:
+            group.bump()
+        err = exc_info.value
+        assert err.dead_ranks == (1,)
+        assert err.pool == "main"
+        assert err.cause == "device loss"
+        assert err.step == 0
+        assert injector.stats.detections == 1
+        assert not controller.cluster.device(1).alive
+
+    def test_kill_arms_only_at_its_step(self):
+        plan = FaultPlan().kill_device(0, at_step=2)
+        controller, group, _ = faulty_controller(plan)
+        group.bump()
+        group.bump()  # steps 0 and 1 run normally
+        with pytest.raises(WorkerLostError):
+            group.bump()
+
+    def test_machine_loss_kills_all_its_devices(self):
+        plan = FaultPlan().kill_machine(0, at_step=0)
+        controller, group, injector = faulty_controller(plan, n_machines=2)
+        with pytest.raises(WorkerLostError):
+            group.bump()
+        assert injector.stats.devices_killed == 8
+        assert controller.cluster.n_alive == 8  # machine 1 survives
+
+
+class TestClusterAfterFailure:
+    def test_dead_ranks_never_reallocated(self):
+        cluster = SimCluster(ClusterSpec(n_machines=1, gpus_per_machine=4))
+        first = cluster.allocate(2)  # ranks 0, 1
+        cluster.fail_device(1)
+        cluster.release(first)
+        again = cluster.allocate(2)
+        assert 1 not in again.global_ranks
+
+    def test_noncontiguous_fallback_after_holes(self):
+        cluster = SimCluster(ClusterSpec(n_machines=1, gpus_per_machine=4))
+        cluster.fail_device(1)
+        # no contiguous pair below rank 2 — allocation still succeeds
+        got = cluster.allocate(3)
+        assert got.global_ranks == [0, 2, 3]
+
+    def test_exhausted_when_survivors_insufficient(self):
+        cluster = SimCluster(ClusterSpec(n_machines=1, gpus_per_machine=2))
+        cluster.fail_machine(0)
+        with pytest.raises(RuntimeError, match="exhausted"):
+            cluster.allocate(1)
+
+    def test_failed_device_memory_wiped(self):
+        cluster = SimCluster(ClusterSpec(n_machines=1, gpus_per_machine=2))
+        device = cluster.device(0)
+        device.memory.alloc("weights", 1000)
+        cluster.fail_device(0, at_time=12.5)
+        assert device.memory.used == 0
+        assert device.failed_at == 12.5
+
+
+class TestCheckpointRobustness:
+    def _controller(self, n=2):
+        controller = SingleController(ClusterSpec(n_machines=1))
+        pool = controller.create_pool(n, name="main")
+        group = WorkerGroup(
+            CounterWorker, pool, controller=controller, name="counter"
+        )
+        return controller, group
+
+    def test_numpy_scalars_sanitized(self, tmp_path):
+        controller, group = self._controller()
+        group.bump()
+        controller.save_checkpoint(tmp_path / "ckpt")
+        manifest = json.loads((tmp_path / "ckpt" / "manifest.json").read_text())
+        scalars = manifest["groups"][0]["workers"][0]["scalars"]
+        assert scalars["count"] == 1 and isinstance(scalars["count"], int)
+        assert scalars["gain"] == pytest.approx(1.5)
+
+    def test_unserializable_extra_rejected(self, tmp_path):
+        controller, _ = self._controller()
+        with pytest.raises(CheckpointError, match="cannot serialize"):
+            controller.save_checkpoint(tmp_path / "ckpt", extra={"x": object()})
+
+    def test_save_is_atomic_no_staging_left(self, tmp_path):
+        controller, group = self._controller()
+        controller.save_checkpoint(tmp_path / "ckpt")
+        group.bump()
+        controller.save_checkpoint(tmp_path / "ckpt")  # overwrite in place
+        leftovers = [p.name for p in tmp_path.iterdir() if p.name != "ckpt"]
+        assert leftovers == []
+        controller2, group2 = self._controller()
+        controller2.load_checkpoint(tmp_path / "ckpt")
+        assert [w.count for w in group2.workers] == [1, 1]
+
+    def test_trace_seq_persisted(self, tmp_path):
+        controller, group = self._controller()
+        group.bump()
+        group.bump()
+        controller.save_checkpoint(tmp_path / "ckpt")
+        controller2, _ = self._controller()
+        controller2.load_checkpoint(tmp_path / "ckpt")
+        assert controller2.next_seq == 2  # trace numbering continues
+
+    def test_missing_directory_is_typed_error(self, tmp_path):
+        controller, _ = self._controller()
+        with pytest.raises(CheckpointError, match="no checkpoint"):
+            controller.load_checkpoint(tmp_path / "nope")
+
+    def test_truncated_manifest_is_typed_error(self, tmp_path):
+        controller, _ = self._controller()
+        controller.save_checkpoint(tmp_path / "ckpt")
+        manifest = tmp_path / "ckpt" / "manifest.json"
+        manifest.write_text(manifest.read_text()[: len(manifest.read_text()) // 2])
+        with pytest.raises(CheckpointError, match="corrupt"):
+            self._controller()[0].load_checkpoint(tmp_path / "ckpt")
+
+    def test_missing_arrays_file_is_typed_error(self, tmp_path):
+        controller, _ = self._controller()
+        controller.save_checkpoint(tmp_path / "ckpt")
+        (tmp_path / "ckpt" / "group0_worker0.npz").unlink()
+        with pytest.raises(CheckpointError, match="missing"):
+            self._controller()[0].load_checkpoint(tmp_path / "ckpt")
+
+    def test_corrupt_arrays_file_is_typed_error(self, tmp_path):
+        controller, _ = self._controller()
+        controller.save_checkpoint(tmp_path / "ckpt")
+        (tmp_path / "ckpt" / "group0_worker0.npz").write_bytes(b"not an npz")
+        with pytest.raises(CheckpointError):
+            self._controller()[0].load_checkpoint(tmp_path / "ckpt")
+
+
+# -- end-to-end: machine loss mid-PPO, automatic bit-exact recovery -------------
+
+CFG = TinyLMConfig(
+    n_layers=2,
+    hidden_size=32,
+    n_heads=4,
+    ffn_hidden_size=48,
+    vocab_size=16,
+    max_seq_len=32,
+)
+TASK = SyntheticPreferenceTask(vocab_size=16, target_token=7)
+PAR = ParallelConfig(pp=1, tp=2, dp=1)
+SPEC = ClusterSpec(n_machines=2, gpus_per_machine=4)  # spare for re-placement
+
+
+def build_ppo(cluster=None):
+    plan = PlacementPlan(
+        pools={"main": 2, "r": 1},
+        assignments={
+            "actor": ModelAssignment(
+                "main", PAR, GenParallelConfig.derive(PAR, 1, 1)
+            ),
+            "critic": ModelAssignment("main", PAR),
+            "reference": ModelAssignment("main", PAR),
+            "reward": ModelAssignment("r", ParallelConfig(1, 1, 1)),
+        },
+    )
+    return build_rlhf_system(
+        AlgoType.PPO,
+        plan,
+        CFG,
+        cluster_spec=SPEC,
+        trainer_config=TrainerConfig(kl_coef=0.01, seed=7),
+        reward_fn=TASK.reward,
+        max_new_tokens=6,
+        lr=5e-3,
+        seed=7,
+        cluster=cluster,
+    )
+
+
+def _dataset():
+    return PromptDataset(n_prompts=128, prompt_length=4, vocab_size=16, seed=1)
+
+
+class TestAutomaticRecovery:
+    N_ITER = 4
+
+    @pytest.fixture(scope="class")
+    def reference(self):
+        system = build_ppo()
+        seqs = []
+        history = []
+        for batch in _dataset().iter_batches(8, epochs=1):
+            if len(history) == self.N_ITER:
+                break
+            history.append(system.trainer.step(batch))
+            seqs.append(system.controller.next_seq)
+        return system, history, seqs
+
+    def _recovered(self, reference, checkpoint_every, kill_at, tmp_path):
+        _, _, seqs = reference
+        injector = FaultInjector(FaultPlan().kill_machine(0, at_step=kill_at))
+        return (
+            train_with_recovery(
+                build_ppo,
+                _dataset(),
+                n_iterations=self.N_ITER,
+                batch_size=8,
+                checkpoint_dir=str(tmp_path / "ckpt"),
+                checkpoint_every=checkpoint_every,
+                injector=injector,
+            ),
+            injector,
+        )
+
+    def test_machine_loss_recovers_bit_exactly(self, reference, tmp_path):
+        ref_system, ref_history, seqs = reference
+        # arm the kill mid-way through the second iteration
+        kill_at = (seqs[0] + seqs[1]) // 2
+        (system, history, report), injector = self._recovered(
+            reference, 1, kill_at, tmp_path
+        )
+        assert injector.stats.devices_killed == 4
+        assert report.n_failures == 1
+        # the whole trajectory matches the failure-free run exactly
+        ref_scores = [h["score_mean"] for h in ref_history]
+        got_scores = [h["score_mean"] for h in history]
+        assert got_scores == ref_scores
+        # and so do the final actor weights, despite re-placement
+        ref_state = ref_system.groups["actor"].workers[0].materialize_full_state()
+        got_state = system.groups["actor"].workers[0].materialize_full_state()
+        for name in ref_state:
+            np.testing.assert_array_equal(ref_state[name], got_state[name])
+
+    def test_replaced_onto_surviving_machine(self, reference, tmp_path):
+        _, _, seqs = reference
+        (system, _, report), _ = self._recovered(reference, 1, seqs[0] + 1, tmp_path)
+        ranks = {
+            w.ctx.device.global_rank
+            for g in system.groups.values()
+            for w in g.workers
+        }
+        assert ranks <= set(range(4, 8))  # machine 0 is ranks 0-3
+        assert all(system.controller.cluster.device(r).alive for r in ranks)
+
+    def test_report_accounts_lost_work(self, reference, tmp_path):
+        ref_system, ref_history, seqs = reference
+        # checkpoint every 2 iterations, fail during iteration 3 (0-based):
+        # rollback to iteration 2 loses one completed iteration
+        kill_at = (seqs[2] + seqs[3]) // 2
+        (system, history, report), _ = self._recovered(
+            reference, 2, kill_at, tmp_path
+        )
+        assert report.n_failures == 1
+        event = report.events[0]
+        assert event.failed_iteration == 3
+        assert event.resumed_iteration == 2
+        assert event.lost_iterations == 1
+        assert report.total_lost_iterations == 1
+        assert event.dead_ranks  # which ranks died is reported
+        assert event.restore_time >= 0 and event.reinit_time > 0
+        assert report.mttr == pytest.approx(event.downtime)
+        assert report.total_time > 0
+        assert any("lost" in line for line in report.summary_lines())
+        # lost work is re-run to the same result
+        assert [h["score_mean"] for h in history] == [
+            h["score_mean"] for h in ref_history
+        ]
+
+    def test_unrecoverable_when_survivors_insufficient(self, tmp_path):
+        # a 1-machine cluster has nowhere to re-place
+        spec = ClusterSpec(n_machines=1, gpus_per_machine=4)
+
+        def build(cluster=None):
+            plan = PlacementPlan(
+                pools={"main": 2, "r": 1},
+                assignments={
+                    "actor": ModelAssignment(
+                        "main", PAR, GenParallelConfig.derive(PAR, 1, 1)
+                    ),
+                    "critic": ModelAssignment("main", PAR),
+                    "reference": ModelAssignment("main", PAR),
+                    "reward": ModelAssignment("r", ParallelConfig(1, 1, 1)),
+                },
+            )
+            return build_rlhf_system(
+                AlgoType.PPO,
+                plan,
+                CFG,
+                cluster_spec=spec,
+                trainer_config=TrainerConfig(kl_coef=0.01, seed=7),
+                reward_fn=TASK.reward,
+                max_new_tokens=6,
+                lr=5e-3,
+                seed=7,
+                cluster=cluster,
+            )
+
+        injector = FaultInjector(FaultPlan().kill_machine(0, at_step=2))
+        with pytest.raises(RuntimeError, match="exhausted"):
+            train_with_recovery(
+                build,
+                _dataset(),
+                n_iterations=2,
+                batch_size=8,
+                checkpoint_dir=str(tmp_path / "ckpt"),
+                injector=injector,
+            )
+
+
+class TestRecoveryAnalytics:
+    def test_young_interval(self):
+        assert optimal_checkpoint_interval(2.0, 100.0) == pytest.approx(20.0)
+        with pytest.raises(ValueError):
+            optimal_checkpoint_interval(0.0, 100.0)
+
+    def test_goodput_bounded_and_penalised_by_faults(self):
+        reliable = expected_goodput(1.0, 8, 0.5, 1.0, 2.0, mtbf=1e9)
+        flaky = expected_goodput(1.0, 8, 0.5, 1.0, 2.0, mtbf=50.0)
+        assert 0 < flaky < reliable < 1.0
+
+    def test_goodput_curve_peaks_between_extremes(self):
+        curve = goodput_vs_interval(
+            1.0, 0.5, 1.0, 2.0, mtbf=60.0, intervals=(1, 4, 16, 64, 256)
+        )
+        values = [g for _, g in curve]
+        best = max(range(len(values)), key=values.__getitem__)
+        assert 0 < best < len(values) - 1  # checkpointing trade-off is real
+
+    def test_mttr(self):
+        assert mean_time_to_recover(1.0, 2.0, 3.0) == 6.0
+        with pytest.raises(ValueError):
+            mean_time_to_recover(-1.0, 0.0)

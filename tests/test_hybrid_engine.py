@@ -1,6 +1,5 @@
 """Tests for the 3D-HybridEngine: functional resharding and Table 2 claims."""
 
-import dataclasses
 from fractions import Fraction
 
 import numpy as np

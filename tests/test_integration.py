@@ -1,12 +1,10 @@
 """Cross-module integration tests: checkpoint/resume, grouping equivalence,
 pipeline-parallel end-to-end, and dataflow consistency."""
 
-import dataclasses
 
 import numpy as np
-import pytest
 
-from repro.config import ClusterSpec, GenParallelConfig, ParallelConfig
+from repro.config import GenParallelConfig, ParallelConfig
 from repro.data.dataset import PromptDataset, SyntheticPreferenceTask
 from repro.models.tinylm import TinyLMConfig
 from repro.parallel.topology import GenGroupingMode

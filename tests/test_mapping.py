@@ -1,7 +1,7 @@
 """Tests for the auto device-mapping algorithms (§6, Algorithms 1 and 2)."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.config import MODEL_SPECS, ClusterSpec, ParallelConfig, RlhfWorkload
 from repro.mapping import (

@@ -4,7 +4,6 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.perf.pipeline import (
-    PipelineSchedule,
     bubble_fraction,
     bubble_multiplier,
     gpipe_schedule,

@@ -1,6 +1,5 @@
 """Tests for projecting functional traces onto full-scale timing."""
 
-import numpy as np
 import pytest
 
 from repro.config import (

@@ -1,9 +1,8 @@
 """Tests for the execution-timeline scheduler (Figure 3 semantics)."""
 
 import numpy as np
-import pytest
 
-from repro.config import ClusterSpec, GenParallelConfig, ParallelConfig
+from repro.config import GenParallelConfig, ParallelConfig
 from repro.data.dataset import PromptDataset, SyntheticPreferenceTask
 from repro.models.tinylm import TinyLMConfig
 from repro.rlhf.core import AlgoType

@@ -1,6 +1,5 @@
 """Tests for ZeRO/FSDP memory and communication models, and the flat workers."""
 
-import dataclasses
 
 import numpy as np
 import pytest
