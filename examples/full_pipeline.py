@@ -12,8 +12,10 @@ programming model:
    *true* task reward improved anyway.
 
 Run:  python examples/full_pipeline.py
+      python examples/full_pipeline.py --trace run.json --metrics run.prom
 """
 
+import argparse
 import dataclasses
 
 import numpy as np
@@ -39,7 +41,21 @@ LM_CFG = TinyLMConfig(
 TASK = SyntheticPreferenceTask(vocab_size=16, target_token=7)
 
 
-def main() -> None:
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a Chrome trace_event JSON of the PPO stage (chrome://tracing)",
+    )
+    parser.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="write the run's metrics as Prometheus text",
+    )
+    args = parser.parse_args(argv)
     parallel = ParallelConfig(pp=1, tp=2, dp=1)
     plan = PlacementPlan(
         pools={"main": 2},
@@ -113,6 +129,30 @@ def main() -> None:
         "\nthe policy improved on the ground-truth objective it never saw — "
         "the learned reward model carried the signal."
     )
+
+    # ---- optional profiling output ------------------------------------------
+    ppo_controller = system.controller
+    tracer = ppo_controller.tracer
+    print(
+        f"\nobservability: {len(tracer.spans)} spans recorded "
+        f"({', '.join(f'{k}={v}' for k, v in tracer.counts_by_category().items())})"
+    )
+    if args.trace:
+        from repro.observability import write_chrome_trace
+        from repro.runtime.timeline import build_timeline
+
+        out = write_chrome_trace(
+            args.trace,
+            timeline=build_timeline(ppo_controller),
+            spans=tracer.spans,
+        )
+        print(f"  wrote Chrome trace to {out} (load in chrome://tracing)")
+    if args.metrics:
+        from repro.observability import collect_system_metrics, write_prometheus
+
+        collect_system_metrics(ppo_controller)
+        out = write_prometheus(args.metrics, ppo_controller.metrics)
+        print(f"  wrote Prometheus metrics to {out}")
 
 
 if __name__ == "__main__":

@@ -28,6 +28,7 @@ from repro.config import (
 from repro.data import DataBatch, PromptDataset, SyntheticPreferenceTask
 from repro.mapping import map_dataflow
 from repro.models import TinyLM, TinyLMConfig
+from repro.observability import MetricsRegistry, SpanTracer, chrome_trace
 from repro.rlhf import AlgoType
 from repro.rlhf.trainers import TrainerConfig
 from repro.runtime import (
@@ -48,6 +49,7 @@ __all__ = [
     "GenParallelConfig",
     "GpuSpec",
     "MODEL_SPECS",
+    "MetricsRegistry",
     "ModelAssignment",
     "ModelSpec",
     "ParallelConfig",
@@ -57,6 +59,7 @@ __all__ = [
     "RlhfSystem",
     "RlhfWorkload",
     "SingleController",
+    "SpanTracer",
     "SyntheticPreferenceTask",
     "TinyLM",
     "TinyLMConfig",
@@ -64,6 +67,7 @@ __all__ = [
     "WorkerGroup",
     "build_rlhf_system",
     "build_timeline",
+    "chrome_trace",
     "map_dataflow",
     "__version__",
 ]

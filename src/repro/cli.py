@@ -14,6 +14,11 @@ Five subcommands, mirroring the evaluation's workflows:
 * ``faults`` — run a tiny functional PPO job under injected failures with
   automatic recovery (§9) and report MTTR plus the checkpoint-interval
   goodput trade-off.
+* ``trace`` — run the tiny functional PPO job (optionally fault-injected)
+  and export a Chrome ``trace_event`` JSON with one track per pool
+  (Figure 3) plus the runtime-span track, verifying the exported busy/idle
+  fractions against the in-memory timeline accounting.
+* ``metrics`` — same run, dumped as Prometheus text exposition.
 
 Examples::
 
@@ -23,6 +28,8 @@ Examples::
     python -m repro.cli sweep-gen --model llama-13b
     python -m repro.cli map-hetero --zone a100:A100-80GB:1 --zone h100:H100-80GB:1
     python -m repro.cli faults --kill-machine 0 --at-step 30 --iterations 6
+    python -m repro.cli trace --out run.json --kill-device 1 --at-step 30
+    python -m repro.cli metrics --out metrics.prom
 """
 
 from __future__ import annotations
@@ -396,6 +403,197 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_tiny_ppo(args: argparse.Namespace):
+    """The tiny functional PPO job the observability subcommands profile.
+
+    Mirrors ``cmd_faults``'s system (2-layer TinyLM, pools main=2/r=1) with
+    an optional single device kill, so traces and metrics can be inspected
+    both for clean runs and across a fault-and-recovery cycle.
+
+    Returns ``(system, history, report)``.
+    """
+    import tempfile
+
+    from repro.config import GenParallelConfig as GenPC
+    from repro.data import PromptDataset, SyntheticPreferenceTask
+    from repro.faults import FaultInjector, FaultPlan, RetryPolicy
+    from repro.models.tinylm import TinyLMConfig
+    from repro.rlhf.trainers import TrainerConfig
+    from repro.runtime import (
+        ModelAssignment,
+        PlacementPlan,
+        build_rlhf_system,
+        train_with_recovery,
+    )
+
+    cfg = TinyLMConfig(
+        n_layers=2,
+        hidden_size=32,
+        n_heads=4,
+        ffn_hidden_size=48,
+        vocab_size=16,
+        max_seq_len=32,
+    )
+    task = SyntheticPreferenceTask(vocab_size=16, target_token=7)
+    par = ParallelConfig(pp=1, tp=2, dp=1)
+    spec = ClusterSpec(
+        n_machines=args.machines, gpus_per_machine=args.gpus_per_machine
+    )
+
+    def build(cluster=None):
+        plan = PlacementPlan(
+            pools={"main": 2, "r": 1},
+            assignments={
+                "actor": ModelAssignment("main", par, GenPC.derive(par, 1, 1)),
+                "critic": ModelAssignment("main", par),
+                "reference": ModelAssignment("main", par),
+                "reward": ModelAssignment("r", ParallelConfig(1, 1, 1)),
+            },
+        )
+        return build_rlhf_system(
+            AlgoType.PPO,
+            plan,
+            cfg,
+            cluster_spec=spec,
+            trainer_config=TrainerConfig(kl_coef=0.01, seed=7),
+            reward_fn=task.reward,
+            max_new_tokens=6,
+            lr=5e-3,
+            seed=7,
+            cluster=cluster,
+        )
+
+    fault_plan = FaultPlan()
+    if args.kill_device is not None:
+        if not 0 <= args.kill_device < spec.n_gpus:
+            raise ValueError(
+                f"--kill-device {args.kill_device} out of range for "
+                f"{spec.n_gpus} GPU(s)"
+            )
+        fault_plan.kill_device(args.kill_device, at_step=args.at_step)
+    injector = FaultInjector(fault_plan) if len(fault_plan) else None
+
+    dataset = PromptDataset(n_prompts=128, prompt_length=4, vocab_size=16, seed=1)
+    with tempfile.TemporaryDirectory() as ckpt_dir:
+        system, history, report = train_with_recovery(
+            build,
+            dataset,
+            n_iterations=args.iterations,
+            batch_size=8,
+            checkpoint_dir=ckpt_dir,
+            checkpoint_every=args.ckpt_every,
+            injector=injector,
+            retry_policy=RetryPolicy(seed=args.seed),
+        )
+    return system, history, report
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.observability import chrome_trace, pool_fractions_from_trace
+    from repro.runtime.timeline import build_timeline
+
+    try:
+        system, history, report = _run_tiny_ppo(args)
+    except (RuntimeError, ValueError) as exc:
+        print(f"unrecoverable failure: {exc}", file=sys.stderr)
+        return 1
+    controller = system.controller
+    timeline = build_timeline(controller)
+    doc = chrome_trace(timeline=timeline, spans=controller.tracer.spans)
+    if args.out:
+        import json as json_mod
+        import pathlib
+
+        out = pathlib.Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json_mod.dumps(doc, indent=2) + "\n")
+        print(f"wrote {len(doc['traceEvents'])} trace events to {out}")
+    print(
+        f"{len(controller.tracer.spans)} spans "
+        f"({', '.join(f'{k}={v}' for k, v in controller.tracer.counts_by_category().items())})"
+    )
+    if report.n_failures:
+        print(
+            f"run recovered from {report.n_failures} failure(s); trace spans "
+            "the faulted run, the recovery phases, and the resumed run"
+        )
+
+    # verify the exported file against the in-memory Timeline accounting
+    fractions = pool_fractions_from_trace(doc)
+    ok = True
+    print("per-pool busy/idle (exported trace vs Timeline):")
+    for pool in timeline.pools():
+        expected_busy = timeline.busy_time(pool)
+        expected_idle = timeline.idle_fraction(pool)
+        got = fractions.get(pool, {"busy": -1.0, "idle_fraction": -1.0})
+        match = (
+            abs(got["busy"] - expected_busy) < 1e-6
+            and abs(got["idle_fraction"] - expected_idle) < 1e-6
+        )
+        ok = ok and match
+        print(
+            f"  {pool:8s} busy {got['busy']:8.2f}s vs {expected_busy:8.2f}s, "
+            f"idle {got['idle_fraction'] * 100:5.1f}% vs "
+            f"{expected_idle * 100:5.1f}% "
+            f"[{'ok' if match else 'MISMATCH'}]"
+        )
+    if not ok:
+        print("trace does not match timeline accounting", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.observability import collect_system_metrics
+
+    try:
+        system, history, report = _run_tiny_ppo(args)
+    except (RuntimeError, ValueError) as exc:
+        print(f"unrecoverable failure: {exc}", file=sys.stderr)
+        return 1
+    registry = collect_system_metrics(system.controller)
+    text = registry.render_prometheus()
+    if args.out:
+        import pathlib
+
+        out = pathlib.Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text)
+        print(f"wrote {len(registry)} series to {out}", file=sys.stderr)
+    else:
+        print(text, end="")
+    return 0
+
+
+def _observability_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--machines", type=int, default=2, help="simulated machines")
+    p.add_argument(
+        "--gpus-per-machine",
+        type=int,
+        default=4,
+        help="GPUs per simulated machine (spare capacity hosts re-placement)",
+    )
+    p.add_argument("--iterations", type=int, default=3, help="PPO iterations")
+    p.add_argument(
+        "--ckpt-every", type=int, default=1, help="checkpoint interval"
+    )
+    p.add_argument(
+        "--kill-device",
+        type=int,
+        default=None,
+        metavar="RANK",
+        help="kill one GPU at --at-step (exercise the recovery path)",
+    )
+    p.add_argument(
+        "--at-step",
+        type=int,
+        default=30,
+        help="trace sequence number at which the kill arms",
+    )
+    p.add_argument("--seed", type=int, default=0, help="retry-backoff jitter seed")
+    p.add_argument("--out", default=None, help="output file path")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli",
@@ -502,6 +700,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="assumed mean time between failures for the analytic model (s)",
     )
     p.set_defaults(fn=cmd_faults)
+
+    p = sub.add_parser(
+        "trace",
+        help="export a Chrome trace_event JSON of the tiny functional run",
+    )
+    _observability_args(p)
+    p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser(
+        "metrics",
+        help="dump the tiny functional run's metrics as Prometheus text",
+    )
+    _observability_args(p)
+    p.set_defaults(fn=cmd_metrics)
     return parser
 
 

@@ -100,6 +100,13 @@ class FaultInjector:
             ):
                 transient.remaining -= 1
                 self.stats.transients_injected += 1
+                metrics = getattr(self.controller, "metrics", None)
+                if metrics is not None:
+                    metrics.counter(
+                        "repro_transients_injected_total",
+                        "Transient RPC faults delivered by the injector",
+                        group=group.name,
+                    ).inc()
                 raise TransientRpcError(
                     f"injected transient RPC failure on {group.name}.{method} "
                     f"(trace step {seq})",
@@ -138,17 +145,25 @@ class FaultInjector:
         cluster = self.controller.cluster
         clock = getattr(self.controller, "clock", None)
         now = clock.now if clock is not None else None
+        metrics = getattr(self.controller, "metrics", None)
+
+        def count_kills(n: int) -> None:
+            self.stats.devices_killed += n
+            if metrics is not None and n:
+                metrics.counter(
+                    "repro_devices_killed_total",
+                    "Devices killed by injected faults",
+                ).inc(n)
+
         while self._pending and self._pending[0].at_step <= seq:
             event = self._pending.pop(0)
             self.stats.events_armed += 1
             if event.kind is FaultKind.DEVICE_LOSS:
                 if cluster.device(event.rank).alive:
                     cluster.fail_device(event.rank, at_time=now)
-                    self.stats.devices_killed += 1
+                    count_kills(1)
             elif event.kind is FaultKind.MACHINE_LOSS:
-                self.stats.devices_killed += len(
-                    cluster.fail_machine(event.machine, at_time=now)
-                )
+                count_kills(len(cluster.fail_machine(event.machine, at_time=now)))
             elif event.kind is FaultKind.TRANSIENT_RPC:
                 self._transients.append(_ActiveTransient(event))
             elif event.kind is FaultKind.STRAGGLER:

@@ -73,6 +73,38 @@ class HybridEngine3D:
     def gen_topology(self) -> GenTopology:
         return self.group.gen_topology
 
+    def _observability(self):
+        """The owning controller's (tracer, metrics), if any."""
+        controller = getattr(self.group, "controller", None)
+        return (
+            getattr(controller, "tracer", None),
+            getattr(controller, "metrics", None),
+        )
+
+    def _note_transition(self, direction: str, comm_bytes: int) -> None:
+        tracer, metrics = self._observability()
+        if tracer is not None:
+            pool = self.group.resource_pool
+            tracer.instant(
+                f"{self.group.name}.{direction}",
+                category="transition",
+                pool=pool.name,
+                ranks=tuple(pool.global_ranks),
+                payload_bytes=comm_bytes,
+                direction=direction,
+                mode=self.gen_topology.mode.name,
+            )
+        if metrics is not None:
+            metrics.counter(
+                "repro_transitions_total",
+                "HybridEngine train<->generation layout transitions",
+                direction=direction,
+            ).inc()
+            metrics.counter(
+                "repro_transition_bytes_total",
+                "Bytes moved by HybridEngine transitions",
+            ).inc(comm_bytes)
+
     # -- transition: training -> generation (steps 1-2 of Figure 7) ----------------
 
     def to_generation(self) -> TransitionReport:
@@ -111,6 +143,7 @@ class HybridEngine3D:
             )
         self.in_generation = True
         self.last_report = TransitionReport(comm, peak, redundant)
+        self._note_transition("to_generation", sum(comm.values()))
         return self.last_report
 
     def _full_model_bytes(self) -> int:
@@ -234,3 +267,4 @@ class HybridEngine3D:
                 del worker.gen_shard
             worker.ctx.device.memory.free_tag(f"{worker.tag}/gen_params_extra")
         self.in_generation = False
+        self._note_transition("to_training", 0)

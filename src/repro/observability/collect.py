@@ -1,0 +1,69 @@
+"""Snapshot collectors: cluster and communication state -> metrics registry.
+
+Dispatch-path metrics (calls, latencies, retries, tokens) are incremented at
+the event site; cluster state (memory high-water marks, busy time, link
+bytes) is *sampled* instead.  Samples use gauge ``set``, which is
+idempotent, so collecting before and after a recovery re-placement never
+double-counts — the high-water marks simply reflect the surviving world.
+"""
+
+from __future__ import annotations
+
+from repro.observability.metrics import MetricsRegistry
+
+
+def collect_cluster_metrics(controller) -> MetricsRegistry:
+    """Sample per-device gauges from the controller's simulated cluster."""
+    metrics: MetricsRegistry = controller.metrics
+    metrics.gauge(
+        "repro_sim_clock_seconds", "Simulated wall clock of the job"
+    ).set(controller.clock.now)
+    alive = 0
+    for device in controller.cluster.devices:
+        rank = device.global_rank
+        metrics.gauge(
+            "repro_device_peak_memory_bytes",
+            "Per-device memory high-water mark",
+            rank=rank,
+        ).set(device.memory.peak_used)
+        metrics.gauge(
+            "repro_device_resident_memory_bytes",
+            "Per-device resident allocation bytes",
+            rank=rank,
+        ).set(device.memory.used)
+        metrics.gauge(
+            "repro_device_busy_seconds",
+            "Accumulated simulated busy time per device",
+            rank=rank,
+        ).set(device.busy_time)
+        metrics.gauge(
+            "repro_device_alive", "1 when the device is alive, 0 when dead",
+            rank=rank,
+        ).set(1.0 if device.alive else 0.0)
+        alive += device.alive
+    metrics.gauge(
+        "repro_devices_alive", "Alive devices in the cluster"
+    ).set(alive)
+    return metrics
+
+
+def collect_traffic_metrics(controller) -> MetricsRegistry:
+    """Sample the traffic meter's per-(group, op) link bytes."""
+    metrics: MetricsRegistry = controller.metrics
+    snapshot = controller.meter.snapshot()
+    for (group, op), volume in sorted(snapshot.items()):
+        metrics.gauge(
+            "repro_comm_bytes", "Bytes moved per (process group, collective)",
+            group=group, op=op,
+        ).set(volume)
+    metrics.gauge(
+        "repro_comm_bytes_all", "Total bytes moved by all collectives"
+    ).set(controller.meter.total_bytes())
+    return metrics
+
+
+def collect_system_metrics(controller) -> MetricsRegistry:
+    """All snapshot collectors in one call; returns the registry."""
+    collect_cluster_metrics(controller)
+    collect_traffic_metrics(controller)
+    return controller.metrics

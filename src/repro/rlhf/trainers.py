@@ -115,14 +115,52 @@ class RlhfTrainerBase:
             )
         return batch.chunk(n)
 
+    def run_step(self, prompts: DataBatch) -> Dict[str, Any]:
+        """One RLHF iteration, traced and metered through the controller.
+
+        Wraps :meth:`step` in an ``iteration`` span (so every dispatch of
+        the iteration nests under it in the exported trace), records
+        per-iteration count/latency in the controller's metrics registry,
+        and appends the step metrics to :attr:`history` on success — so
+        iteration numbering stays correct for any driver, including the
+        recovery loop.  Works unchanged on bare worker groups with no
+        controller.
+        """
+        controller = getattr(self.actor, "controller", None)
+        tracer = getattr(controller, "tracer", None)
+        metrics = getattr(controller, "metrics", None)
+        iteration = len(self.history)
+        algo = self.algo.name.lower()
+        started = controller.clock.now if controller is not None else 0.0
+        if tracer is None:
+            result = self.step(prompts)
+        else:
+            with tracer.span(
+                f"iteration[{iteration}]",
+                category="iteration",
+                algo=algo,
+                iteration=iteration,
+            ):
+                result = self.step(prompts)
+        if metrics is not None:
+            metrics.counter(
+                "repro_iterations_total", "RLHF iterations completed", algo=algo
+            ).inc()
+            metrics.histogram(
+                "repro_iteration_seconds",
+                "Simulated seconds per RLHF iteration",
+                algo=algo,
+            ).observe(controller.clock.now - started)
+        self.history.append(result)
+        return result
+
     def train(
         self, dataset: PromptDataset, n_iterations: int, batch_size: int
     ) -> List[Dict[str, Any]]:
         """Run ``n_iterations`` RLHF iterations over the prompt dataset."""
         batches = dataset.iter_batches(batch_size, epochs=10**6)
         for _ in range(n_iterations):
-            prompts = next(batches)
-            self.history.append(self.step(prompts))
+            self.run_step(next(batches))
         return self.history
 
 

@@ -3,7 +3,12 @@
 from repro.runtime.placement import ModelAssignment, PlacementPlan
 from repro.runtime.builder import RlhfSystem, build_rlhf_system
 from repro.runtime.timeline import Timeline, TimelineEvent, build_timeline
-from repro.runtime.report import recovery_summary, system_report
+from repro.runtime.report import (
+    observability_summary,
+    recovery_summary,
+    system_report,
+    system_report_dict,
+)
 from repro.runtime.recovery import (
     RecoveryCostModel,
     RecoveryEvent,
@@ -22,7 +27,9 @@ __all__ = [
     "TimelineEvent",
     "build_rlhf_system",
     "build_timeline",
+    "observability_summary",
     "recovery_summary",
     "system_report",
+    "system_report_dict",
     "train_with_recovery",
 ]

@@ -172,21 +172,38 @@ def train_with_recovery(
     cost = cost_model or RecoveryCostModel()
     root = pathlib.Path(checkpoint_dir)
     report = RecoveryReport()
+    #: Observability record of the whole run: captured from the first build
+    #: and re-attached to every rebuilt controller, so one tracer/registry
+    #: spans the faulted run, the recovery phases, and the resumed run.
+    obs: Dict[str, Any] = {}
 
     def _wire(system: RlhfSystem) -> RlhfSystem:
         if retry_policy is not None:
             system.controller.retry_policy = retry_policy
         if injector is not None:
             system.controller.attach_fault_injector(injector)
+        if not obs:
+            obs["tracer"] = system.controller.tracer
+            obs["metrics"] = system.controller.metrics
+        else:
+            system.controller.attach_observability(obs["tracer"], obs["metrics"])
         return system
 
     def _save(system: RlhfSystem, iteration: int) -> None:
-        system.controller.save_checkpoint(
-            root,
-            extra={"iteration": iteration, "trainer": system.trainer.state_dict()},
-        )
-        save_time = cost.save_time(_checkpoint_nbytes(root))
-        system.controller.clock.advance(save_time)
+        controller = system.controller
+        with controller.tracer.span(
+            "checkpoint.save", category="checkpoint", iteration=iteration
+        ) as span:
+            controller.save_checkpoint(
+                root,
+                extra={
+                    "iteration": iteration,
+                    "trainer": system.trainer.state_dict(),
+                },
+            )
+            save_time = cost.save_time(_checkpoint_nbytes(root))
+            controller.clock.advance(save_time)
+            span.attrs["save_time"] = save_time
         report.checkpoints_saved += 1
         report.checkpoint_time += save_time
 
@@ -206,23 +223,53 @@ def train_with_recovery(
     while it < n_iterations:
         prompts = next(batches)
         try:
-            metrics = system.trainer.step(prompts)
+            metrics = system.trainer.run_step(prompts)
         except WorkerLostError as err:
             recoveries += 1
             if recoveries > max_recoveries:
                 raise
+            tracer = obs["tracer"]
+            run_metrics = obs["metrics"]
             detected = system.controller.clock.now
+            recovery_span = tracer.begin(
+                f"recovery[{recoveries - 1}]",
+                category="recovery",
+                pool=err.pool,
+                ranks=tuple(err.dead_ranks),
+                cause=err.cause or "worker lost",
+                failed_iteration=it,
+            )
             # tear down the failed job; survivors return to the cluster
-            system.controller.release_pools()
-            # re-place on the shrunken cluster and restore the checkpoint
+            with tracer.span("recovery.teardown", category="recovery"):
+                system.controller.release_pools()
+            # re-place on the shrunken cluster and restore the checkpoint.
+            # _wire re-points the shared tracer at the rebuilt controller's
+            # clock, which restarts at 0 — advance it back to the detection
+            # time before opening any further spans.
             system = _wire(build_fn(cluster))
             system.controller.clock.advance(detected)
-            manifest = system.controller.load_checkpoint(root)
-            restore_time = cost.restore_time(_checkpoint_nbytes(root))
-            system.controller.clock.advance(cost.reinit_time + restore_time)
+            with tracer.span("recovery.rebuild", category="recovery"):
+                system.controller.clock.advance(cost.reinit_time)
+            with tracer.span("recovery.restore", category="recovery") as restore_span:
+                manifest = system.controller.load_checkpoint(root)
+                restore_time = cost.restore_time(_checkpoint_nbytes(root))
+                system.controller.clock.advance(restore_time)
+                restore_span.attrs["restore_time"] = restore_time
             extra = manifest.get("extra") or {}
             system.trainer.load_state_dict(extra["trainer"])
             resumed = int(extra["iteration"])
+            tracer.end(
+                recovery_span,
+                resumed_iteration=resumed,
+                lost_iterations=it - resumed,
+            )
+            run_metrics.counter(
+                "repro_recoveries_total", "Completed failure recoveries"
+            ).inc()
+            run_metrics.counter(
+                "repro_lost_iterations_total",
+                "Completed iterations whose work was lost to failures",
+            ).inc(it - resumed)
             report.events.append(
                 RecoveryEvent(
                     failed_iteration=it,

@@ -8,10 +8,14 @@ and the training metrics trend.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Any, Dict, List
 
+import numpy as np
+
+from repro.observability.collect import collect_system_metrics
 from repro.runtime.builder import RlhfSystem
 from repro.runtime.timeline import build_timeline
+from repro.serialization import json_safe
 
 
 def _fmt_bytes(n: float) -> str:
@@ -94,14 +98,88 @@ def metrics_summary(system: RlhfSystem) -> List[str]:
         lines.append(f"  score_mean {first:+.3f} -> {last:+.3f}")
     for key in sorted(history[-1]):
         value = history[-1][key]
-        if key != "score_mean" and isinstance(value, float):
-            lines.append(f"  {key} = {value:+.4f} (last)")
+        # np.float64 subclasses float but np.float32 does not: accept both
+        # so worker metrics never silently drop out of the report
+        if key != "score_mean" and isinstance(value, (float, np.floating)):
+            lines.append(f"  {key} = {float(value):+.4f} (last)")
     return lines
 
 
 def recovery_summary(report) -> List[str]:
     """Recovery-cost lines from a :class:`~repro.runtime.RecoveryReport`."""
     return report.summary_lines()
+
+
+def observability_summary(system: RlhfSystem) -> List[str]:
+    """Per-iteration latency table from the controller's iteration spans."""
+    controller = system.controller
+    tracer = getattr(controller, "tracer", None)
+    if tracer is None or not tracer.spans:
+        return ["observability: (no spans recorded)"]
+    counts = ", ".join(
+        f"{category}={count}"
+        for category, count in tracer.counts_by_category().items()
+    )
+    lines = [f"observability: {len(tracer.spans)} spans ({counts})"]
+    iterations = [s for s in tracer.by_category("iteration") if s.finished]
+    if iterations:
+        lines.append("  iteration  algo      start      duration")
+        for span in iterations:
+            lines.append(
+                f"  {span.attrs.get('iteration', '?'):>9}  "
+                f"{str(span.attrs.get('algo', '?')):8s}  "
+                f"{span.start:9.2f}  {span.duration:9.2f}s"
+            )
+    metrics = getattr(controller, "metrics", None)
+    if metrics is not None:
+        retries = metrics.total("repro_retries_total")
+        losses = metrics.total("repro_worker_losses_total")
+        tokens = metrics.total("repro_tokens_generated_total")
+        lines.append(
+            f"  dispatches={int(metrics.total('repro_dispatch_calls_total'))} "
+            f"tokens={int(tokens)} retries={int(retries)} "
+            f"worker_losses={int(losses)}"
+        )
+    return lines
+
+
+def system_report_dict(
+    system: RlhfSystem, recovery=None
+) -> Dict[str, Any]:
+    """A machine-readable run report, sanitized for ``json.dumps``.
+
+    Everything is routed through the same sanitizer as checkpoint
+    manifests, so numpy scalars in trainer history or span attributes can
+    never leak into the JSON output.
+    """
+    controller = system.controller
+    collect_system_metrics(controller)
+    doc: Dict[str, Any] = {
+        "placement": {
+            role: {
+                "pool": group.resource_pool.name,
+                "world_size": group.world_size,
+                "parallel": str(group.train_topology.config),
+            }
+            for role, group in system.groups.items()
+        },
+        "history": system.trainer.history,
+        "trace_calls": len(controller.trace),
+        "comm_bytes_total": controller.meter.total_bytes(),
+        "spans": [s.to_dict() for s in controller.tracer.spans],
+        "metrics": controller.metrics.as_dict(),
+    }
+    if recovery is not None:
+        doc["recovery"] = {
+            "n_failures": recovery.n_failures,
+            "lost_iterations": recovery.total_lost_iterations,
+            "total_downtime": recovery.total_downtime,
+            "mttr": recovery.mttr,
+            "checkpoints_saved": recovery.checkpoints_saved,
+            "checkpoint_time": recovery.checkpoint_time,
+            "total_time": recovery.total_time,
+        }
+    return json_safe(doc, "report")
 
 
 def system_report(
@@ -124,6 +202,7 @@ def system_report(
         traffic_summary(system),
         memory_summary(system),
         metrics_summary(system),
+        observability_summary(system),
     ]
     if recovery is not None:
         sections.append(recovery_summary(recovery))

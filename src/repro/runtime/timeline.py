@@ -14,7 +14,8 @@ incurring 1/3 of their GPU time being idle, during other RLHF stages").
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, List, Optional, Sequence
+import warnings
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.single_controller.controller import ExecutionRecord, SingleController
 
@@ -34,7 +35,23 @@ DEFAULT_DURATIONS = {
 }
 FALLBACK_DURATION = 1.0
 
+#: Methods already warned about falling back to ``FALLBACK_DURATION`` — the
+#: warning fires once per method per process so perf numbers are never
+#: silently fabricated, without spamming every rebuild.
+_FALLBACK_WARNED: set = set()
+
 DurationFn = Callable[[ExecutionRecord], float]
+
+
+def _marker(index: int) -> str:
+    """Unique legend marker for the ``index``-th event of a pool.
+
+    ``A``..``Z`` for the first 26 events, then ``A1``..``Z1``, ``A2``..;
+    unlike the old ``index % 26`` scheme, two events never share a marker.
+    """
+    letter = chr(ord("A") + index % 26)
+    cycle = index // 26
+    return letter if cycle == 0 else f"{letter}{cycle}"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -71,12 +88,30 @@ class Timeline:
     def busy_time(self, pool: str) -> float:
         return sum(e.duration for e in self.events_on(pool))
 
-    def idle_fraction(self, pool: str) -> float:
-        """Fraction of the makespan this pool spends idle (Figure 3)."""
-        span = self.makespan
-        if span == 0:
+    def idle_fraction(
+        self, pool: str, within: Optional[Tuple[float, float]] = None
+    ) -> float:
+        """Fraction of a window this pool spends idle (Figure 3).
+
+        Args:
+            within: ``(start, end)`` window to account against, consistent
+                with :meth:`busy_during`.  Defaults to the whole makespan —
+                but note that charges a pool whose work ends early with idle
+                time for the tail of the run; pass the window of interest
+                (e.g. :meth:`active_window`) to scope the accounting.
+        """
+        start, end = within if within is not None else (0.0, self.makespan)
+        span = end - start
+        if span <= 0:
             return 0.0
-        return 1.0 - self.busy_time(pool) / span
+        return 1.0 - self.busy_during(pool, start, end) / span
+
+    def active_window(self, pool: str) -> Tuple[float, float]:
+        """``(first event start, last event end)`` of a pool; (0, 0) if none."""
+        events = self.events_on(pool)
+        if not events:
+            return (0.0, 0.0)
+        return (min(e.start for e in events), max(e.end for e in events))
 
     def busy_during(self, pool: str, start: float, end: float) -> float:
         """Busy time of ``pool`` within the window ``[start, end)``."""
@@ -85,8 +120,14 @@ class Timeline:
             total += max(0.0, min(e.end, end) - max(e.start, start))
         return total
 
-    def render_ascii(self, width: int = 72) -> str:
-        """A Gantt chart like the execution drawings of Table 1/Figure 3."""
+    def render_ascii(self, width: int = 72, max_legend: int = 48) -> str:
+        """A Gantt chart like the execution drawings of Table 1/Figure 3.
+
+        Each pool row reports idle both over the full makespan and within
+        the pool's own active window (``win``); the legend uses unique
+        markers (``A..Z, A1..``) and is capped at ``max_legend`` entries
+        with an explicit "... N more" line.
+        """
         span = self.makespan
         if span == 0:
             return "(empty timeline)"
@@ -100,16 +141,24 @@ class Timeline:
             for index, event in enumerate(self.events_on(pool)):
                 lo = int(event.start / span * (width - 1))
                 hi = max(lo + 1, int(event.end / span * (width - 1)))
-                marker = chr(ord("A") + index % 26)
-                for x in range(lo, min(hi, width)):
-                    row[x] = marker
-            idle = f" idle={self.idle_fraction(pool) * 100:.0f}%"
+                marker = _marker(index)
+                # write as much of the marker as fits this event's cells so
+                # wide events show their full (unambiguous) label
+                for offset, x in enumerate(range(lo, min(hi, width))):
+                    row[x] = marker[offset] if offset < len(marker) else marker[0]
+            idle = (
+                f" idle={self.idle_fraction(pool) * 100:.0f}%"
+                f" (win {self.idle_fraction(pool, self.active_window(pool)) * 100:.0f}%)"
+            )
             lines.append(f"{pool.ljust(label_width)}|{''.join(row)}{idle}")
-        legend = []
-        for pool in pools:
-            for index, event in enumerate(self.events_on(pool)):
-                marker = chr(ord("A") + index % 26)
-                legend.append(f"  {pool}/{marker}: {event.name}")
+        entries = [
+            f"  {pool}/{_marker(index)}: {event.name}"
+            for pool in pools
+            for index, event in enumerate(self.events_on(pool))
+        ]
+        legend = entries[:max_legend]
+        if len(entries) > max_legend:
+            legend.append(f"  ... {len(entries) - max_legend} more event(s)")
         return "\n".join(lines + ["legend:"] + legend)
 
 
@@ -117,6 +166,7 @@ def build_timeline(
     controller: SingleController,
     duration_fn: Optional[DurationFn] = None,
     trace: Optional[Sequence[ExecutionRecord]] = None,
+    metrics=None,
 ) -> Timeline:
     """Schedule the controller's trace under asynchronous dataflow semantics.
 
@@ -125,10 +175,23 @@ def build_timeline(
             the coarse per-method table.  Plugging in the :mod:`repro.perf`
             latency models gives placement-faithful timelines.
         trace: Override the trace (e.g. one iteration's slice).
+        metrics: Registry receiving the ``repro_timeline_fallback_total``
+            counter; defaults to the controller's own registry.
+
+    Methods missing from the default duration table are charged
+    ``FALLBACK_DURATION`` — never silently: a one-time warning names them,
+    and each occurrence increments a per-method metrics counter.
     """
     records = list(trace if trace is not None else controller.trace)
+    if metrics is None:
+        metrics = getattr(controller, "metrics", None)
+    fallback_counts: Dict[str, int] = {}
 
     def default_duration(record: ExecutionRecord) -> float:
+        if record.method not in DEFAULT_DURATIONS:
+            fallback_counts[record.method] = (
+                fallback_counts.get(record.method, 0) + 1
+            )
         return DEFAULT_DURATIONS.get(record.method, FALLBACK_DURATION)
 
     durations = duration_fn or default_duration
@@ -152,4 +215,22 @@ def build_timeline(
                 end=end,
             )
         )
+    if fallback_counts:
+        if metrics is not None:
+            for method, count in sorted(fallback_counts.items()):
+                metrics.counter(
+                    "repro_timeline_fallback_total",
+                    "Trace records charged FALLBACK_DURATION (no duration model)",
+                    method=method,
+                ).inc(count)
+        unseen = sorted(m for m in fallback_counts if m not in _FALLBACK_WARNED)
+        if unseen:
+            _FALLBACK_WARNED.update(unseen)
+            warnings.warn(
+                f"build_timeline has no duration model for method(s) "
+                f"{unseen}; each was charged the flat "
+                f"FALLBACK_DURATION={FALLBACK_DURATION}s — timings involving "
+                "them are fabricated, not modelled",
+                stacklevel=2,
+            )
     return Timeline(events=events)

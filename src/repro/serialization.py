@@ -1,0 +1,46 @@
+"""Shared JSON sanitizer for manifests, reports, and trace exports.
+
+Numpy scalar types (``np.float32``, ``np.int64``, 0-d arrays) leak into
+almost every dict the functional layer produces — worker checkpoint state,
+trainer metric histories, span attributes — and crash ``json.dumps`` unless
+coerced.  PR 1 fixed this for checkpoint manifests only; this module hoists
+the sanitizer so every serialization path (checkpoints, run reports, Chrome
+traces, metrics dumps) shares one set of coercion rules.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Type
+
+import numpy as np
+
+
+def json_safe(
+    value: Any, where: str = "value", error: Type[Exception] = ValueError
+) -> Any:
+    """Coerce ``value`` into JSON-serializable Python types.
+
+    Args:
+        where: Dotted path used in error messages to name the offending key.
+        error: Exception class raised on non-serializable values (callers
+            with typed error hierarchies pass their own, e.g.
+            ``CheckpointError``).
+    """
+    if isinstance(value, np.ndarray):
+        if value.ndim == 0:
+            return value.item()
+        raise error(
+            f"non-scalar array at {where!r} cannot be embedded in JSON; "
+            "store it out-of-band (e.g. an .npz sidecar)"
+        )
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, dict):
+        return {str(k): json_safe(v, f"{where}.{k}", error) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_safe(v, f"{where}[{i}]", error) for i, v in enumerate(value)]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise error(
+        f"cannot serialize {type(value).__name__} at {where!r} to JSON"
+    )

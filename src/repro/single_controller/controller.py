@@ -36,6 +36,9 @@ from repro.cluster import SimCluster
 from repro.comm.groups import TrafficMeter
 from repro.config import ClusterSpec
 from repro.faults.policy import RetryPolicy, SimClock
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.spans import SpanTracer
+from repro.serialization import json_safe
 from repro.single_controller.resource_pool import ResourcePool
 from repro.single_controller.worker_group import WorkerGroup
 
@@ -69,28 +72,11 @@ def _json_safe(value: Any, where: str) -> Any:
 
     Worker ``state_for_checkpoint`` dicts routinely contain numpy scalar
     types (``np.float32``, ``np.int64``, 0-d arrays); these crash
-    ``json.dumps`` unless coerced.  Anything non-serializable raises a
-    :class:`CheckpointError` naming the offending key.
+    ``json.dumps`` unless coerced.  Delegates to the shared
+    :func:`repro.serialization.json_safe` rules; anything non-serializable
+    raises a :class:`CheckpointError` naming the offending key.
     """
-    if isinstance(value, np.ndarray):
-        if value.ndim == 0:
-            return value.item()
-        raise CheckpointError(
-            f"non-scalar array at {where!r} must be a top-level value of "
-            "state_for_checkpoint (saved to .npz), not nested JSON state"
-        )
-    if isinstance(value, np.generic):
-        return value.item()
-    if isinstance(value, dict):
-        return {str(k): _json_safe(v, f"{where}.{k}") for k, v in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [_json_safe(v, f"{where}[{i}]") for i, v in enumerate(value)]
-    if value is None or isinstance(value, (bool, int, float, str)):
-        return value
-    raise CheckpointError(
-        f"cannot serialize {type(value).__name__} at {where!r} into a "
-        "checkpoint manifest"
-    )
+    return json_safe(value, where, error=CheckpointError)
 
 
 class SingleController:
@@ -118,6 +104,12 @@ class SingleController:
         self.retry_policy = RetryPolicy()
         #: Optional fault delivery (repro.faults.FaultInjector).
         self.fault_injector = None
+        #: Structured span tracing of every dispatch, reshard, transition,
+        #: checkpoint, and recovery phase (repro.observability).
+        self.tracer = SpanTracer(self.clock)
+        #: Counters/gauges/histograms fed by the dispatch path, fault gate,
+        #: cluster collectors, and RLHF pipeline.
+        self.metrics = MetricsRegistry()
 
     # -- resources -----------------------------------------------------------------
 
@@ -155,6 +147,24 @@ class SingleController:
         """Install a :class:`repro.faults.FaultInjector` on this job."""
         injector.bind(self)
         self.fault_injector = injector
+
+    # -- observability -----------------------------------------------------------------
+
+    def attach_observability(
+        self, tracer: Optional[SpanTracer] = None, metrics: Optional[MetricsRegistry] = None
+    ) -> None:
+        """Carry a tracer/registry across a recovery rebuild.
+
+        The rebuilt controller keeps the observability record of the failed
+        incarnation: spans keep accumulating on the same tracer (re-pointed
+        at this controller's clock) and metrics keep their counts —
+        recovery must not zero the job's history.
+        """
+        if tracer is not None:
+            tracer.set_clock(self.clock)
+            self.tracer = tracer
+        if metrics is not None:
+            self.metrics = metrics
 
     # -- tracing -----------------------------------------------------------------------
 
@@ -202,6 +212,14 @@ class SingleController:
             extra: Caller state (e.g. the trainer's ``state_dict``) stored in
                 the manifest; must sanitize to JSON.
         """
+        with self.tracer.span(
+            "checkpoint.write", category="checkpoint", directory=str(directory)
+        ) as span:
+            self._save_checkpoint(directory, extra, span)
+
+    def _save_checkpoint(
+        self, directory: str, extra: Optional[Dict[str, Any]], span
+    ) -> None:
         root = pathlib.Path(directory)
         root.parent.mkdir(parents=True, exist_ok=True)
         staging = root.parent / f".{root.name}.saving"
@@ -239,6 +257,19 @@ class SingleController:
             manifest["groups"].append(group_entry)
         (staging / "manifest.json").write_text(json.dumps(manifest, indent=2))
 
+        saved_bytes = sum(
+            f.stat().st_size for f in staging.iterdir() if f.is_file()
+        )
+        span.payload_bytes = saved_bytes
+        self.metrics.counter(
+            "repro_checkpoint_saves_total", "Checkpoints written"
+        ).inc()
+        self.metrics.counter(
+            "repro_checkpoint_bytes_total",
+            "Checkpoint bytes moved, by direction",
+            direction="save",
+        ).inc(saved_bytes)
+
         if root.exists():
             replaced = root.parent / f".{root.name}.replaced"
             if replaced.exists():
@@ -257,6 +288,12 @@ class SingleController:
         Any missing, truncated, or corrupted file raises
         :class:`CheckpointError` with the reason.
         """
+        with self.tracer.span(
+            "checkpoint.read", category="checkpoint", directory=str(directory)
+        ) as span:
+            return self._load_checkpoint(directory, span)
+
+    def _load_checkpoint(self, directory: str, span) -> Dict[str, Any]:
         root = pathlib.Path(directory)
         if not root.is_dir():
             raise CheckpointError(f"no checkpoint directory at {root}")
@@ -304,6 +341,18 @@ class SingleController:
                         ) from exc
                 worker.load_from_checkpoint(state)
         self._seq = int(manifest.get("trace_seq", self._seq))
+        restored_bytes = sum(
+            f.stat().st_size for f in root.iterdir() if f.is_file()
+        )
+        span.payload_bytes = restored_bytes
+        self.metrics.counter(
+            "repro_checkpoint_restores_total", "Checkpoints restored"
+        ).inc()
+        self.metrics.counter(
+            "repro_checkpoint_bytes_total",
+            "Checkpoint bytes moved, by direction",
+            direction="restore",
+        ).inc(restored_bytes)
         return manifest
 
     def __repr__(self) -> str:

@@ -44,6 +44,7 @@ class RemoteMethod:
             raise AttributeError(
                 f"{group.worker_cls.__name__}.{method_name} is not @register-ed"
             )
+        self.protocol_name = protocol_name
         self.protocol = get_protocol(protocol_name)
         self.blocking = registered_blocking(method)
 
@@ -69,8 +70,28 @@ class RemoteMethod:
                 deps.update(value.meta.get(LINEAGE_KEY, ()))
         return tuple(sorted(deps))
 
-    def _fault_gate(self) -> None:
+    @staticmethod
+    def _payload_bytes(args: tuple, kwargs: dict) -> int:
+        """Input payload size: bytes of every batch argument (incl. futures)."""
+        from repro.data.batch import DataBatch
+        from repro.single_controller.future import DataFuture
+
+        total = 0
+        for value in list(args) + list(kwargs.values()):
+            if isinstance(value, DataFuture) and value.resolved:
+                value = value.get()
+            if isinstance(value, DataBatch):
+                total += value.nbytes()
+        return total
+
+    def _dispatch_gate(self) -> float:
         """Failure detection + retry/backoff/timeout before the call runs (§9).
+
+        Returns the call's *planned duration* in simulated seconds; the
+        dispatch path advances the clock (and occupies the pool's devices)
+        by that much after the workers execute.  Without a fault injector
+        the duration comes from the timeline's per-method table, so the
+        controller clock tracks simulated work even in fault-free runs.
 
         With a :class:`~repro.faults.FaultInjector` attached to the
         controller, every remote call first passes this gate:
@@ -87,16 +108,23 @@ class RemoteMethod:
 
         The gate runs *before* the protocol distributes inputs and before
         the trace records anything, so retries never corrupt the execution
-        trace: a call appears exactly once, when it actually runs.
+        trace: a call appears exactly once, when it actually runs.  Every
+        retry, timeout, and loss increments its counter in the controller's
+        metrics registry, and each backoff wait is traced as a ``retry``
+        span.
         """
         controller = self.group.controller
         if controller is None:
-            return
+            return 0.0
         injector = getattr(controller, "fault_injector", None)
         if injector is None:
-            return
+            from repro.runtime.timeline import DEFAULT_DURATIONS, FALLBACK_DURATION
+
+            return DEFAULT_DURATIONS.get(self.method_name, FALLBACK_DURATION)
         policy = controller.retry_policy
         clock = controller.clock
+        metrics = getattr(controller, "metrics", None)
+        tracer = getattr(controller, "tracer", None)
         attempt = 0
         while True:
             try:
@@ -104,6 +132,13 @@ class RemoteMethod:
                 duration = injector.call_duration(self.group, self.method_name)
                 if policy.timeout is not None and duration > policy.timeout:
                     clock.advance(policy.timeout)
+                    if metrics is not None:
+                        metrics.counter(
+                            "repro_call_timeouts_total",
+                            "Remote calls that exceeded the per-call timeout",
+                            group=self.group.name,
+                            method=self.method_name,
+                        ).inc()
                     raise CallTimeoutError(
                         f"{self.group.name}.{self.method_name} exceeded the "
                         f"{policy.timeout:.3f}s call timeout "
@@ -112,11 +147,26 @@ class RemoteMethod:
                         method=self.method_name,
                         ranks=injector.straggler_ranks(self.group),
                     )
-                clock.advance(duration)
-                return
+                return duration
+            except WorkerLostError:
+                if metrics is not None:
+                    metrics.counter(
+                        "repro_worker_losses_total",
+                        "Remote calls that found their workers dead",
+                        group=self.group.name,
+                        pool=self.group.resource_pool.name,
+                    ).inc()
+                raise
             except TransientRpcError as exc:
                 attempt += 1
                 if attempt > policy.max_retries:
+                    if metrics is not None:
+                        metrics.counter(
+                            "repro_worker_losses_total",
+                            "Remote calls that found their workers dead",
+                            group=self.group.name,
+                            pool=self.group.resource_pool.name,
+                        ).inc()
                     raise WorkerLostError(
                         f"{self.group.name}.{self.method_name} still failing "
                         f"after {policy.max_retries} retries: {exc}",
@@ -127,22 +177,119 @@ class RemoteMethod:
                         cause="retries exhausted",
                     ) from exc
                 injector.note_retry()
-                clock.advance(policy.backoff_delay(attempt))
+                if metrics is not None:
+                    metrics.counter(
+                        "repro_retries_total",
+                        "Transient-fault retries across all remote calls",
+                        group=self.group.name,
+                        method=self.method_name,
+                    ).inc()
+                delay = policy.backoff_delay(attempt)
+                if tracer is not None:
+                    with tracer.span(
+                        "backoff",
+                        category="retry",
+                        pool=self.group.resource_pool.name,
+                        attempt=attempt,
+                        delay=delay,
+                        error=type(exc).__name__,
+                    ):
+                        clock.advance(delay)
+                else:
+                    clock.advance(delay)
 
     def _execute(self, args: tuple, kwargs: dict):
         from repro.data.batch import DataBatch, LINEAGE_KEY
 
+        controller = self.group.controller
+        tracer = getattr(controller, "tracer", None)
+        metrics = getattr(controller, "metrics", None)
+        pool = self.group.resource_pool
         deps = self._dependency_seqs(args, kwargs)
-        self._fault_gate()
-        calls = self.protocol.distribute(self.group, args, kwargs)
-        outputs: List[Any] = []
-        for worker, (wargs, wkwargs) in zip(self.group.workers, calls):
-            outputs.append(getattr(worker, self.method_name)(*wargs, **wkwargs))
-        result = self.protocol.collect(self.group, outputs)
-        seq = self.group.notify_executed(self.method_name, deps)
-        if isinstance(result, DataBatch) and seq is not None:
-            result.meta[LINEAGE_KEY] = (seq,)
-        return result, seq
+        span = None
+        if tracer is not None:
+            span = tracer.begin(
+                f"{self.group.name}.{self.method_name}",
+                category="dispatch",
+                pool=pool.name,
+                ranks=tuple(pool.global_ranks),
+                payload_bytes=self._payload_bytes(args, kwargs),
+                links=tracer.links_for(deps),
+                protocol=self.protocol_name,
+                deps=list(deps),
+            )
+        try:
+            duration = self._dispatch_gate()
+            if tracer is not None:
+                with tracer.span(
+                    "distribute", category="protocol", pool=pool.name,
+                    protocol=self.protocol_name,
+                ):
+                    calls = self.protocol.distribute(self.group, args, kwargs)
+            else:
+                calls = self.protocol.distribute(self.group, args, kwargs)
+            outputs: List[Any] = []
+            for worker, (wargs, wkwargs) in zip(self.group.workers, calls):
+                outputs.append(getattr(worker, self.method_name)(*wargs, **wkwargs))
+            if tracer is not None:
+                with tracer.span(
+                    "collect", category="protocol", pool=pool.name,
+                    protocol=self.protocol_name,
+                ):
+                    result = self.protocol.collect(self.group, outputs)
+            else:
+                result = self.protocol.collect(self.group, outputs)
+            if controller is not None and duration > 0.0:
+                controller.clock.advance(duration)
+                for device in pool.devices:
+                    device.occupy(duration)
+            seq = self.group.notify_executed(self.method_name, deps)
+            if isinstance(result, DataBatch) and seq is not None:
+                result.meta[LINEAGE_KEY] = (seq,)
+            if span is not None:
+                tracer.register_seq(seq, span)
+                span.attrs["duration_model"] = duration
+            if metrics is not None:
+                metrics.counter(
+                    "repro_dispatch_calls_total",
+                    "Remote calls dispatched through the single controller",
+                    group=self.group.name,
+                    method=self.method_name,
+                ).inc()
+                metrics.histogram(
+                    "repro_dispatch_seconds",
+                    "Planned simulated duration per dispatched call",
+                    group=self.group.name,
+                ).observe(duration)
+                tokens = self._generated_tokens(result)
+                if tokens:
+                    metrics.counter(
+                        "repro_tokens_generated_total",
+                        "Response tokens produced by generate_sequences",
+                        group=self.group.name,
+                    ).inc(tokens)
+            return result, seq
+        except BaseException as exc:
+            if span is not None:
+                span.attrs.setdefault("status", "error")
+                span.attrs.setdefault("error", type(exc).__name__)
+            raise
+        finally:
+            if span is not None:
+                tracer.end(span)
+
+    def _generated_tokens(self, result: Any) -> int:
+        """Response tokens in a ``generate_sequences`` output batch, else 0."""
+        from repro.data.batch import DataBatch
+
+        if self.method_name != "generate_sequences":
+            return 0
+        if not isinstance(result, DataBatch) or "sequences" not in result:
+            return 0
+        sequences = result["sequences"]
+        prompt_length = int(result.meta.get("prompt_length", 0))
+        response = max(0, sequences.shape[-1] - prompt_length)
+        return int(sequences.shape[0] * response)
 
     def __call__(self, *args: Any, **kwargs: Any) -> DataFuture:
         if self.blocking:
