@@ -19,6 +19,11 @@ Five subcommands, mirroring the evaluation's workflows:
   (Figure 3) plus the runtime-span track, verifying the exported busy/idle
   fractions against the in-memory timeline accounting.
 * ``metrics`` — same run, dumped as Prometheus text exposition.
+* ``serve`` — run the functional continuous-batching rollout server
+  (paged KV blocks, priority scheduling, preempt-and-recompute) on a
+  synthetic request stream, report latency/SLO statistics, and cross-check
+  the measured schedule against the analytic model of
+  ``repro.perf.continuous_batching``.
 
 Examples::
 
@@ -30,6 +35,7 @@ Examples::
     python -m repro.cli faults --kill-machine 0 --at-step 30 --iterations 6
     python -m repro.cli trace --out run.json --kill-device 1 --at-step 30
     python -m repro.cli metrics --out metrics.prom
+    python -m repro.cli serve --requests 16 --slots 4 --blocks 12
 """
 
 from __future__ import annotations
@@ -594,6 +600,105 @@ def _observability_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--out", default=None, help="output file path")
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    # Functional-path imports stay local so the analytic subcommands keep
+    # their fast import time.
+    import numpy as np
+
+    from repro.models.tinylm import TinyLM, TinyLMConfig
+    from repro.perf.continuous_batching import (
+        continuous_schedule_stats,
+        sample_response_lengths,
+    )
+    from repro.serving import RolloutServer, ServingConfig, static_batch_steps
+
+    if args.priority_levels < 1:
+        print("--priority-levels must be >= 1", file=sys.stderr)
+        return 2
+    rng = np.random.default_rng(args.seed)
+    cfg = TinyLMConfig(
+        n_layers=2,
+        hidden_size=32,
+        n_heads=4,
+        ffn_hidden_size=48,
+        vocab_size=16,
+        max_seq_len=args.prompt_length + args.max_response,
+    )
+    model = TinyLM(cfg, seed=args.seed)
+    lengths = sample_response_lengths(
+        args.requests, args.mean_response, args.max_response, rng
+    )
+    serving = ServingConfig(
+        max_slots=args.slots,
+        block_size=args.block_size,
+        n_blocks=args.blocks,
+        eos_token_id=args.eos,
+        greedy=args.eos is None,
+        slo_ttft=args.slo_ttft,
+        slo_latency=args.slo_latency,
+        seed=args.seed,
+    )
+    server = RolloutServer(model, serving)
+    arrival = 0.0
+    for i in range(args.requests):
+        if args.arrival_rate > 0:
+            arrival += (
+                float(rng.exponential(1.0 / args.arrival_rate))
+                * serving.step_time
+            )
+        server.submit(
+            rng.integers(0, cfg.vocab_size, size=args.prompt_length),
+            # with EOS the response length is sampled by the model itself;
+            # without, each request greedily runs to its target length
+            max_new_tokens=(
+                args.max_response if args.eos is not None else int(lengths[i])
+            ),
+            priority=int(rng.integers(0, args.priority_levels)),
+            arrival_time=arrival if args.arrival_rate > 0 else 0.0,
+        )
+    report = server.drain()
+    print(
+        f"continuous-batching rollout serving: {args.requests} requests on "
+        f"{args.slots} slots, {server.kv.n_blocks} KV blocks of "
+        f"{args.block_size} tokens"
+    )
+    for line in report.summary_lines():
+        print(f"  {line}")
+
+    realised = [r.response_length for r in report.completed]
+    static_steps = static_batch_steps(realised, args.slots)
+    print(
+        f"  static wave batching : {static_steps} steps for the same "
+        f"responses ({static_steps / max(report.n_steps, 1):.2f}x the "
+        f"engine's {report.n_steps})"
+    )
+
+    # On a matched workload (all requests at t=0, one priority class, no
+    # preemption) the engine must replay the analytic Orca schedule exactly.
+    if (
+        args.arrival_rate == 0
+        and args.priority_levels == 1
+        and report.n_preemptions == 0
+    ):
+        n_steps, util = continuous_schedule_stats(realised, args.slots)
+        ok = (
+            n_steps == report.n_steps
+            and abs(util - report.slot_utilisation) < 1e-9
+        )
+        print(
+            f"  analytic cross-check : engine {report.n_steps} steps / "
+            f"{report.slot_utilisation:.3f} util vs model {n_steps} / "
+            f"{util:.3f} [{'ok' if ok else 'MISMATCH'}]"
+        )
+        if not ok:
+            print(
+                "engine disagrees with repro.perf.continuous_batching",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli",
@@ -714,6 +819,65 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _observability_args(p)
     p.set_defaults(fn=cmd_metrics)
+
+    p = sub.add_parser(
+        "serve",
+        help="functional continuous-batching rollout serving demo",
+    )
+    p.add_argument("--requests", type=int, default=16, help="request count")
+    p.add_argument("--prompt-length", type=int, default=4, help="prompt tokens")
+    p.add_argument(
+        "--mean-response", type=int, default=8, help="mean response length"
+    )
+    p.add_argument(
+        "--max-response", type=int, default=24, help="response length cap"
+    )
+    p.add_argument("--slots", type=int, default=4, help="decode slots")
+    p.add_argument(
+        "--block-size", type=int, default=8, help="tokens per KV block"
+    )
+    p.add_argument(
+        "--blocks",
+        type=int,
+        default=None,
+        help=(
+            "total KV blocks (default: enough for --slots full-length "
+            "sequences; small values force preempt-and-recompute)"
+        ),
+    )
+    p.add_argument(
+        "--eos",
+        type=int,
+        default=None,
+        metavar="TOKEN",
+        help=(
+            "sample with this EOS token id (default: greedy decode to each "
+            "request's target length, enabling the analytic cross-check)"
+        ),
+    )
+    p.add_argument(
+        "--arrival-rate",
+        type=float,
+        default=0.0,
+        help="mean Poisson arrivals per decode step (0 = all at once)",
+    )
+    p.add_argument(
+        "--priority-levels",
+        type=int,
+        default=1,
+        help="draw request priorities uniformly from [0, N)",
+    )
+    p.add_argument(
+        "--slo-ttft", type=float, default=None, help="TTFT SLO (sim seconds)"
+    )
+    p.add_argument(
+        "--slo-latency",
+        type=float,
+        default=None,
+        help="end-to-end latency SLO (sim seconds)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="workload + model seed")
+    p.set_defaults(fn=cmd_serve)
     return parser
 
 

@@ -51,16 +51,29 @@ class GenerationOutput:
         prompt_length: Number of prompt tokens (responses start there).
         kv_cache_bytes: Peak KV-cache footprint of the pass, for the memory
             accounting the HybridEngine's offload path uses.
+        response_mask: ``(batch, response)`` with 1.0 on real response tokens
+            (the EOS token itself included) and 0.0 on post-EOS padding.
+            ``None`` when generation ran without an ``eos_token_id`` — every
+            slot then emits exactly ``max_new_tokens`` real tokens.
     """
 
     sequences: np.ndarray
     response_log_probs: np.ndarray
     prompt_length: int
     kv_cache_bytes: int
+    response_mask: Optional[np.ndarray] = None
 
     @property
     def responses(self) -> np.ndarray:
         return self.sequences[:, self.prompt_length :]
+
+    @property
+    def response_lengths(self) -> np.ndarray:
+        """Real response tokens per sequence, ``(batch,)``."""
+        if self.response_mask is None:
+            width = self.sequences.shape[1] - self.prompt_length
+            return np.full(self.sequences.shape[0], width, dtype=np.int64)
+        return self.response_mask.sum(axis=1).astype(np.int64)
 
 
 def generate(
@@ -70,12 +83,26 @@ def generate(
     temperature: float = 1.0,
     greedy: bool = False,
     rng: Optional[np.random.Generator] = None,
+    eos_token_id: Optional[int] = None,
+    pad_token_id: Optional[int] = None,
 ) -> GenerationOutput:
-    """Auto-regressively extend ``prompts`` by ``max_new_tokens`` tokens.
+    """Auto-regressively extend ``prompts`` by up to ``max_new_tokens`` tokens.
 
     Uses a real KV cache: the prompt is prefilled once, then each step feeds
     only the newly sampled token — the prefill/decode split whose memory-bound
     decode phase motivates the paper's smaller generation TP sizes (§2.3).
+
+    With ``eos_token_id`` set, a sequence that emits EOS stops producing real
+    tokens: subsequent positions are filled with ``pad_token_id`` (defaults
+    to the EOS id), their log-probs are zeroed, and ``response_mask`` marks
+    the real tokens.  Output stays fixed-width ``(batch, prompt +
+    max_new_tokens)`` so DP micro-batches concatenate.  The rng is consumed
+    lock-step for finished rows too, keeping each row's sample stream
+    independent of the other rows' termination (and the no-EOS behaviour
+    bit-identical to before).  Once every row has terminated the decode loop
+    exits early — the lock-step analogue of continuous batching's slot
+    refill, and the sequential baseline the serving engine is checked
+    against.
     """
     if model.config.output_head != "lm":
         raise RuntimeError("generation requires an LM head")
@@ -84,6 +111,13 @@ def generate(
         raise ValueError(f"prompts must be (batch, seq), got {prompts.shape}")
     if max_new_tokens < 1:
         raise ValueError(f"max_new_tokens must be >= 1, got {max_new_tokens}")
+    if eos_token_id is not None and not (
+        0 <= eos_token_id < model.config.vocab_size
+    ):
+        raise ValueError(
+            f"eos_token_id {eos_token_id} outside vocab "
+            f"[0, {model.config.vocab_size})"
+        )
     if rng is None:
         rng = np.random.default_rng(0)
 
@@ -91,6 +125,9 @@ def generate(
     cache = KVCache(model.config.n_layers)
     sequences = prompts.copy()
     log_probs = np.zeros((batch, max_new_tokens))
+    mask = np.ones((batch, max_new_tokens))
+    alive = np.ones(batch, dtype=bool)
+    pad = eos_token_id if pad_token_id is None else pad_token_id
 
     with no_grad():
         logits = model.forward(prompts, cache=cache, pos_offset=0)
@@ -101,11 +138,29 @@ def generate(
             )
             shifted = step_logits - step_logits.max(axis=-1, keepdims=True)
             logp = shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
-            log_probs[:, step] = logp[np.arange(batch), next_tokens]
+            step_logp = logp[np.arange(batch), next_tokens]
+            if eos_token_id is not None:
+                next_tokens = np.where(alive, next_tokens, pad)
+                step_logp = np.where(alive, step_logp, 0.0)
+                mask[:, step] = alive
+                alive = alive & (next_tokens != eos_token_id)
+            log_probs[:, step] = step_logp
             sequences = np.concatenate(
                 [sequences, next_tokens[:, None]], axis=1
             )
             if step + 1 < max_new_tokens:
+                if eos_token_id is not None and not alive.any():
+                    # every row terminated: emit padding for the remaining
+                    # columns without running the model
+                    remaining = max_new_tokens - (step + 1)
+                    sequences = np.concatenate(
+                        [
+                            sequences,
+                            np.full((batch, remaining), pad, dtype=sequences.dtype),
+                        ],
+                        axis=1,
+                    )
+                    break
                 logits = model.forward(
                     next_tokens[:, None],
                     cache=cache,
@@ -118,4 +173,5 @@ def generate(
         response_log_probs=log_probs,
         prompt_length=prompt_len,
         kv_cache_bytes=cache.nbytes(),
+        response_mask=mask if eos_token_id is not None else None,
     )

@@ -89,12 +89,38 @@ class KVCache:
     def seq_len(self) -> int:
         return 0 if self.keys[0] is None else self.keys[0].shape[2]
 
+    def trim(self, seq_len: int) -> None:
+        """Drop cached entries beyond position ``seq_len`` in every layer.
+
+        Copies the kept prefix so the tail's memory is actually released
+        (a plain slice would keep the full buffer alive through its base).
+        Used by preempt-and-recompute serving to roll a sequence back.
+        """
+        if seq_len < 0:
+            raise ValueError(f"seq_len must be >= 0, got {seq_len}")
+        if seq_len == 0:
+            self.free()
+            return
+        for layer, (k, v) in enumerate(zip(self.keys, self.values)):
+            if k is not None and k.shape[2] > seq_len:
+                self.keys[layer] = k[:, :, :seq_len].copy()
+                self.values[layer] = v[:, :, :seq_len].copy()
+
+    def free(self) -> None:
+        """Release every cached tensor (sequence finished or was preempted)."""
+        for layer in range(len(self.keys)):
+            self.keys[layer] = None
+            self.values[layer] = None
+
+    def nbytes_by_layer(self) -> List[int]:
+        """Per-layer K+V byte totals — the granularity a block manager meters."""
+        return [
+            (k.nbytes + v.nbytes) if k is not None else 0
+            for k, v in zip(self.keys, self.values)
+        ]
+
     def nbytes(self) -> int:
-        total = 0
-        for k, v in zip(self.keys, self.values):
-            if k is not None:
-                total += k.nbytes + v.nbytes
-        return total
+        return sum(self.nbytes_by_layer())
 
 
 class TinyLM:

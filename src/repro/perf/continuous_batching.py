@@ -15,7 +15,7 @@ Both disciplines share the per-step decode cost model of
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Sequence
+from typing import Iterator, List, Sequence, Tuple
 
 import numpy as np
 
@@ -101,6 +101,71 @@ def serve_static(
     )
 
 
+def _continuous_trace(
+    lengths: Sequence[int], capacity: int
+) -> Iterator[Tuple[int, float]]:
+    """Step-level ``(n_active, mean_progress)`` trace of the Orca schedule.
+
+    The pure scheduling decision sequence, shared by the cost-model wrapper
+    below and the step-count cross-check the functional engine
+    (:mod:`repro.serving`) is validated against.
+    """
+    remaining: List[int] = list(int(x) for x in lengths)
+    active: List[int] = []
+    progress: List[int] = []
+    while remaining or active:
+        while remaining and len(active) < capacity:
+            active.append(remaining.pop(0))
+            progress.append(0)
+        yield len(active), (
+            sum(progress) / len(progress) if progress else 0.0
+        )
+        progress = [p + 1 for p in progress]
+        keep = [
+            i for i, (length, p) in enumerate(zip(active, progress)) if p < length
+        ]
+        active = [active[i] for i in keep]
+        progress = [progress[i] for i in keep]
+
+
+def continuous_schedule_stats(
+    lengths: Sequence[int], capacity: int
+) -> Tuple[int, float]:
+    """``(n_steps, slot_utilisation)`` of continuous batching, no cost model.
+
+    What a perfect iteration-level scheduler achieves on ``lengths``; the
+    functional engine's measured utilisation must agree with this on a
+    matched workload (one token per occupied slot-step in both).
+    """
+    if capacity < 1:
+        raise ValueError(f"capacity must be >= 1, got {capacity}")
+    n_steps = 0
+    occupied = 0.0
+    for n_active, _ in _continuous_trace(lengths, capacity):
+        n_steps += 1
+        occupied += n_active
+    denominator = n_steps * capacity if n_steps else 1
+    return n_steps, occupied / denominator
+
+
+def static_schedule_stats(
+    lengths: Sequence[int], capacity: int
+) -> Tuple[int, float]:
+    """``(n_steps, slot_utilisation)`` of static wave batching, no cost model."""
+    if capacity < 1:
+        raise ValueError(f"capacity must be >= 1, got {capacity}")
+    lengths = np.asarray(lengths)
+    n_steps = 0
+    occupied = 0.0
+    for start in range(0, len(lengths), capacity):
+        wave = lengths[start : start + capacity]
+        wave_steps = int(wave.max())
+        n_steps += wave_steps
+        occupied += float(wave.sum())
+    denominator = n_steps * capacity if n_steps else 1
+    return n_steps, occupied / denominator
+
+
 def serve_continuous(
     lengths: Sequence[int],
     capacity: int,
@@ -114,28 +179,16 @@ def serve_continuous(
     batch at step granularity and waiting requests join immediately."""
     if capacity < 1:
         raise ValueError(f"capacity must be >= 1, got {capacity}")
-    remaining: List[int] = list(int(x) for x in lengths)
-    active: List[int] = []
-    progress: List[int] = []
     total_time = 0.0
     n_steps = 0
     occupied_steps = 0.0
-    while remaining or active:
-        while remaining and len(active) < capacity:
-            active.append(remaining.pop(0))
-            progress.append(0)
-        avg_ctx = prompt_length + (
-            sum(progress) / len(progress) if progress else 0.0
-        )
+    for n_active, mean_progress in _continuous_trace(lengths, capacity):
+        avg_ctx = prompt_length + mean_progress
         total_time += _step_time(
-            spec, cluster, gen_tp, gen_pp, len(active), avg_ctx
+            spec, cluster, gen_tp, gen_pp, n_active, avg_ctx
         )
-        occupied_steps += len(active)
+        occupied_steps += n_active
         n_steps += 1
-        progress = [p + 1 for p in progress]
-        keep = [i for i, (length, p) in enumerate(zip(active, progress)) if p < length]
-        active = [active[i] for i in keep]
-        progress = [progress[i] for i in keep]
     denominator = n_steps * capacity if n_steps else 1
     return ServingResult(
         total_time=total_time,

@@ -11,9 +11,28 @@ preparation stage produced.  Implemented estimators:
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
+
+
+def _check_mask(
+    response_mask: Optional[np.ndarray], shape: Tuple[int, ...]
+) -> Optional[np.ndarray]:
+    if response_mask is None:
+        return None
+    mask = np.asarray(response_mask, dtype=np.float64)
+    if mask.shape != shape:
+        raise ValueError(
+            f"response_mask shape {mask.shape} does not match {shape}"
+        )
+    return mask
+
+
+def last_real_index(response_mask: np.ndarray) -> np.ndarray:
+    """Index of each row's last real token (``(batch,)``; 0 for empty rows)."""
+    mask = np.asarray(response_mask)
+    return np.maximum(mask.sum(axis=1).astype(np.int64) - 1, 0)
 
 
 def compose_token_rewards(
@@ -22,6 +41,7 @@ def compose_token_rewards(
     ref_log_probs: np.ndarray,
     kl_coef: float = 0.1,
     clip_kl: float = 10.0,
+    response_mask: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Token-level rewards from a sample-level score plus a KL penalty.
 
@@ -35,6 +55,10 @@ def compose_token_rewards(
         ref_log_probs: Reference-policy log-probs, same shape.
         kl_coef: KL penalty coefficient.
         clip_kl: Symmetric clip on the per-token KL estimate for stability.
+        response_mask: Optional ``(batch, resp_len)`` mask of real response
+            tokens (EOS sampling).  Post-EOS positions get zero reward and
+            the score lands on each row's *last real* token instead of the
+            padded final column.
 
     Returns:
         Token-level rewards ``(batch, resp_len)``.
@@ -51,9 +75,14 @@ def compose_token_rewards(
             f"scores shape {scores.shape} does not match batch "
             f"{log_probs.shape[0]}"
         )
+    mask = _check_mask(response_mask, log_probs.shape)
     kl = np.clip(log_probs - ref_log_probs, -clip_kl, clip_kl)
     rewards = -kl_coef * kl
-    rewards[:, -1] += scores
+    if mask is None:
+        rewards[:, -1] += scores
+    else:
+        rewards *= mask
+        rewards[np.arange(len(scores)), last_real_index(mask)] += scores
     return rewards
 
 
@@ -62,6 +91,7 @@ def gae_advantages(
     values: np.ndarray,
     gamma: float = 1.0,
     lam: float = 0.95,
+    response_mask: Optional[np.ndarray] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Generalised advantage estimation over response tokens.
 
@@ -70,6 +100,9 @@ def gae_advantages(
         values: Critic values at each response token ``(batch, T)``.
         gamma: Discount factor (RLHF convention: 1.0).
         lam: GAE lambda.
+        response_mask: Optional ``(batch, T)`` mask of real tokens.  Masked
+            positions contribute no value/reward and the recursion resets
+            there, so each row's advantages stop at its EOS.
 
     Returns:
         ``(advantages, returns)`` both ``(batch, T)``; returns are
@@ -81,6 +114,10 @@ def gae_advantages(
         raise ValueError(
             f"rewards {rewards.shape} and values {values.shape} must match"
         )
+    mask = _check_mask(response_mask, rewards.shape)
+    if mask is not None:
+        values = values * mask
+        rewards = rewards * mask
     batch, horizon = rewards.shape
     advantages = np.zeros_like(rewards)
     last_gae = np.zeros(batch)
@@ -88,21 +125,40 @@ def gae_advantages(
         next_value = values[:, t + 1] if t + 1 < horizon else 0.0
         delta = rewards[:, t] + gamma * next_value - values[:, t]
         last_gae = delta + gamma * lam * last_gae
+        if mask is not None:
+            last_gae = last_gae * mask[:, t]
         advantages[:, t] = last_gae
     returns = advantages + values
     return advantages, returns
 
 
-def whiten(advantages: np.ndarray, eps: float = 1e-8) -> np.ndarray:
-    """Normalise advantages to zero mean / unit variance (PPO convention)."""
+def whiten(
+    advantages: np.ndarray,
+    eps: float = 1e-8,
+    response_mask: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Normalise advantages to zero mean / unit variance (PPO convention).
+
+    With a mask, the statistics come from real tokens only and masked
+    positions stay exactly zero (whitening must not resurrect padding).
+    """
     advantages = np.asarray(advantages, dtype=np.float64)
-    return (advantages - advantages.mean()) / (advantages.std() + eps)
+    mask = _check_mask(response_mask, advantages.shape)
+    if mask is None:
+        return (advantages - advantages.mean()) / (advantages.std() + eps)
+    n = mask.sum()
+    if n < 1:
+        return advantages * 0.0
+    mean = (advantages * mask).sum() / n
+    var = (((advantages - mean) ** 2) * mask).sum() / n
+    return ((advantages - mean) / (np.sqrt(var) + eps)) * mask
 
 
 def remax_advantages(
     rewards: np.ndarray,
     baseline_rewards: np.ndarray,
     response_length: int,
+    response_mask: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """ReMax [43]: sampled reward minus greedy-baseline reward, per token.
 
@@ -125,7 +181,9 @@ def remax_advantages(
             f"reward shapes differ: {rewards.shape} vs {baseline_rewards.shape}"
         )
     advantage = rewards - baseline_rewards
-    return np.repeat(advantage[:, None], response_length, axis=1)
+    out = np.repeat(advantage[:, None], response_length, axis=1)
+    mask = _check_mask(response_mask, out.shape)
+    return out if mask is None else out * mask
 
 
 def grpo_advantages(
@@ -133,6 +191,7 @@ def grpo_advantages(
     group_size: int,
     response_length: int,
     eps: float = 1e-8,
+    response_mask: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """GRPO [70]: normalise rewards within each prompt's sample group.
 
@@ -153,4 +212,6 @@ def grpo_advantages(
     mean = grouped.mean(axis=1, keepdims=True)
     std = grouped.std(axis=1, keepdims=True)
     z = ((grouped - mean) / (std + eps)).reshape(-1)
-    return np.repeat(z[:, None], response_length, axis=1)
+    out = np.repeat(z[:, None], response_length, axis=1)
+    mask = _check_mask(response_mask, out.shape)
+    return out if mask is None else out * mask

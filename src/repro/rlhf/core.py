@@ -50,20 +50,34 @@ def compute_advantages(
       ``ref_log_probs``.
     * GRPO: ``scores``, ``log_probs``, ``ref_log_probs`` with rows grouped
       by prompt.
+
+    When the batch carries a ``response_mask`` column (EOS-terminated
+    generation), every estimator ignores post-EOS padding: rewards/values
+    are masked, the preference score lands on the last *real* token, and
+    whitening statistics come from real tokens only.
     """
     algo = AlgoType(algo)
     out = batch.copy()
     response_length = batch["log_probs"].shape[1]
+    mask = batch["response_mask"] if "response_mask" in batch else None
 
     if algo in (AlgoType.PPO, AlgoType.SAFE_RLHF):
         token_rewards = compose_token_rewards(
-            batch["scores"], batch["log_probs"], batch["ref_log_probs"], kl_coef
+            batch["scores"],
+            batch["log_probs"],
+            batch["ref_log_probs"],
+            kl_coef,
+            response_mask=mask,
         )
         advantages, returns = gae_advantages(
-            token_rewards, batch["values"], gamma=gamma, lam=lam
+            token_rewards,
+            batch["values"],
+            gamma=gamma,
+            lam=lam,
+            response_mask=mask,
         )
         if whiten_advantages:
-            advantages = whiten(advantages)
+            advantages = whiten(advantages, response_mask=mask)
         out["advantages"] = advantages
         out["returns"] = returns
         if algo is AlgoType.SAFE_RLHF:
@@ -72,23 +86,35 @@ def compute_advantages(
                 batch["log_probs"],
                 batch["ref_log_probs"],
                 kl_coef=0.0,
+                response_mask=mask,
             )
             cost_adv, cost_returns = gae_advantages(
-                token_costs, batch["cost_values"], gamma=gamma, lam=lam
+                token_costs,
+                batch["cost_values"],
+                gamma=gamma,
+                lam=lam,
+                response_mask=mask,
             )
             out["cost_advantages"] = cost_adv
             out["cost_returns"] = cost_returns
     elif algo is AlgoType.REMAX:
         token_rewards = compose_token_rewards(
-            batch["scores"], batch["log_probs"], batch["ref_log_probs"], kl_coef
+            batch["scores"],
+            batch["log_probs"],
+            batch["ref_log_probs"],
+            kl_coef,
+            response_mask=mask,
         )
         seq_rewards = token_rewards.sum(axis=1)
         out["advantages"] = remax_advantages(
-            seq_rewards, batch["baseline_scores"], response_length
+            seq_rewards,
+            batch["baseline_scores"],
+            response_length,
+            response_mask=mask,
         )
     elif algo is AlgoType.GRPO:
         out["advantages"] = grpo_advantages(
-            batch["scores"], group_size, response_length
+            batch["scores"], group_size, response_length, response_mask=mask
         )
     else:  # pragma: no cover - enum is exhaustive
         raise ValueError(f"unhandled algorithm {algo}")

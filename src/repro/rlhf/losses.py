@@ -7,7 +7,7 @@ Safe-RLHF, ReMax, GRPO and others"), shared by the actor/critic workers.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -18,11 +18,40 @@ def _as_array(x) -> np.ndarray:
     return x.data if isinstance(x, Tensor) else np.asarray(x, dtype=np.float64)
 
 
+def _mask_array(
+    response_mask: Optional[np.ndarray], shape: Tuple[int, ...]
+) -> Optional[np.ndarray]:
+    if response_mask is None:
+        return None
+    mask = np.asarray(response_mask, dtype=np.float64)
+    if mask.shape != shape:
+        raise ValueError(
+            f"response_mask shape {mask.shape} does not match {shape}"
+        )
+    return mask
+
+
+def _masked_mean_t(t: Tensor, mask: Optional[np.ndarray]) -> Tensor:
+    """Mean of a Tensor over real tokens (differentiable)."""
+    if mask is None:
+        return t.mean()
+    n = max(float(mask.sum()), 1.0)
+    return (t * Tensor(mask)).sum() * (1.0 / n)
+
+
+def _masked_mean_np(arr: np.ndarray, mask: Optional[np.ndarray]) -> float:
+    if mask is None:
+        return float(np.mean(arr))
+    n = max(float(mask.sum()), 1.0)
+    return float((arr * mask).sum() / n)
+
+
 def ppo_policy_loss(
     log_probs: Tensor,
     old_log_probs: np.ndarray,
     advantages: np.ndarray,
     clip_ratio: float = 0.2,
+    response_mask: Optional[np.ndarray] = None,
 ) -> Tuple[Tensor, Dict[str, float]]:
     """Clipped-surrogate PPO objective [68] over response tokens.
 
@@ -31,6 +60,9 @@ def ppo_policy_loss(
         old_log_probs: Behaviour-policy log-probs ``(batch, T)`` (constant).
         advantages: Token-level advantages ``(batch, T)`` (constant).
         clip_ratio: PPO epsilon.
+        response_mask: Optional ``(batch, T)`` mask of real response tokens;
+            the surrogate and every monitoring statistic average over real
+            tokens only, so post-EOS padding carries no gradient.
 
     Returns:
         ``(loss, metrics)``; metrics include the clipped fraction and an
@@ -38,22 +70,22 @@ def ppo_policy_loss(
     """
     old_log_probs = _as_array(old_log_probs)
     advantages = _as_array(advantages)
+    mask = _mask_array(response_mask, old_log_probs.shape)
     ratio = (log_probs - Tensor(old_log_probs)).exp()
     surr1 = ratio * Tensor(advantages)
     surr2 = ratio.clip(1.0 - clip_ratio, 1.0 + clip_ratio) * Tensor(advantages)
     # elementwise min(surr1, surr2) via -max(-a, -b); loss is its negated mean
     per_token = -((-surr1).maximum(-surr2))
-    loss = -(per_token.mean())
+    loss = -(_masked_mean_t(per_token, mask))
     ratio_data = ratio.data
+    clipped = (
+        (ratio_data < 1.0 - clip_ratio) | (ratio_data > 1.0 + clip_ratio)
+    ).astype(np.float64)
     metrics = {
         "policy_loss": float(loss.item()),
-        "clip_frac": float(
-            np.mean(
-                (ratio_data < 1.0 - clip_ratio) | (ratio_data > 1.0 + clip_ratio)
-            )
-        ),
-        "approx_kl": float(np.mean(old_log_probs - log_probs.data)),
-        "ratio_mean": float(ratio_data.mean()),
+        "clip_frac": _masked_mean_np(clipped, mask),
+        "approx_kl": _masked_mean_np(old_log_probs - log_probs.data, mask),
+        "ratio_mean": _masked_mean_np(ratio_data, mask),
     }
     return loss, metrics
 
@@ -63,32 +95,43 @@ def value_loss(
     old_values: np.ndarray,
     returns: np.ndarray,
     clip_range: float = 0.2,
+    response_mask: Optional[np.ndarray] = None,
 ) -> Tuple[Tensor, Dict[str, float]]:
     """Clipped squared-error critic loss [55].
 
     The value prediction is clipped around the behaviour-time value to limit
     per-update movement, and the worse (max) of the two squared errors is
-    taken.
+    taken.  With ``response_mask``, padded positions are excluded from the
+    regression and its statistics.
     """
     old_values = _as_array(old_values)
     returns = _as_array(returns)
+    mask = _mask_array(response_mask, old_values.shape)
     clipped = old_values + (values - Tensor(old_values)).clip(
         -clip_range, clip_range
     )
     err = (values - Tensor(returns)) ** 2
     err_clipped = (clipped - Tensor(returns)) ** 2
-    loss = 0.5 * err.maximum(err_clipped).mean()
+    loss = 0.5 * _masked_mean_t(err.maximum(err_clipped), mask)
+    clip_hits = (np.abs(values.data - old_values) > clip_range).astype(
+        np.float64
+    )
+    if mask is None:
+        pred, target = values.data, returns
+    else:
+        keep = mask > 0
+        pred, target = values.data[keep], returns[keep]
     metrics = {
         "value_loss": float(loss.item()),
-        "value_clip_frac": float(
-            np.mean(np.abs(values.data - old_values) > clip_range)
-        ),
-        "explained_var": _explained_variance(values.data, returns),
+        "value_clip_frac": _masked_mean_np(clip_hits, mask),
+        "explained_var": _explained_variance(pred, target),
     }
     return loss, metrics
 
 
 def _explained_variance(pred: np.ndarray, target: np.ndarray) -> float:
+    if target.size == 0:
+        return 0.0
     var = float(np.var(target))
     if var < 1e-12:
         return 0.0
@@ -108,6 +151,7 @@ def kl_penalty(
     log_probs: Tensor,
     ref_log_probs: np.ndarray,
     kind: str = "k1",
+    response_mask: Optional[np.ndarray] = None,
 ) -> Tensor:
     """Differentiable KL estimate between actor and reference per token.
 
@@ -115,12 +159,13 @@ def kl_penalty(
     low-variance unbiased estimator ``exp(-d) - 1 + d`` with
     ``d = log_probs - ref_log_probs`` (used by GRPO-style losses).
     """
-    ref = Tensor(_as_array(ref_log_probs))
-    diff = log_probs - ref
+    ref_arr = _as_array(ref_log_probs)
+    mask = _mask_array(response_mask, ref_arr.shape)
+    diff = log_probs - Tensor(ref_arr)
     if kind == "k1":
-        return diff.mean()
+        return _masked_mean_t(diff, mask)
     if kind == "k3":
-        return ((-diff).exp() - 1.0 + diff).mean()
+        return _masked_mean_t((-diff).exp() - 1.0 + diff, mask)
     raise ValueError(f"unknown KL estimator {kind!r}")
 
 
@@ -131,12 +176,16 @@ def grpo_policy_loss(
     ref_log_probs: np.ndarray,
     clip_ratio: float = 0.2,
     kl_coef: float = 0.04,
+    response_mask: Optional[np.ndarray] = None,
 ) -> Tuple[Tensor, Dict[str, float]]:
     """GRPO objective [70]: PPO clip plus an explicit k3 KL-to-reference term."""
     loss, metrics = ppo_policy_loss(
-        log_probs, old_log_probs, advantages, clip_ratio
+        log_probs, old_log_probs, advantages, clip_ratio,
+        response_mask=response_mask,
     )
-    kl = kl_penalty(log_probs, ref_log_probs, kind="k3")
+    kl = kl_penalty(
+        log_probs, ref_log_probs, kind="k3", response_mask=response_mask
+    )
     total = loss + kl_coef * kl
     metrics = dict(metrics)
     metrics["kl_to_ref"] = float(kl.item())
@@ -151,6 +200,7 @@ def safe_rlhf_policy_loss(
     cost_advantages: np.ndarray,
     lagrange_multiplier: float,
     clip_ratio: float = 0.2,
+    response_mask: Optional[np.ndarray] = None,
 ) -> Tuple[Tensor, Dict[str, float]]:
     """Safe-RLHF [19]: PPO-Lagrangian on the combined advantage.
 
@@ -163,7 +213,10 @@ def safe_rlhf_policy_loss(
     combined = (reward_advantages - lagrange_multiplier * cost_advantages) / (
         1.0 + lagrange_multiplier
     )
-    loss, metrics = ppo_policy_loss(log_probs, old_log_probs, combined, clip_ratio)
+    loss, metrics = ppo_policy_loss(
+        log_probs, old_log_probs, combined, clip_ratio,
+        response_mask=response_mask,
+    )
     metrics = dict(metrics)
     metrics["lagrange_multiplier"] = float(lagrange_multiplier)
     return loss, metrics

@@ -95,6 +95,9 @@ def build_rlhf_system(
     seed: int = 0,
     pretrain_dataset=None,
     cluster=None,
+    eos_token_id: Optional[int] = None,
+    use_serving: bool = False,
+    serving_config=None,
 ) -> RlhfSystem:
     """Construct controller, pools, worker groups, and trainer.
 
@@ -114,6 +117,15 @@ def build_rlhf_system(
             instead of materialising ``cluster_spec`` — the recovery path
             passes the surviving cluster back in so re-placement runs on
             the devices that are still alive (§9).
+        eos_token_id: Generation stops per sequence at this token; the
+            pipeline then carries a ``response_mask`` column so losses and
+            advantages ignore post-EOS padding.
+        use_serving: Route actor generation through the continuous-batching
+            :class:`~repro.serving.RolloutServer` instead of the lock-step
+            sequential sampler (bit-exact per request in greedy mode).
+        serving_config: Optional :class:`~repro.serving.ServingConfig`
+            overriding the serving engine's defaults (slots, block size,
+            SLOs); eos/temperature/seed fields are filled in per call.
     """
     algo = AlgoType(algo)
     models = required_models(algo)
@@ -141,6 +153,9 @@ def build_rlhf_system(
             lr=lr,
             temperature=temperature,
             max_new_tokens=max_new_tokens,
+            eos_token_id=eos_token_id,
+            use_serving=use_serving,
+            serving_config=serving_config,
         ),
         "critic": dict(model_config=scalar_config, seed=seed + 1, lr=lr),
         "reference": dict(model_config=lm_config, seed=seed),

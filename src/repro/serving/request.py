@@ -1,0 +1,139 @@
+"""Request lifecycle state for the rollout serving engine.
+
+A request moves ``QUEUED -> RUNNING -> FINISHED``, possibly detouring
+through ``PREEMPTED`` (blocks reclaimed, KV cache dropped, re-queued for
+recompute) any number of times.  Sampled tokens survive preemption — the
+recompute prefill replays ``prompt + generated`` so the sequence resumes
+exactly where it stopped, and because the per-request rng draws once per
+emitted token, even *sampled* decoding is bit-identical with and without
+preemption.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import List, Optional
+
+import numpy as np
+
+from repro.models.tinylm import KVCache
+
+
+class RequestState(enum.Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    PREEMPTED = "preempted"
+    FINISHED = "finished"
+
+
+@dataclasses.dataclass
+class Request:
+    """One in-flight generation request and its accounting."""
+
+    request_id: int
+    prompt: np.ndarray
+    max_new_tokens: int
+    priority: int = 0
+    arrival_time: float = 0.0
+    state: RequestState = RequestState.QUEUED
+    generated: List[int] = dataclasses.field(default_factory=list)
+    log_probs: List[float] = dataclasses.field(default_factory=list)
+    #: Per-request sampling stream, independent of scheduling order.
+    rng: Optional[np.random.Generator] = dataclasses.field(
+        default=None, repr=False
+    )
+    #: Dense KV payload while resident; ``None`` when queued/preempted.
+    cache: Optional[KVCache] = dataclasses.field(default=None, repr=False)
+    #: Token positions currently cached (<= seq_len; the newest sampled
+    #: token is only cached by the *next* forward).
+    kv_len: int = 0
+    #: Scheduler steps spent eligible-but-waiting (drives priority aging).
+    wait_steps: int = 0
+    n_preemptions: int = 0
+    #: Tokens whose KV had to be recomputed after preemption.
+    recomputed_tokens: int = 0
+    first_token_time: Optional[float] = None
+    finish_time: Optional[float] = None
+    finish_reason: Optional[str] = None  # "eos" | "length"
+
+    @property
+    def prompt_length(self) -> int:
+        return int(self.prompt.shape[0])
+
+    @property
+    def seq_len(self) -> int:
+        return self.prompt_length + len(self.generated)
+
+    def tokens(self) -> np.ndarray:
+        """Full ``prompt + generated`` token ids, ``(seq_len,)``."""
+        if not self.generated:
+            return self.prompt
+        return np.concatenate(
+            [self.prompt, np.asarray(self.generated, dtype=self.prompt.dtype)]
+        )
+
+    def effective_priority(self, aging: float) -> float:
+        """Submitted priority plus aging credit — what the scheduler ranks.
+
+        With ``aging > 0`` every waiting request's rank rises without bound,
+        so any fixed-priority stream eventually yields: starvation-freedom.
+        """
+        return self.priority + aging * self.wait_steps
+
+
+@dataclasses.dataclass(frozen=True)
+class CompletedRequest:
+    """Immutable per-request record the server reports after completion."""
+
+    request_id: int
+    prompt_length: int
+    response: np.ndarray
+    log_probs: np.ndarray
+    finish_reason: str
+    priority: int
+    arrival_time: float
+    first_token_time: float
+    finish_time: float
+    n_preemptions: int
+    recomputed_tokens: int
+
+    @property
+    def response_length(self) -> int:
+        return int(self.response.shape[0])
+
+    @property
+    def ttft(self) -> float:
+        """Time to first token (queueing + prefill + first decode step)."""
+        return self.first_token_time - self.arrival_time
+
+    @property
+    def latency(self) -> float:
+        return self.finish_time - self.arrival_time
+
+    @property
+    def tpot(self) -> float:
+        """Mean time per output token after the first."""
+        if self.response_length <= 1:
+            return 0.0
+        return (self.finish_time - self.first_token_time) / (
+            self.response_length - 1
+        )
+
+    @classmethod
+    def from_request(cls, req: Request) -> "CompletedRequest":
+        if req.finish_reason is None or req.finish_time is None:
+            raise ValueError(f"request {req.request_id} has not finished")
+        return cls(
+            request_id=req.request_id,
+            prompt_length=req.prompt_length,
+            response=np.asarray(req.generated, dtype=np.int64),
+            log_probs=np.asarray(req.log_probs, dtype=np.float64),
+            finish_reason=req.finish_reason,
+            priority=req.priority,
+            arrival_time=req.arrival_time,
+            first_token_time=float(req.first_token_time),
+            finish_time=float(req.finish_time),
+            n_preemptions=req.n_preemptions,
+            recomputed_tokens=req.recomputed_tokens,
+        )

@@ -1,0 +1,173 @@
+"""Iteration-level (continuous-batching) scheduler over paged KV blocks.
+
+Orca [83] moved scheduling from request granularity to *iteration*
+granularity: after every decode step, finished sequences leave the batch and
+queued requests take their slots immediately, instead of idling until the
+wave's longest member completes.  This scheduler implements that discipline
+plus the two policies a real rollout server needs on top:
+
+* **Priority with aging** — requests are ranked by ``priority + aging *
+  wait_steps`` (ties broken by arrival, then id).  Any positive aging rate
+  makes the rank of a waiting request grow without bound, so a low-priority
+  request can be overtaken only finitely often: no starvation.
+* **Preempt-and-recompute** — when the block pool cannot cover a running
+  sequence's next token, the lowest-ranked *other* runner is evicted: its
+  blocks return to the pool, its dense KV cache is freed
+  (:meth:`repro.models.tinylm.KVCache.free`), and it re-queues keeping its
+  sampled tokens.  On re-admission a single prefill over ``prompt +
+  generated`` rebuilds the cache — vLLM's recomputation recovery, which
+  trades FLOPs for never swapping KV off-device.
+
+Admission is head-of-line: if the highest-ranked eligible request does not
+fit the free blocks, nothing behind it is admitted this step.  Skipping
+ahead to smaller requests would starve long prompts under memory pressure —
+exactly the failure mode the aging term exists to rule out.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+from repro.serving.paged_kv import BlockExhausted, PagedKVCache
+from repro.serving.request import Request, RequestState
+
+
+@dataclasses.dataclass(frozen=True)
+class SchedulerConfig:
+    """Knobs of the continuous-batching policy."""
+
+    #: Decode slots per step (the engine's max batch size).
+    max_slots: int = 8
+    #: Priority gained per eligible-but-waiting step; > 0 => starvation-free.
+    aging: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.max_slots < 1:
+            raise ValueError(f"max_slots must be >= 1, got {self.max_slots}")
+        if self.aging < 0:
+            raise ValueError(f"aging must be >= 0, got {self.aging}")
+
+
+class ContinuousBatchScheduler:
+    """Slot refill, priority ranking, and block-pressure preemption."""
+
+    def __init__(self, config: SchedulerConfig, kv: PagedKVCache) -> None:
+        self.config = config
+        self.kv = kv
+        self.waiting: List[Request] = []
+        self.running: List[Request] = []
+        self.n_admissions = 0
+        self.n_preemptions = 0
+
+    # -- ranking ---------------------------------------------------------------------
+
+    def rank_key(self, req: Request) -> Tuple[float, float, int]:
+        """Sort key: best-ranked first (highest effective priority)."""
+        return (
+            -req.effective_priority(self.config.aging),
+            req.arrival_time,
+            req.request_id,
+        )
+
+    # -- admission -------------------------------------------------------------------
+
+    def add(self, req: Request) -> None:
+        req.state = RequestState.QUEUED
+        self.waiting.append(req)
+
+    def schedule(self, now: float) -> List[Request]:
+        """Refill free slots from the queue; returns newly admitted requests.
+
+        An admitted request gets blocks reserved for its full current
+        context (``prompt + generated``) — what the prefill this step will
+        cache.  Requests not yet arrived are ignored; the rest accrue one
+        waiting step each.
+        """
+        admitted: List[Request] = []
+        while len(self.running) < self.config.max_slots:
+            eligible = [r for r in self.waiting if r.arrival_time <= now]
+            if not eligible:
+                break
+            head = min(eligible, key=self.rank_key)
+            if not self.kv.can_reserve(head.request_id, head.seq_len):
+                break  # head-of-line: wait for blocks rather than starve it
+            self.kv.reserve(head.request_id, head.seq_len)
+            self.waiting.remove(head)
+            head.state = RequestState.RUNNING
+            self.running.append(head)
+            admitted.append(head)
+            self.n_admissions += 1
+        for req in self.waiting:
+            if req.arrival_time <= now:
+                req.wait_steps += 1
+        return admitted
+
+    # -- block pressure --------------------------------------------------------------
+
+    def ensure_decode_blocks(self, req: Request) -> None:
+        """Reserve KV space for ``req``'s next token, evicting if needed.
+
+        Victims are the worst-ranked *other* runners; ``req`` itself is
+        never evicted (the server validates at submit time that any single
+        request fits the whole pool, so the loop terminates).
+        """
+        target = req.kv_len + 1
+        while not self.kv.can_reserve(req.request_id, target):
+            victim = self._pick_victim(exclude=req)
+            if victim is None:
+                raise BlockExhausted(
+                    self.kv.blocks_needed(target),
+                    self.kv.blocks_free,
+                    self.kv.n_blocks,
+                )
+            self.preempt(victim)
+        self.kv.reserve(req.request_id, target)
+
+    def _pick_victim(self, exclude: Request) -> Optional[Request]:
+        candidates = [r for r in self.running if r is not exclude]
+        if not candidates:
+            return None
+        return max(candidates, key=self.rank_key)
+
+    def preempt(self, victim: Request) -> None:
+        """Evict a runner: blocks back to the pool, KV dropped, re-queued."""
+        self.kv.release(victim.request_id)
+        if victim.cache is not None:
+            victim.cache.free()
+            victim.cache = None
+        victim.recomputed_tokens += victim.kv_len
+        victim.kv_len = 0
+        victim.state = RequestState.PREEMPTED
+        victim.n_preemptions += 1
+        self.running.remove(victim)
+        self.waiting.append(victim)
+        self.n_preemptions += 1
+
+    # -- completion ------------------------------------------------------------------
+
+    def finish(self, req: Request) -> None:
+        """Release a finished runner's blocks and cache, free its slot."""
+        self.kv.release(req.request_id)
+        if req.cache is not None:
+            req.cache.free()
+            req.cache = None
+        req.state = RequestState.FINISHED
+        self.running.remove(req)
+
+    # -- invariants (asserted by tests) ----------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise ``AssertionError`` if the block accounting drifted."""
+        assert self.kv.blocks_in_use <= self.kv.n_blocks
+        assert len(self.running) <= self.config.max_slots
+        for req in self.running:
+            held = len(self.kv.block_table(req.request_id))
+            assert held == self.kv.blocks_needed(req.kv_len), (
+                f"request {req.request_id}: holds {held} blocks for "
+                f"kv_len {req.kv_len}"
+            )
+        for req in self.waiting:
+            assert not self.kv.block_table(req.request_id), (
+                f"queued request {req.request_id} still holds blocks"
+            )

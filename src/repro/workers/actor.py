@@ -14,11 +14,14 @@ from typing import Dict, Optional
 
 import numpy as np
 
+import dataclasses
+
 from repro.data.batch import DataBatch
 from repro.hybrid_engine.engine import HybridEngine3D
-from repro.models.sampler import generate
+from repro.models.sampler import GenerationOutput, generate
 from repro.models.tinylm import TinyLM
 from repro.rlhf import losses as L
+from repro.serving import RolloutServer, ServingConfig
 from repro.single_controller.decorator import register
 from repro.single_controller.worker import WorkerContext
 from repro.models.tinylm import TinyLMConfig
@@ -39,6 +42,9 @@ class ActorWorker(ThreeDParallelWorker):
         clip_ratio: float = 0.2,
         temperature: float = 1.0,
         max_new_tokens: int = 8,
+        eos_token_id: Optional[int] = None,
+        use_serving: bool = False,
+        serving_config: Optional[ServingConfig] = None,
     ) -> None:
         super().__init__(
             ctx,
@@ -51,6 +57,14 @@ class ActorWorker(ThreeDParallelWorker):
         self.clip_ratio = clip_ratio
         self.temperature = temperature
         self.max_new_tokens = max_new_tokens
+        #: With an EOS id, generation stops per sequence and the output
+        #: batch carries a ``response_mask`` column the whole pipeline
+        #: respects (losses/advantages ignore post-EOS padding).
+        self.eos_token_id = eos_token_id
+        #: Route generation through the continuous-batching RolloutServer
+        #: (bit-exact with the sequential sampler in greedy mode).
+        self.use_serving = use_serving
+        self.serving_config = serving_config
         self._gen_calls = 0
 
     # -- engine plumbing -------------------------------------------------------------
@@ -89,30 +103,40 @@ class ActorWorker(ThreeDParallelWorker):
         if self._is_gen_replica_lead():
             full = engine.materialize_generation_replica(self)
             model = self._build_model(full, requires_grad=False)
-            # local_rank, not global_rank: sampling must not depend on which
-            # physical devices host the pool, or recovery re-placement onto
-            # survivors would diverge from the uninterrupted run (§9).
-            rng = np.random.default_rng(
-                (self.seed, self.ctx.local_rank, self._gen_calls)
-            )
-            out = generate(
-                model,
-                batch["prompts"],
-                max_new_tokens=max_new_tokens or self.max_new_tokens,
-                temperature=self.temperature,
-                greedy=not do_sample,
-                rng=rng,
-            )
+            n_tokens = max_new_tokens or self.max_new_tokens
+            if self.use_serving:
+                out = self._serve_generate(
+                    model, batch["prompts"], n_tokens, do_sample
+                )
+            else:
+                # local_rank, not global_rank: sampling must not depend on
+                # which physical devices host the pool, or recovery
+                # re-placement onto survivors would diverge from the
+                # uninterrupted run (§9).
+                rng = np.random.default_rng(
+                    (self.seed, self.ctx.local_rank, self._gen_calls)
+                )
+                out = generate(
+                    model,
+                    batch["prompts"],
+                    max_new_tokens=n_tokens,
+                    temperature=self.temperature,
+                    greedy=not do_sample,
+                    rng=rng,
+                    eos_token_id=self.eos_token_id,
+                )
             self.ctx.device.memory.alloc(
                 f"{self.tag}/kv_cache", out.kv_cache_bytes
             )
+            columns = {
+                "prompts": batch["prompts"],
+                "sequences": out.sequences,
+                "old_log_probs": out.response_log_probs,
+            }
+            if out.response_mask is not None:
+                columns["response_mask"] = out.response_mask
             self._stashed_output = DataBatch(
-                {
-                    "prompts": batch["prompts"],
-                    "sequences": out.sequences,
-                    "old_log_probs": out.response_log_probs,
-                },
-                meta={"prompt_length": out.prompt_length},
+                columns, meta={"prompt_length": out.prompt_length}
             )
         result = self._stashed_output if self._is_gen_replica_lead() else None
 
@@ -121,6 +145,75 @@ class ActorWorker(ThreeDParallelWorker):
             self._release_kv_caches()
             engine.to_training()  # Figure 7 step 4
         return result
+
+    def _serve_generate(
+        self,
+        model: TinyLM,
+        prompts: np.ndarray,
+        max_new_tokens: int,
+        do_sample: bool,
+    ) -> GenerationOutput:
+        """Serving-backed generation: route the micro-batch through a
+        :class:`~repro.serving.RolloutServer` on this rank's device.
+
+        Each prompt becomes one request; the engine decodes them with
+        continuous batching and paged KV blocks charged against this
+        worker's simulated device.  Results are reassembled into the same
+        fixed-width :class:`GenerationOutput` the sequential sampler
+        produces — in greedy mode the two are bit-exact per request.  The
+        per-request rng seeds extend the worker's ``(seed, local_rank,
+        gen_calls)`` discipline, so serving stays deterministic across
+        recovery re-placement too.
+        """
+        base = self.serving_config or ServingConfig()
+        config = dataclasses.replace(
+            base,
+            eos_token_id=self.eos_token_id,
+            temperature=self.temperature,
+            greedy=not do_sample,
+            seed=(self.seed, self.ctx.local_rank, self._gen_calls),
+        )
+        controller = getattr(self.ctx.group, "controller", None)
+        server = RolloutServer(
+            model,
+            config,
+            device=self.ctx.device,
+            tracer=getattr(controller, "tracer", None),
+            metrics=getattr(controller, "metrics", None),
+        )
+        for row in prompts:
+            server.submit(row, max_new_tokens=max_new_tokens)
+        report = server.drain()
+
+        batch, prompt_len = prompts.shape
+        pad = (
+            self.eos_token_id
+            if config.pad_token_id is None
+            else config.pad_token_id
+        )
+        sequences = np.concatenate(
+            [
+                prompts,
+                np.full(
+                    (batch, max_new_tokens), pad or 0, dtype=prompts.dtype
+                ),
+            ],
+            axis=1,
+        )
+        log_probs = np.zeros((batch, max_new_tokens))
+        mask = np.zeros((batch, max_new_tokens))
+        for done in report.completed:
+            i, n = done.request_id, done.response_length
+            sequences[i, prompt_len : prompt_len + n] = done.response
+            log_probs[i, :n] = done.log_probs
+            mask[i, :n] = 1.0
+        return GenerationOutput(
+            sequences=sequences,
+            response_log_probs=log_probs,
+            prompt_length=prompt_len,
+            kv_cache_bytes=report.peak_kv_bytes,
+            response_mask=mask if self.eos_token_id is not None else None,
+        )
 
     def _gather_generation_results(self) -> None:
         """Step ③: all-gather generated sequences within micro-DP groups."""
@@ -228,9 +321,11 @@ class ActorWorker(ThreeDParallelWorker):
             ]
             old = batch["old_log_probs"]
             advantages = batch["advantages"]
+            mask = batch["response_mask"] if "response_mask" in batch else None
             if loss_func in ("ppo", "remax"):
                 loss, metrics = L.ppo_policy_loss(
-                    logp, old, advantages, self.clip_ratio
+                    logp, old, advantages, self.clip_ratio,
+                    response_mask=mask,
                 )
             elif loss_func == "safe-rlhf":
                 loss, metrics = L.safe_rlhf_policy_loss(
@@ -240,6 +335,7 @@ class ActorWorker(ThreeDParallelWorker):
                     batch["cost_advantages"],
                     lagrange_multiplier,
                     self.clip_ratio,
+                    response_mask=mask,
                 )
                 if pretrain_batch is not None:
                     ptx_logp = model.token_log_probs(pretrain_batch["tokens"])
@@ -255,6 +351,7 @@ class ActorWorker(ThreeDParallelWorker):
                     batch["ref_log_probs"],
                     self.clip_ratio,
                     kl_coef,
+                    response_mask=mask,
                 )
             else:
                 raise ValueError(f"unknown actor loss {loss_func!r}")

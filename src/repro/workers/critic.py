@@ -75,8 +75,13 @@ class CriticWorker(ThreeDParallelWorker):
         def compute(model: TinyLM):
             prompt_len = batch.meta["prompt_length"]
             values = model.values(batch["sequences"])[:, prompt_len - 1 : -1]
+            mask = batch["response_mask"] if "response_mask" in batch else None
             return L.value_loss(
-                values, batch["values"], batch["returns"], self.value_clip
+                values,
+                batch["values"],
+                batch["returns"],
+                self.value_clip,
+                response_mask=mask,
             )
 
         return self.replica_train_step(compute)

@@ -19,6 +19,23 @@ from repro.single_controller.worker import Worker, WorkerContext
 from repro.workers.base import ThreeDParallelWorker
 
 
+def _sequence_scores(model: TinyLM, batch: DataBatch) -> np.ndarray:
+    """Scalar-head score of each sequence at its last *real* token.
+
+    Without a ``response_mask`` this is the final position (the historical
+    behaviour); with one (EOS sampling), scoring the padded final column
+    would judge the response by its padding, so the score is gathered at
+    ``prompt_length + response_length - 1`` per row instead.
+    """
+    if "response_mask" not in batch:
+        return model.sequence_reward(batch["sequences"]).data
+    values = model.values(batch["sequences"]).data
+    prompt_len = batch.meta["prompt_length"]
+    lengths = batch["response_mask"].sum(axis=1).astype(np.int64)
+    last = prompt_len + np.maximum(lengths, 1) - 1
+    return values[np.arange(values.shape[0]), last]
+
+
 class ReferenceWorker(ThreeDParallelWorker):
     """The frozen reference policy: one forward pass per batch."""
 
@@ -72,7 +89,7 @@ class RewardWorker(ThreeDParallelWorker):
     @register(protocol="3d_proto")
     def compute_reward(self, batch: DataBatch) -> Optional[DataBatch]:
         def compute(model: TinyLM):
-            scores = model.sequence_reward(batch["sequences"]).data
+            scores = _sequence_scores(model, batch)
             return batch.select(["sequences"]).union(
                 DataBatch({self.score_column: scores}, meta=batch.meta)
             )
@@ -151,7 +168,7 @@ class CostWorker(RewardWorker):
             return batch.select(["sequences"]).union(
                 DataBatch(
                     {
-                        "costs": values[:, -1],
+                        "costs": _sequence_scores(model, batch),
                         "cost_values": values[:, prompt_len - 1 : -1],
                     },
                     meta=batch.meta,

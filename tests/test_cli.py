@@ -122,3 +122,63 @@ class TestFaults:
         assert main(["faults", "--iterations", "2"]) == 0
         out = capsys.readouterr().out
         assert "recovery: 0 failure(s)" in out
+
+
+class TestServe:
+    def test_matched_workload_cross_checks_against_analytic_model(self, capsys):
+        assert main(["serve", "--requests", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "slot utilisation" in out
+        assert "static wave batching" in out
+        assert "analytic cross-check" in out
+        assert "[ok]" in out
+        assert "MISMATCH" not in out
+
+    def test_bursty_prioritised_run_with_slos(self, capsys):
+        assert main(
+            [
+                "serve",
+                "--requests",
+                "10",
+                "--eos",
+                "0",
+                "--arrival-rate",
+                "0.5",
+                "--priority-levels",
+                "3",
+                "--slo-ttft",
+                "0.5",
+                "--slo-latency",
+                "1.0",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "SLO attainment" in out
+        assert "eos=" in out
+
+    def test_tight_blocks_force_preemption(self, capsys):
+        assert main(
+            [
+                "serve",
+                "--requests",
+                "8",
+                "--prompt-length",
+                "6",
+                "--mean-response",
+                "8",
+                "--max-response",
+                "12",
+                "--slots",
+                "4",
+                "--block-size",
+                "4",
+                "--blocks",
+                "9",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "preemptions          : 0" not in out
+        assert "tokens recomputed" in out
+
+    def test_rejects_bad_priority_levels(self, capsys):
+        assert main(["serve", "--priority-levels", "0"]) == 2

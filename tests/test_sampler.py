@@ -110,3 +110,84 @@ class TestGenerate:
             generate(model, np.zeros(4, dtype=int), 2)
         with pytest.raises(ValueError):
             generate(model, np.zeros((1, 2), dtype=int), 0)
+
+
+class TestEosTermination:
+    def test_mask_marks_eos_and_padding(self, model):
+        prompts = np.ones((4, 4), dtype=int)
+        out = generate(
+            model,
+            prompts,
+            max_new_tokens=8,
+            rng=np.random.default_rng(11),
+            eos_token_id=2,
+        )
+        assert out.response_mask is not None
+        assert out.response_mask.shape == out.responses.shape
+        for row, mask in zip(out.responses, out.response_mask):
+            n = int(mask.sum())
+            assert n >= 1
+            # contiguous ones then zeros; EOS (if hit) is the last real token
+            np.testing.assert_array_equal(
+                mask, ([1.0] * n + [0.0] * (8 - n))
+            )
+            if n < 8:
+                assert row[n - 1] == 2
+                assert not (row[:n - 1] == 2).any()
+
+    def test_padding_uses_pad_token_and_zero_logp(self, model):
+        prompts = np.ones((4, 4), dtype=int)
+        out = generate(
+            model,
+            prompts,
+            max_new_tokens=8,
+            rng=np.random.default_rng(11),
+            eos_token_id=2,
+            pad_token_id=0,
+        )
+        dead = out.response_mask == 0.0
+        assert (out.responses[dead] == 0).all()
+        assert (out.response_log_probs[dead] == 0.0).all()
+
+    def test_response_lengths_property(self, model):
+        prompts = np.ones((3, 4), dtype=int)
+        out = generate(
+            model,
+            prompts,
+            max_new_tokens=6,
+            rng=np.random.default_rng(12),
+            eos_token_id=2,
+        )
+        np.testing.assert_array_equal(
+            out.response_lengths, out.response_mask.sum(axis=1).astype(int)
+        )
+
+    def test_no_eos_is_bit_identical_to_legacy_path(self, model):
+        # The EOS machinery consumes rng draws in lock-step for finished
+        # rows, so running without an EOS token must match the historical
+        # output exactly — and carry no mask.
+        prompts = np.ones((3, 4), dtype=int)
+        legacy = generate(model, prompts, 6, rng=np.random.default_rng(13))
+        out = generate(model, prompts, 6, rng=np.random.default_rng(13))
+        np.testing.assert_array_equal(legacy.sequences, out.sequences)
+        assert out.response_mask is None
+
+    def test_live_rows_unaffected_by_others_finishing(self, model):
+        # Greedy decode: a row's tokens before its own EOS must be identical
+        # with and without EOS termination enabled (row independence).
+        prompts = np.arange(12, dtype=int).reshape(3, 4) % 13
+        plain = generate(model, prompts, 8, greedy=True,
+                         rng=np.random.default_rng(0))
+        eos = generate(model, prompts, 8, greedy=True,
+                       rng=np.random.default_rng(0), eos_token_id=2)
+        for row in range(3):
+            n = int(eos.response_mask[row].sum())
+            np.testing.assert_array_equal(
+                eos.responses[row, :n], plain.responses[row, :n]
+            )
+
+    def test_eos_must_be_in_vocab(self, model):
+        with pytest.raises(ValueError):
+            generate(
+                model, np.ones((1, 2), dtype=int), 2, eos_token_id=13
+            )

@@ -1,0 +1,486 @@
+"""Tests for the continuous-batching rollout serving engine.
+
+Covers the paged block manager's budget accounting, the scheduler's
+priority/aging/preemption policies, the engine's bit-exactness against the
+sequential sampler, and the cross-check against the analytic schedule in
+``repro.perf.continuous_batching``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.device import SimDevice
+from repro.config import GpuSpec
+from repro.models.sampler import generate
+from repro.models.tinylm import TinyLM, TinyLMConfig
+from repro.perf.continuous_batching import (
+    continuous_schedule_stats,
+    static_schedule_stats,
+)
+from repro.serving import (
+    BlockExhausted,
+    PagedKVCache,
+    RolloutServer,
+    ServingConfig,
+    kv_bytes_per_token,
+    static_batch_steps,
+)
+
+CFG = TinyLMConfig(
+    n_layers=2,
+    hidden_size=16,
+    n_heads=2,
+    ffn_hidden_size=24,
+    vocab_size=13,
+    max_seq_len=48,
+)
+
+
+@pytest.fixture
+def model():
+    return TinyLM(CFG, seed=4)
+
+
+def make_server(model, **overrides):
+    defaults = dict(max_slots=4, block_size=4, greedy=True)
+    defaults.update(overrides)
+    return RolloutServer(model, ServingConfig(**defaults))
+
+
+def submit_all(server, prompts, budgets, **kwargs):
+    for row, budget in zip(prompts, budgets):
+        server.submit(row, max_new_tokens=int(budget), **kwargs)
+
+
+def drain_with_invariants(server, max_steps=10_000):
+    """Drain while asserting the block accounting after every step."""
+    while server.pending:
+        server.step()
+        server.scheduler.check_invariants()
+        if server._steps > max_steps:
+            raise RuntimeError("did not drain")
+    return server.report()
+
+
+class TestPagedKVCache:
+    def test_blocks_needed_rounds_up(self):
+        kv = PagedKVCache(CFG, block_size=4, n_blocks=8)
+        assert kv.blocks_needed(1) == 1
+        assert kv.blocks_needed(4) == 1
+        assert kv.blocks_needed(5) == 2
+        assert kv.blocks_needed(0) == 0
+
+    def test_reserve_release_roundtrip(self):
+        kv = PagedKVCache(CFG, block_size=4, n_blocks=8)
+        kv.reserve(0, 6)
+        assert kv.blocks_in_use == 2
+        assert len(kv.block_table(0)) == 2
+        kv.reserve(0, 7)  # same block count: no new allocation
+        assert kv.blocks_in_use == 2
+        kv.reserve(0, 9)
+        assert kv.blocks_in_use == 3
+        kv.release(0)
+        assert kv.blocks_in_use == 0
+        assert kv.block_table(0) == []
+
+    def test_exhaustion_raises_with_counts(self):
+        kv = PagedKVCache(CFG, block_size=4, n_blocks=2)
+        kv.reserve(0, 8)
+        with pytest.raises(BlockExhausted) as exc:
+            kv.reserve(1, 4)
+        assert exc.value.free == 0
+        assert exc.value.total == 2
+
+    def test_bytes_accounting_tracks_blocks(self):
+        kv = PagedKVCache(CFG, block_size=4, n_blocks=8)
+        per_block = kv_bytes_per_token(CFG) * 4
+        kv.reserve(0, 5)
+        assert kv.bytes_in_use() == 2 * per_block
+        kv.reserve(1, 3)
+        assert kv.peak_bytes_in_use() == 3 * per_block
+        kv.release(0)
+        kv.release(1)
+        assert kv.bytes_in_use() == 0
+        assert kv.peak_bytes_in_use() == 3 * per_block
+
+    def test_device_ledger_charged_and_freed(self):
+        device = SimDevice(0, 0, GpuSpec())
+        kv = PagedKVCache(CFG, block_size=4, n_blocks=8, device=device)
+        kv.reserve(0, 8)
+        assert device.memory.bytes_for("serving/kv_blocks") == kv.bytes_in_use()
+        kv.release(0)
+        assert device.memory.bytes_for("serving/kv_blocks") == 0
+
+
+class TestScheduling:
+    def test_priority_order_of_admission(self, model):
+        server = make_server(model, max_slots=1)
+        rng = np.random.default_rng(0)
+        prompts = rng.integers(0, CFG.vocab_size, size=(3, 4))
+        server.submit(prompts[0], max_new_tokens=2, priority=0)
+        server.submit(prompts[1], max_new_tokens=2, priority=5)
+        server.submit(prompts[2], max_new_tokens=2, priority=1)
+        report = server.drain()
+        finish = {r.request_id: r.finish_time for r in report.completed}
+        assert finish[1] < finish[2] < finish[0]
+
+    @staticmethod
+    def _streaming_workload(server):
+        """One low-priority request at t=0 plus a stream of high-priority
+        arrivals timed so a fresh one is always waiting (1 slot, 2 steps
+        per request)."""
+        rng = np.random.default_rng(1)
+        low = server.submit(
+            rng.integers(0, CFG.vocab_size, size=4),
+            max_new_tokens=2,
+            priority=0,
+            arrival_time=0.0,
+        )
+        step = server.config.step_time
+        for i in range(20):
+            server.submit(
+                rng.integers(0, CFG.vocab_size, size=4),
+                max_new_tokens=2,
+                priority=10,
+                arrival_time=2 * i * step,
+            )
+        return low
+
+    def test_aging_prevents_starvation(self, model):
+        # Aging raises the waiting request's effective priority without
+        # bound, so it must overtake the stream of fresh priority-10
+        # arrivals instead of finishing last.
+        server = make_server(model, max_slots=1, aging=1.0, step_time=1.0)
+        low = self._streaming_workload(server)
+        report = server.drain()
+        order = [r.request_id for r in sorted(
+            report.completed, key=lambda r: r.finish_time
+        )]
+        assert order.index(low) < len(order) - 5
+
+    def test_no_aging_starves_low_priority(self, model):
+        # Control: aging disabled, the same stream starves the low request
+        # until every high-priority arrival has been served.
+        server = make_server(model, max_slots=1, aging=0.0, step_time=1.0)
+        low = self._streaming_workload(server)
+        report = server.drain()
+        order = [r.request_id for r in sorted(
+            report.completed, key=lambda r: r.finish_time
+        )]
+        assert order[-1] == low
+
+    def test_arrivals_respected(self, model):
+        server = make_server(model, max_slots=4, step_time=1.0)
+        rng = np.random.default_rng(2)
+        server.submit(
+            rng.integers(0, CFG.vocab_size, size=4), 2, arrival_time=0.0
+        )
+        late = server.submit(
+            rng.integers(0, CFG.vocab_size, size=4), 2, arrival_time=5.0
+        )
+        report = server.drain()
+        by_id = {r.request_id: r for r in report.completed}
+        assert by_id[late].first_token_time > 5.0
+
+    def test_submit_rejects_oversized_and_unschedulable(self, model):
+        server = make_server(model, n_blocks=2, block_size=4)
+        prompt = np.zeros(4, dtype=int)
+        with pytest.raises(ValueError):
+            server.submit(prompt, max_new_tokens=CFG.max_seq_len)
+        with pytest.raises(ValueError):
+            # 4 + 8 tokens needs 3 blocks; the pool only ever has 2
+            server.submit(prompt, max_new_tokens=8)
+        with pytest.raises(ValueError):
+            server.submit(np.zeros((2, 4), dtype=int), max_new_tokens=2)
+        with pytest.raises(ValueError):
+            server.submit(prompt, max_new_tokens=0)
+
+
+class TestBlockBudget:
+    def test_blocks_never_exceed_budget_under_pressure(self, model):
+        server = make_server(model, max_slots=4, n_blocks=9, block_size=4)
+        rng = np.random.default_rng(3)
+        prompts = rng.integers(0, CFG.vocab_size, size=(8, 6))
+        submit_all(server, prompts, [10] * 8)
+        peaks = []
+        while server.pending:
+            server.step()
+            server.scheduler.check_invariants()
+            peaks.append(server.kv.blocks_in_use)
+        assert max(peaks) <= 9
+        report = server.report()
+        assert report.n_preemptions > 0
+        assert report.peak_kv_blocks <= 9
+        assert server.kv.blocks_in_use == 0
+
+    def test_preemption_frees_cache_and_ledger(self, model):
+        device = SimDevice(0, 0, GpuSpec())
+        server = RolloutServer(
+            model,
+            ServingConfig(max_slots=4, n_blocks=9, block_size=4, greedy=True),
+            device=device,
+        )
+        rng = np.random.default_rng(3)
+        prompts = rng.integers(0, CFG.vocab_size, size=(8, 6))
+        submit_all(server, prompts, [10] * 8)
+        saw_preempted_free = False
+        while server.pending:
+            server.step()
+            tag = device.memory.bytes_for("serving/kv_blocks")
+            assert tag == server.kv.bytes_in_use()
+            for req in server.scheduler.waiting:
+                if req.n_preemptions:
+                    assert req.cache is None and req.kv_len == 0
+                    saw_preempted_free = True
+        assert saw_preempted_free
+        assert device.memory.bytes_for("serving/kv_blocks") == 0
+
+
+class TestBitExactness:
+    def test_greedy_matches_sequential_generate(self, model):
+        rng = np.random.default_rng(5)
+        prompts = rng.integers(0, CFG.vocab_size, size=(6, 5))
+        sequential = generate(model, prompts, max_new_tokens=7, greedy=True)
+        server = make_server(model, max_slots=3)
+        submit_all(server, prompts, [7] * 6)
+        report = server.drain()
+        for r in report.completed:
+            np.testing.assert_array_equal(
+                r.response, sequential.responses[r.request_id]
+            )
+            np.testing.assert_allclose(
+                r.log_probs,
+                sequential.response_log_probs[r.request_id],
+                rtol=0,
+                atol=0,
+            )
+
+    def test_greedy_exact_across_preemption(self, model):
+        rng = np.random.default_rng(5)
+        prompts = rng.integers(0, CFG.vocab_size, size=(8, 6))
+        sequential = generate(model, prompts, max_new_tokens=10, greedy=True)
+        server = make_server(model, max_slots=4, n_blocks=9, block_size=4)
+        submit_all(server, prompts, [10] * 8)
+        report = drain_with_invariants(server)
+        assert report.n_preemptions > 0
+        for r in report.completed:
+            np.testing.assert_array_equal(
+                r.response, sequential.responses[r.request_id]
+            )
+
+    def test_greedy_eos_matches_sequential_generate(self, model):
+        rng = np.random.default_rng(6)
+        prompts = rng.integers(0, CFG.vocab_size, size=(6, 5))
+        sequential = generate(
+            model, prompts, max_new_tokens=9, greedy=True, eos_token_id=2
+        )
+        server = make_server(model, max_slots=3, eos_token_id=2)
+        submit_all(server, prompts, [9] * 6)
+        report = server.drain()
+        for r in report.completed:
+            n = r.response_length
+            assert n == int(sequential.response_mask[r.request_id].sum())
+            np.testing.assert_array_equal(
+                r.response, sequential.responses[r.request_id][:n]
+            )
+
+    def test_sampled_decoding_invariant_under_preemption(self, model):
+        # Per-request rngs consume one draw per emitted token, so evicting
+        # and recomputing a sequence must not change what it samples.
+        rng = np.random.default_rng(7)
+        prompts = rng.integers(0, CFG.vocab_size, size=(8, 6))
+        roomy = make_server(model, max_slots=4, greedy=False, seed=11)
+        tight = make_server(
+            model, max_slots=4, greedy=False, seed=11, n_blocks=9, block_size=4
+        )
+        submit_all(roomy, prompts, [10] * 8)
+        submit_all(tight, prompts, [10] * 8)
+        r_roomy = roomy.drain()
+        r_tight = drain_with_invariants(tight)
+        assert r_roomy.n_preemptions == 0
+        assert r_tight.n_preemptions > 0
+        for a, b in zip(r_roomy.completed, r_tight.completed):
+            assert a.request_id == b.request_id
+            np.testing.assert_array_equal(
+                a.response, b.response
+            )
+
+
+class TestAnalyticCrossCheck:
+    def test_step_accounting_matches_analytic_model(self, model):
+        # Matched workload: all requests at t=0, fixed lengths, no
+        # preemption.  The engine must replay the Orca schedule exactly.
+        rng = np.random.default_rng(8)
+        lengths = rng.integers(2, 12, size=10)
+        prompts = rng.integers(0, CFG.vocab_size, size=(10, 4))
+        server = make_server(model, max_slots=4)
+        submit_all(server, prompts, lengths)
+        report = server.drain()
+        n_steps, util = continuous_schedule_stats(lengths, 4)
+        assert report.n_steps == n_steps
+        assert report.slot_utilisation == pytest.approx(util, abs=1e-12)
+        assert report.total_tokens == int(lengths.sum())
+
+    def test_fewer_steps_than_static_batching(self, model):
+        # With EOS sampling, response lengths vary and continuous batching
+        # must beat the wave schedule on the same realised lengths.
+        rng = np.random.default_rng(9)
+        prompts = rng.integers(0, CFG.vocab_size, size=(12, 4))
+        server = make_server(
+            model, max_slots=4, greedy=False, eos_token_id=2, seed=3
+        )
+        submit_all(server, prompts, [12] * 12)
+        report = server.drain()
+        assert "eos" in report.finish_reasons()
+        realised = [r.response_length for r in report.completed]
+        assert len(set(realised)) > 1  # the workload is actually variable
+        assert report.n_steps < static_batch_steps(realised, 4)
+        # and the measured utilisation matches the analytic schedule
+        n_steps, util = continuous_schedule_stats(realised, 4)
+        assert report.n_steps == n_steps
+        assert report.slot_utilisation == pytest.approx(util, rel=0.05)
+
+    def test_static_helper_matches_perf_module(self):
+        lengths = [3, 9, 2, 7, 5, 1]
+        n_steps, _ = static_schedule_stats(lengths, 2)
+        assert static_batch_steps(lengths, 2) == n_steps
+
+
+class TestLatencyAndSlo:
+    def test_latency_stats_and_slo_attainment(self, model):
+        server = make_server(
+            model,
+            max_slots=2,
+            step_time=1.0,
+            slo_ttft=2.5,
+            slo_latency=6.0,
+        )
+        rng = np.random.default_rng(10)
+        prompts = rng.integers(0, CFG.vocab_size, size=(4, 4))
+        submit_all(server, prompts, [4] * 4)
+        report = server.drain()
+        # slots=2: requests 0/1 start at step 1, requests 2/3 at step 5
+        by_id = {r.request_id: r for r in report.completed}
+        assert by_id[0].ttft == pytest.approx(1.0)
+        assert by_id[0].latency == pytest.approx(4.0)
+        assert by_id[0].tpot == pytest.approx(1.0)
+        assert by_id[2].ttft == pytest.approx(5.0)
+        assert by_id[2].latency == pytest.approx(8.0)
+        # 0 and 1 meet both SLOs; 2 and 3 miss both
+        assert report.slo_attainment() == pytest.approx(0.5)
+        assert report.mean_ttft() == pytest.approx(3.0)
+        assert report.p95_latency() > report.mean_latency()
+
+    def test_no_slo_configured_returns_none(self, model):
+        server = make_server(model)
+        server.submit(np.zeros(4, dtype=int), max_new_tokens=2)
+        report = server.drain()
+        assert report.slo_attainment() is None
+        assert report.to_dict()["n_requests"] == 1
+        assert any("slot utilisation" in line for line in report.summary_lines())
+
+
+class TestServerConfig:
+    def test_requires_lm_head(self):
+        import dataclasses
+
+        scalar = TinyLM(
+            dataclasses.replace(CFG, output_head="scalar"), seed=0
+        )
+        with pytest.raises(ValueError):
+            RolloutServer(scalar, ServingConfig())
+
+    def test_rejects_eos_outside_vocab(self, model):
+        with pytest.raises(ValueError):
+            RolloutServer(model, ServingConfig(eos_token_id=CFG.vocab_size))
+
+    def test_n_blocks_derived_from_device_memory(self, model):
+        bytes_per_block = kv_bytes_per_token(CFG) * 16
+        small = GpuSpec(memory_bytes=10 * bytes_per_block)
+        device = SimDevice(0, 0, small)
+        server = RolloutServer(
+            model,
+            ServingConfig(max_slots=8, block_size=16, memory_fraction=1.0),
+            device=device,
+        )
+        assert server.kv.n_blocks == 10
+        # without a device: capped at max_slots full-length sequences
+        roomy = RolloutServer(
+            model, ServingConfig(max_slots=2, block_size=16)
+        )
+        assert roomy.kv.n_blocks == 2 * -(-CFG.max_seq_len // 16)
+
+
+class TestWorkerIntegration:
+    """The serving-backed actor path inside a full RLHF system."""
+
+    @staticmethod
+    def _build(**kwargs):
+        from repro.config import GenParallelConfig, ParallelConfig
+        from repro.rlhf.core import AlgoType
+        from repro.runtime import build_rlhf_system
+        from repro.runtime.placement import ModelAssignment, PlacementPlan
+
+        cfg = TinyLMConfig(
+            n_layers=2,
+            hidden_size=32,
+            n_heads=4,
+            ffn_hidden_size=48,
+            vocab_size=16,
+            max_seq_len=32,
+        )
+        par = ParallelConfig(pp=1, tp=2, dp=1)
+        gen = GenParallelConfig.derive(par, 1, 1)
+        models = ("actor", "critic", "reference", "reward")
+        plan = PlacementPlan(
+            pools={"main": 2},
+            assignments={
+                m: ModelAssignment(
+                    "main", par, gen if m == "actor" else None
+                )
+                for m in models
+            },
+        )
+        return build_rlhf_system(
+            AlgoType.PPO, plan, cfg, max_new_tokens=8, lr=5e-3, **kwargs
+        )
+
+    def test_serving_actor_bit_exact_with_sequential(self):
+        from repro.data.dataset import PromptDataset
+
+        prompts = PromptDataset(
+            n_prompts=16, prompt_length=4, vocab_size=16, seed=1
+        ).batch(0, 8)
+        served = self._build(use_serving=True)
+        plain = self._build(use_serving=False)
+        a = served.groups["actor"].generate_sequences(
+            prompts, do_sample=False
+        ).get()
+        b = plain.groups["actor"].generate_sequences(
+            prompts, do_sample=False
+        ).get()
+        np.testing.assert_array_equal(a["sequences"], b["sequences"])
+        np.testing.assert_array_equal(a["old_log_probs"], b["old_log_probs"])
+
+    def test_serving_ppo_trains_with_eos_masks(self):
+        from repro.data.dataset import PromptDataset
+
+        system = self._build(eos_token_id=0, use_serving=True)
+        dataset = PromptDataset(
+            n_prompts=32, prompt_length=4, vocab_size=16, seed=1
+        )
+        history = system.trainer.train(dataset, 1, 8)
+        assert all(
+            np.isfinite(v)
+            for h in history
+            for v in h.values()
+            if isinstance(v, float)
+        )
+        # serving spans and metrics landed in the controller's registry
+        assert system.controller.metrics.total(
+            "repro_serving_tokens_total"
+        ) > 0
+        assert (
+            system.controller.tracer.counts_by_category().get("serving", 0)
+            > 0
+        )

@@ -196,3 +196,67 @@ class TestAdam:
         before = model.params["embed.weight"].data.copy()
         opt.step()  # no gradients anywhere
         np.testing.assert_allclose(model.params["embed.weight"].data, before)
+
+
+class TestKVCacheTrimFree:
+    def test_trim_keeps_prefix_and_matches_recompute(self, model, config):
+        ids = tokens(config, seq=8)
+        with no_grad():
+            cache = KVCache(config.n_layers)
+            model.forward(ids, cache=cache)
+            cache.trim(5)
+            fresh = KVCache(config.n_layers)
+            model.forward(ids[:, :5], cache=fresh)
+        assert cache.seq_len == 5
+        for k1, v1, k2, v2 in zip(
+            cache.keys, cache.values, fresh.keys, fresh.values
+        ):
+            np.testing.assert_allclose(k1, k2, atol=1e-12)
+            np.testing.assert_allclose(v1, v2, atol=1e-12)
+
+    def test_trim_shrinks_bytes_after_preemption(self, model, config):
+        # the preempt-and-recompute path in repro.serving relies on trim/free
+        # actually returning memory
+        ids = tokens(config, seq=8)
+        with no_grad():
+            cache = KVCache(config.n_layers)
+            model.forward(ids, cache=cache)
+        before = cache.nbytes()
+        cache.trim(3)
+        assert cache.nbytes() == before * 3 // 8
+        per_layer = cache.nbytes_by_layer()
+        assert len(per_layer) == config.n_layers
+        assert sum(per_layer) == cache.nbytes()
+
+    def test_trim_to_zero_and_free(self, model, config):
+        with no_grad():
+            a = KVCache(config.n_layers)
+            b = KVCache(config.n_layers)
+            model.forward(tokens(config, seq=4), cache=a)
+            model.forward(tokens(config, seq=4), cache=b)
+        a.trim(0)
+        b.free()
+        for cache in (a, b):
+            assert cache.seq_len == 0
+            assert cache.nbytes() == 0
+            assert cache.nbytes_by_layer() == [0] * config.n_layers
+
+    def test_trim_validates_bounds(self, model, config):
+        with no_grad():
+            cache = KVCache(config.n_layers)
+            model.forward(tokens(config, seq=4), cache=cache)
+        with pytest.raises(ValueError):
+            cache.trim(-1)
+        cache.trim(5)  # shrink-only: trimming past the end is a no-op
+        assert cache.seq_len == 4
+
+    def test_trim_copies_so_tail_is_released(self, model, config):
+        with no_grad():
+            cache = KVCache(config.n_layers)
+            model.forward(tokens(config, seq=8), cache=cache)
+        k_before = cache.keys[0]
+        cache.trim(4)
+        k_after = cache.keys[0]
+        # a fresh owned array, not a view pinning the full buffer
+        assert k_after.base is None
+        assert k_after is not k_before
