@@ -138,7 +138,9 @@ def main(argv=None) -> None:
         f"({', '.join(f'{k}={v}' for k, v in tracer.counts_by_category().items())})"
     )
     if args.trace:
+        from repro.analysis import TraceAuditor
         from repro.observability import write_chrome_trace
+        from repro.runtime.report import system_report_dict
         from repro.runtime.timeline import build_timeline
 
         out = write_chrome_trace(
@@ -147,6 +149,17 @@ def main(argv=None) -> None:
             spans=tracer.spans,
         )
         print(f"  wrote Chrome trace to {out} (load in chrome://tracing)")
+
+        # post-run audit: happens-before over the spans and ledgers; the
+        # findings ride along inside the machine-readable run report
+        audit = TraceAuditor().audit_system(system)
+        for line in audit.summary_lines():
+            print(f"  {line}")
+        report_doc = system_report_dict(system, analysis=audit)
+        print(
+            f"  run report embeds {len(report_doc['analysis']['findings'])} "
+            "audit finding(s)"
+        )
     if args.metrics:
         from repro.observability import collect_system_metrics, write_prometheus
 

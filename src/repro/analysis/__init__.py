@@ -1,0 +1,34 @@
+"""Static and post-hoc analysis of composed RLHF dataflows (``repro check``).
+
+Three passes behind one report type:
+
+* :class:`DataflowChecker` — pre-execution: protocol/topology compatibility,
+  batch divisibility, serving config, projected memory vs capacity.
+* :class:`TraceAuditor` — post-execution: happens-before over spans,
+  timeline overlap, memory-ledger leaks / double frees / negative balances,
+  busy-accounting consistency.
+* :class:`RepoLint` — AST rules over the source tree (seeded RNG only, no
+  wall-clock reads, no float ``==``, json via ``json_safe``, no module-state
+  mutation in workers).
+
+All findings carry a rule id (``DF1xx`` / ``TA2xx`` / ``RL3xx``), severity,
+location, and fix hint; see ``docs/ANALYSIS.md`` for the catalog.
+"""
+
+from repro.analysis.dataflow import DataflowChecker, registered_methods
+from repro.analysis.report import ERROR, WARNING, AnalysisReport, Finding
+from repro.analysis.repolint import ALL_RULES, RepoLint
+from repro.analysis.trace_audit import PERSISTENT_SUFFIXES, TraceAuditor
+
+__all__ = [
+    "ALL_RULES",
+    "AnalysisReport",
+    "DataflowChecker",
+    "ERROR",
+    "Finding",
+    "PERSISTENT_SUFFIXES",
+    "RepoLint",
+    "TraceAuditor",
+    "WARNING",
+    "registered_methods",
+]

@@ -1,0 +1,367 @@
+"""Static pre-execution checks of a composed RLHF dataflow (§4.1, Table 3).
+
+A misconfigured dataflow — a ``@register``-ed method whose transfer protocol
+cannot run on its group's topology, a global batch the DP split does not
+divide, a placement whose projected memory exceeds device capacity — fails
+today deep inside an iteration, at dispatch time.  The
+:class:`DataflowChecker` reports the same problems *before* any dispatch, as
+findings against the declarative :class:`~repro.single_controller.protocols.
+ProtocolRequires` descriptors the runtime dispatch gate itself enforces, so
+the static check and the runtime behaviour can never drift.
+
+Rules:
+
+========  ====================================================================
+``DF101``  protocol requirements vs the group's parallelism topology
+``DF102``  global batch size not divisible by a protocol's split degree
+``DF103``  serving / eos / pad configuration inconsistencies
+``DF104``  placement's projected persistent memory exceeds device capacity
+``DF105``  placement plan structure (missing roles, missing gen config)
+========  ====================================================================
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.report import ERROR, WARNING, AnalysisReport
+from repro.config import ClusterSpec, ModelSpec, RlhfWorkload
+from repro.single_controller.decorator import registered_protocol
+from repro.single_controller.protocols import get_protocol
+
+#: Worker roles holding optimizer state (their *training* footprint is the
+#: persistent one); forward-only roles persist parameters alone.
+_TRAINABLE_DEFAULT = True
+
+
+def registered_methods(worker_cls: type) -> List[Tuple[str, str]]:
+    """``(method_name, protocol_name)`` for every ``@register``-ed method."""
+    out = []
+    for name in sorted(dir(worker_cls)):
+        if name.startswith("_"):
+            continue
+        protocol = registered_protocol(getattr(worker_cls, name, None))
+        if protocol is not None:
+            out.append((name, protocol))
+    return out
+
+
+class _RoleShape:
+    """The topology facts the checker needs about one model role."""
+
+    def __init__(
+        self,
+        role: str,
+        worker_cls: type,
+        pool: str,
+        world_size: int,
+        parallel: Any,
+        gen_config: Any = None,
+        has_gen_topology: Optional[bool] = None,
+    ) -> None:
+        self.role = role
+        self.worker_cls = worker_cls
+        self.pool = pool
+        self.world_size = world_size
+        self.parallel = parallel
+        self.gen_config = gen_config
+        self.has_gen_topology = (
+            has_gen_topology
+            if has_gen_topology is not None
+            else gen_config is not None
+        )
+
+
+class DataflowChecker:
+    """Pre-execution validation of a built system or a placement plan.
+
+    Args:
+        global_batch_size: When given, every batch-splitting protocol's
+            degree must divide it (``DF102``).
+        model_specs: Role -> :class:`~repro.config.ModelSpec` for the memory
+            projection (``DF104``); roles without a spec (tiny functional
+            models, function rewards) skip the memory check.
+        workload: Sequence shape for activation/KV estimates; defaults to
+            :class:`~repro.config.RlhfWorkload` defaults.
+        cluster_spec: Device capacity for ``DF104``.
+    """
+
+    def __init__(
+        self,
+        global_batch_size: Optional[int] = None,
+        model_specs: Optional[Dict[str, ModelSpec]] = None,
+        workload: Optional[RlhfWorkload] = None,
+        cluster_spec: Optional[ClusterSpec] = None,
+    ) -> None:
+        self.global_batch_size = global_batch_size
+        self.model_specs = model_specs or {}
+        self.workload = workload or RlhfWorkload()
+        self.cluster_spec = cluster_spec
+
+    # -- entry points ----------------------------------------------------------------
+
+    def check_system(self, system: Any) -> AnalysisReport:
+        """Validate a built :class:`~repro.runtime.RlhfSystem` pre-dispatch."""
+        report = AnalysisReport("dataflow")
+        shapes = []
+        for role, group in system.groups.items():
+            shapes.append(
+                _RoleShape(
+                    role=role,
+                    worker_cls=group.worker_cls,
+                    pool=group.resource_pool.name,
+                    world_size=group.world_size,
+                    parallel=group.train_topology.config,
+                    gen_config=(
+                        group.gen_topology.config
+                        if group.gen_topology is not None
+                        else None
+                    ),
+                    has_gen_topology=group.gen_topology is not None,
+                )
+            )
+        self._check_shapes(shapes, report)
+        for role, group in system.groups.items():
+            for worker in group.workers:
+                if getattr(worker, "use_serving", False):
+                    self._check_serving(role, worker, report)
+                    break  # one finding per role, not per rank
+        return report
+
+    def check_plan(
+        self,
+        algo: Any,
+        plan: Any,
+        function_rewards: Sequence[str] = (),
+    ) -> AnalysisReport:
+        """Validate an algorithm + placement plan *before* building workers.
+
+        Args:
+            function_rewards: Roles served by a non-NN
+                :class:`~repro.workers.RewardFunctionWorker` (the builder's
+                ``reward_fn`` / ``cost_fn`` path), which registers
+                ``one_to_one`` methods instead of ``3d_proto``.
+        """
+        # imported here: repro.runtime.builder imports workers, trainers and
+        # the controller — the checker stays importable without that stack
+        from repro.rlhf.core import AlgoType
+        from repro.runtime.builder import _WORKER_CLASSES, required_models
+        from repro.workers import RewardFunctionWorker
+
+        report = AnalysisReport("dataflow")
+        algo = AlgoType(algo)
+        missing = [
+            m for m in required_models(algo) if m not in plan.assignments
+        ]
+        if missing:
+            report.add(
+                "DF105",
+                ERROR,
+                f"{algo.value} needs assignments for {missing}",
+                location="plan",
+                hint="add the missing roles to PlacementPlan.assignments",
+            )
+        if (
+            "actor" in plan.assignments
+            and plan.assignments["actor"].gen_parallel is None
+        ):
+            report.add(
+                "DF105",
+                ERROR,
+                "the actor assignment has no gen_parallel config",
+                location="plan.actor",
+                hint="derive one with GenParallelConfig.derive(parallel, ...)",
+            )
+        shapes = []
+        for role, assignment in plan.assignments.items():
+            if role in function_rewards:
+                worker_cls: type = RewardFunctionWorker
+            else:
+                worker_cls = _WORKER_CLASSES.get(role)
+            if worker_cls is None:
+                continue
+            shapes.append(
+                _RoleShape(
+                    role=role,
+                    worker_cls=worker_cls,
+                    pool=assignment.pool,
+                    world_size=assignment.parallel.world_size,
+                    parallel=assignment.parallel,
+                    gen_config=assignment.gen_parallel,
+                )
+            )
+        self._check_shapes(shapes, report)
+        return report
+
+    # -- individual passes -----------------------------------------------------------
+
+    def _check_shapes(
+        self, shapes: List[_RoleShape], report: AnalysisReport
+    ) -> None:
+        for shape in shapes:
+            self._check_protocols(shape, report)
+        self._check_memory(shapes, report)
+
+    def _check_protocols(
+        self, shape: _RoleShape, report: AnalysisReport
+    ) -> None:
+        # aggregate identical problems across a role's methods into one
+        # finding each, so a 4-method worker yields one precise diagnosis
+        by_problem: Dict[Tuple[str, str, str, str], List[str]] = {}
+        by_split: Dict[Tuple[str, int], List[str]] = {}
+        for method, protocol_name in registered_methods(shape.worker_cls):
+            protocol = get_protocol(protocol_name)
+            report.note_checked("methods")
+            for kind, severity, message in protocol.validate_shape(
+                shape.world_size, shape.parallel, shape.has_gen_topology
+            ):
+                key = (protocol_name, kind, severity, message)
+                by_problem.setdefault(key, []).append(method)
+            degree = protocol.requires.split_degree(
+                shape.parallel, shape.gen_config
+            )
+            if degree is not None and degree > 0:
+                by_split.setdefault((protocol_name, degree), []).append(method)
+        for (protocol_name, _kind, severity, message), methods in sorted(
+            by_problem.items()
+        ):
+            report.add(
+                "DF101",
+                severity,
+                f"{protocol_name} {message} "
+                f"[{shape.role}: {', '.join(methods)}]",
+                location=f"{shape.role}@{shape.pool} {shape.parallel}",
+                hint=(
+                    "pick a protocol matching the topology or reshape the "
+                    "group (Table 3)"
+                ),
+            )
+        if self.global_batch_size is not None:
+            for (protocol_name, degree), methods in sorted(by_split.items()):
+                report.note_checked("batch_splits")
+                if self.global_batch_size % degree:
+                    report.add(
+                        "DF102",
+                        ERROR,
+                        f"global batch {self.global_batch_size} is not "
+                        f"divisible by the {protocol_name} split degree "
+                        f"{degree} [{shape.role}: {', '.join(methods)}]",
+                        location=f"{shape.role}@{shape.pool} {shape.parallel}",
+                        hint=(
+                            "make the batch a multiple of every DP degree "
+                            "it is chunked into"
+                        ),
+                    )
+
+    def _check_serving(
+        self, role: str, worker: Any, report: AnalysisReport
+    ) -> None:
+        report.note_checked("serving_configs")
+        location = f"{role}.serving"
+        vocab = getattr(
+            getattr(worker, "model_config", None), "vocab_size", None
+        )
+        eos = getattr(worker, "eos_token_id", None)
+        if eos is not None and vocab is not None and not 0 <= eos < vocab:
+            report.add(
+                "DF103",
+                ERROR,
+                f"eos_token_id {eos} outside the model vocabulary "
+                f"[0, {vocab})",
+                location=location,
+                hint="the sampler can never emit it; sequences never stop",
+            )
+        cfg = getattr(worker, "serving_config", None)
+        if cfg is None:
+            return
+        if cfg.max_slots < 1:
+            report.add(
+                "DF103", ERROR,
+                f"serving max_slots must be >= 1, got {cfg.max_slots}",
+                location=location, hint="no request could ever be admitted",
+            )
+        if cfg.block_size < 1:
+            report.add(
+                "DF103", ERROR,
+                f"serving block_size must be >= 1, got {cfg.block_size}",
+                location=location, hint="KV pages need at least one token",
+            )
+        if cfg.n_blocks is not None and cfg.n_blocks < cfg.max_slots:
+            report.add(
+                "DF103",
+                WARNING,
+                f"only {cfg.n_blocks} KV blocks for {cfg.max_slots} slots; "
+                "the engine will thrash on preempt-and-recompute",
+                location=location,
+                hint="give each admissible slot at least one block",
+            )
+        pad = cfg.pad_token_id
+        if pad is not None and vocab is not None and not 0 <= pad < vocab:
+            report.add(
+                "DF103",
+                ERROR,
+                f"pad_token_id {pad} outside the model vocabulary [0, {vocab})",
+                location=location,
+                hint="padding must be a real token id",
+            )
+        if cfg.eos_token_id is not None and cfg.eos_token_id != eos:
+            report.add(
+                "DF103",
+                WARNING,
+                f"serving_config.eos_token_id={cfg.eos_token_id} differs from "
+                f"the worker's eos_token_id={eos}; the worker's value wins "
+                "per call",
+                location=location,
+                hint="drop the serving-config field or make them agree",
+            )
+
+    def _check_memory(
+        self, shapes: List[_RoleShape], report: AnalysisReport
+    ) -> None:
+        """Projected per-GPU persistent memory per pool vs capacity (App. C)."""
+        if self.cluster_spec is None or not self.model_specs:
+            return
+        from repro.perf.memory import USABLE_FRACTION, MemoryModel
+
+        usable = self.cluster_spec.gpu.memory_bytes * USABLE_FRACTION
+
+        by_pool: Dict[str, List[Tuple[str, float, float]]] = {}
+        for shape in shapes:
+            spec = self.model_specs.get(shape.role)
+            if spec is None:
+                continue
+            model = MemoryModel(spec, self.cluster_spec)
+            trainable = getattr(
+                shape.worker_cls, "trainable", _TRAINABLE_DEFAULT
+            )
+            if trainable:
+                stage = model.training(shape.parallel, self.workload)
+            else:
+                stage = model.inference(shape.parallel, self.workload)
+            by_pool.setdefault(shape.pool, []).append(
+                (shape.role, stage.persistent, stage.total - stage.persistent)
+            )
+        for pool, entries in sorted(by_pool.items()):
+            report.note_checked("pools_projected")
+            persistent = sum(p for _, p, _ in entries)
+            # colocated models execute sequentially (§2.3): transient memory
+            # peaks one model at a time, so the max rides on top
+            transient = max(t for _, _, t in entries)
+            projected = persistent + transient
+            if projected > usable:
+                roles = ", ".join(
+                    f"{role} {p / 1e9:.1f}GB" for role, p, _ in entries
+                )
+                report.add(
+                    "DF104",
+                    ERROR,
+                    f"pool {pool!r} projects {projected / 1e9:.1f} GB/GPU "
+                    f"(persistent {roles} + transient "
+                    f"{transient / 1e9:.1f}GB) but only "
+                    f"{usable / 1e9:.1f} GB is usable",
+                    location=f"pool {pool}",
+                    hint=(
+                        "raise the model-parallel degree, split the "
+                        "colocation, or use bigger devices (§6)"
+                    ),
+                )

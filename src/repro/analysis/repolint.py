@@ -1,0 +1,344 @@
+"""Repo-specific lint: ``ast`` rules encoding invariants learned the hard way.
+
+Every rule guards a reproducibility or reporting invariant this codebase
+depends on:
+
+========  ====================================================================
+``RL301``  no unseeded ``np.random.*`` / ``random.*`` global-state calls —
+           every stochastic path takes an explicit seeded ``Generator``
+``RL302``  no wall-clock reads (``time.time()``, ``datetime.now()``...) in
+           simulation code: all timing comes from the simulated clock
+``RL303``  no ``==`` / ``!=`` against float literals — model and perf
+           outputs compare with tolerances
+``RL304``  ``json.dump(s)`` only in modules that import
+           ``repro.serialization`` — reports route through ``json_safe``
+``RL305``  no module-level state mutation (``global`` statements; worker
+           methods mutating module-level containers)
+========  ====================================================================
+
+Suppression: append ``# repro-lint: ignore`` (all rules) or
+``# repro-lint: ignore[RL301,RL305]`` to the flagged line.  ``conftest.py``
+files are exempt from ``RL301`` — fixtures may own their seeding policy.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import re
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.analysis.report import ERROR, WARNING, AnalysisReport
+
+ALL_RULES = ("RL301", "RL302", "RL303", "RL304", "RL305")
+
+#: Legacy numpy global-state RNG entry points (anything except the
+#: ``default_rng`` / ``Generator`` family).
+_NP_RANDOM_OK = {"default_rng", "Generator", "SeedSequence", "PCG64"}
+_STDLIB_RANDOM_OK = {"Random", "SystemRandom"}
+_WALL_CLOCK = {
+    ("time", "time"),
+    ("time", "monotonic"),
+    ("time", "perf_counter"),
+    ("time", "process_time"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+    ("date", "today"),
+}
+_MUTATORS = {
+    "append", "extend", "insert", "add", "update", "setdefault",
+    "pop", "popitem", "remove", "discard", "clear",
+}
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*ignore(?:\[([A-Z0-9,\s]+)\])?")
+
+
+class _Suppressions:
+    """Per-line rule suppressions parsed from source comments."""
+
+    def __init__(self, source: str) -> None:
+        self._by_line: Dict[int, Optional[Set[str]]] = {}
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            match = _SUPPRESS_RE.search(line)
+            if match is None:
+                continue
+            rules = match.group(1)
+            self._by_line[lineno] = (
+                {r.strip() for r in rules.split(",")} if rules else None
+            )
+
+    def suppressed(self, lineno: int, rule: str) -> bool:
+        if lineno not in self._by_line:
+            return False
+        rules = self._by_line[lineno]
+        return rules is None or rule in rules
+
+
+class _LintVisitor(ast.NodeVisitor):
+    def __init__(
+        self,
+        filename: str,
+        report: AnalysisReport,
+        rules: Set[str],
+        suppressions: _Suppressions,
+        is_conftest: bool,
+    ) -> None:
+        self.filename = filename
+        self.report = report
+        self.rules = rules
+        self.suppressions = suppressions
+        self.is_conftest = is_conftest
+        #: import alias -> canonical module name ("np" -> "numpy")
+        self.modules: Dict[str, str] = {}
+        #: names bound by ``from X import Y`` -> "X.Y"
+        self.from_imports: Dict[str, str] = {}
+        self.imports_serialization = False
+        self.module_level_names: Set[str] = set()
+        self._class_stack: List[str] = []
+
+    # -- helpers ---------------------------------------------------------------------
+
+    def _flag(
+        self, rule: str, severity: str, node: ast.AST, message: str, hint: str
+    ) -> None:
+        lineno = getattr(node, "lineno", 0)
+        if rule not in self.rules:
+            return
+        if self.suppressions.suppressed(lineno, rule):
+            self.report.note_checked("suppressed")
+            return
+        self.report.add(
+            rule, severity, message,
+            location=f"{self.filename}:{lineno}", hint=hint,
+        )
+
+    def _dotted(self, node: ast.AST) -> Optional[List[str]]:
+        """``np.random.seed`` -> ["numpy", "random", "seed"] (alias-resolved)."""
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = node.id
+        if root in self.modules:
+            parts.append(self.modules[root])
+        elif root in self.from_imports:
+            parts.extend(reversed(self.from_imports[root].split(".")))
+        else:
+            parts.append(root)
+        return list(reversed(parts))
+
+    def _in_worker_class(self) -> bool:
+        return any(name.endswith("Worker") for name in self._class_stack)
+
+    # -- imports ---------------------------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.modules[alias.asname or alias.name.split(".")[0]] = alias.name
+            if alias.name.startswith("repro.serialization"):
+                self.imports_serialization = True
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module:
+            if node.module.startswith("repro.serialization"):
+                self.imports_serialization = True
+            for alias in node.names:
+                self.from_imports[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+        self.generic_visit(node)
+
+    # -- rules -----------------------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = self._dotted(node.func)
+        if dotted:
+            self._check_rng(node, dotted)
+            self._check_wall_clock(node, dotted)
+            self._check_json(node, dotted)
+        self._check_module_mutation_call(node)
+        self.generic_visit(node)
+
+    def _check_rng(self, node: ast.Call, dotted: List[str]) -> None:
+        if self.is_conftest:
+            return
+        if (
+            len(dotted) >= 3
+            and dotted[0] == "numpy"
+            and dotted[1] == "random"
+            and dotted[2] not in _NP_RANDOM_OK
+        ):
+            self._flag(
+                "RL301", ERROR, node,
+                f"global-state RNG call {'.'.join(dotted)}(); "
+                "outputs depend on hidden interpreter state",
+                hint="thread an explicit np.random.default_rng(seed) through",
+            )
+        if (
+            len(dotted) == 2
+            and dotted[0] == "random"
+            and self.modules.get("random") == "random"
+            and dotted[1] not in _STDLIB_RANDOM_OK
+        ):
+            self._flag(
+                "RL301", ERROR, node,
+                f"global-state RNG call random.{dotted[1]}()",
+                hint="use a seeded random.Random(seed) instance",
+            )
+
+    def _check_wall_clock(self, node: ast.Call, dotted: List[str]) -> None:
+        tail = tuple(dotted[-2:])
+        if tail in _WALL_CLOCK and dotted[0] in ("time", "datetime"):
+            self._flag(
+                "RL302", ERROR, node,
+                f"wall-clock read {'.'.join(dotted)}() in simulation code",
+                hint=(
+                    "simulated runs must be time-deterministic; read the "
+                    "controller's SimClock instead"
+                ),
+            )
+
+    def _check_json(self, node: ast.Call, dotted: List[str]) -> None:
+        if self.imports_serialization:
+            return
+        if len(dotted) == 2 and dotted[0] == "json" and dotted[1] in (
+            "dump", "dumps",
+        ):
+            self._flag(
+                "RL304", ERROR, node,
+                f"json.{dotted[1]}() in a module that never imports "
+                "repro.serialization",
+                hint=(
+                    "route reports through json_safe (or an exporter that "
+                    "does) so numpy scalars cannot leak into output"
+                ),
+            )
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            operands = [node.left, *node.comparators]
+            for operand in operands:
+                if (
+                    isinstance(operand, ast.Constant)
+                    and isinstance(operand.value, float)
+                ):
+                    self._flag(
+                        "RL303", WARNING, node,
+                        f"exact equality against float literal "
+                        f"{operand.value!r}",
+                        hint="compare with math.isclose / np.allclose",
+                    )
+                    break
+        self.generic_visit(node)
+
+    def visit_Global(self, node: ast.Global) -> None:
+        self._flag(
+            "RL305", ERROR, node,
+            f"mutates module-level state via 'global {', '.join(node.names)}'",
+            hint="pass state explicitly or hold it on an object",
+        )
+        self.generic_visit(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_stack.append(node.name)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    def _check_module_mutation_call(self, node: ast.Call) -> None:
+        """Worker methods mutating a module-level container (RL305)."""
+        if not self._in_worker_class():
+            return
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _MUTATORS
+            and isinstance(func.value, ast.Name)
+            and func.value.id in self.module_level_names
+        ):
+            self._flag(
+                "RL305", ERROR, node,
+                f"worker method mutates module-level {func.value.id!r} "
+                f"via .{func.attr}()",
+                hint=(
+                    "workers are re-built on recovery; state they share "
+                    "through the module survives and corrupts the rebuild"
+                ),
+            )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self._in_worker_class():
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in self.module_level_names
+                ):
+                    self._flag(
+                        "RL305", ERROR, node,
+                        f"worker method writes into module-level "
+                        f"{target.value.id!r}",
+                        hint="hold per-worker state on the worker instance",
+                    )
+        self.generic_visit(node)
+
+
+class RepoLint:
+    """AST lint over a set of files or directories."""
+
+    def __init__(self, rules: Iterable[str] = ALL_RULES) -> None:
+        self.rules = set(rules)
+        unknown = self.rules - set(ALL_RULES)
+        if unknown:
+            raise ValueError(f"unknown lint rules: {sorted(unknown)}")
+
+    def lint_paths(self, paths: Iterable[str]) -> AnalysisReport:
+        report = AnalysisReport("repolint")
+        for path in paths:
+            root = pathlib.Path(path)
+            files = (
+                sorted(root.rglob("*.py")) if root.is_dir() else [root]
+            )
+            for file in files:
+                if "__pycache__" in file.parts:
+                    continue
+                self.lint_source(
+                    file.read_text(), str(file), report
+                )
+        return report
+
+    def lint_source(
+        self, source: str, filename: str, report: AnalysisReport
+    ) -> AnalysisReport:
+        try:
+            tree = ast.parse(source, filename=filename)
+        except SyntaxError as exc:
+            report.add(
+                "RL300", ERROR, f"syntax error: {exc.msg}",
+                location=f"{filename}:{exc.lineno or 0}",
+                hint="fix the parse error first",
+            )
+            return report
+        report.note_checked("files")
+        visitor = _LintVisitor(
+            filename=filename,
+            report=report,
+            rules=self.rules,
+            suppressions=_Suppressions(source),
+            is_conftest=pathlib.Path(filename).name == "conftest.py",
+        )
+        # collect module-level names first so method bodies can be checked
+        # against them regardless of definition order
+        for node in tree.body:
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        visitor.module_level_names.add(target.id)
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                visitor.module_level_names.add(node.target.id)
+        visitor.visit(tree)
+        return report

@@ -1,0 +1,123 @@
+"""Findings and reports shared by every ``repro.analysis`` pass.
+
+A :class:`Finding` is one diagnosed problem — a rule id (``DF1xx`` dataflow,
+``TA2xx`` trace audit, ``RL3xx`` repo lint), a severity, a human message, the
+location it anchors to, and a fix hint.  An :class:`AnalysisReport` collects
+findings from one or more passes, counts what was actually checked (so "zero
+findings" is distinguishable from "checked nothing"), and exports through the
+same :func:`~repro.serialization.json_safe` sanitizer as every other report
+in the repo.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List
+
+from repro.serialization import json_safe
+
+ERROR = "error"
+WARNING = "warning"
+_SEVERITIES = (ERROR, WARNING)
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One diagnosed problem."""
+
+    rule: str
+    severity: str
+    message: str
+    location: str
+    hint: str = ""
+
+    def __post_init__(self) -> None:
+        if self.severity not in _SEVERITIES:
+            raise ValueError(
+                f"severity must be one of {_SEVERITIES}, got {self.severity!r}"
+            )
+
+    def render(self) -> str:
+        hint = f"  (hint: {self.hint})" if self.hint else ""
+        return f"{self.severity:7s} {self.rule} {self.location}: {self.message}{hint}"
+
+
+class AnalysisReport:
+    """Findings plus coverage counters from one or more analysis passes."""
+
+    def __init__(self, name: str = "analysis") -> None:
+        self.name = name
+        self.findings: List[Finding] = []
+        #: What the pass actually looked at, e.g. ``{"methods": 14}`` — lets
+        #: callers tell an all-clear from a pass that never ran.
+        self.checked: Dict[str, int] = {}
+
+    def add(
+        self,
+        rule: str,
+        severity: str,
+        message: str,
+        location: str,
+        hint: str = "",
+    ) -> Finding:
+        finding = Finding(
+            rule=rule, severity=severity, message=message,
+            location=location, hint=hint,
+        )
+        self.findings.append(finding)
+        return finding
+
+    def note_checked(self, what: str, n: int = 1) -> None:
+        self.checked[what] = self.checked.get(what, 0) + n
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == ERROR]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == WARNING]
+
+    def by_rule(self, rule: str) -> List[Finding]:
+        return [f for f in self.findings if f.rule == rule]
+
+    def ok(self, strict: bool = False) -> bool:
+        """True when the report gates a run: no errors (nor warnings, strict)."""
+        return not self.errors and not (strict and self.warnings)
+
+    def merge(self, other: "AnalysisReport") -> "AnalysisReport":
+        self.findings.extend(other.findings)
+        for what, n in other.checked.items():
+            self.note_checked(what, n)
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        return json_safe(
+            {
+                "name": self.name,
+                "checked": dict(self.checked),
+                "n_errors": len(self.errors),
+                "n_warnings": len(self.warnings),
+                "findings": [dataclasses.asdict(f) for f in self.findings],
+            },
+            "analysis_report",
+        )
+
+    def summary_lines(self) -> List[str]:
+        checked = ", ".join(
+            f"{what}={n}" for what, n in sorted(self.checked.items())
+        )
+        lines = [
+            f"{self.name}: {len(self.errors)} error(s), "
+            f"{len(self.warnings)} warning(s)"
+            + (f" [checked {checked}]" if checked else "")
+        ]
+        for finding in self.findings:
+            lines.append(f"  {finding.render()}")
+        return lines
+
+    def __repr__(self) -> str:
+        return (
+            f"AnalysisReport({self.name!r}, errors={len(self.errors)}, "
+            f"warnings={len(self.warnings)})"
+        )

@@ -495,7 +495,11 @@ def _run_tiny_ppo(args: argparse.Namespace):
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
-    from repro.observability import chrome_trace, pool_fractions_from_trace
+    from repro.observability import (
+        chrome_trace,
+        pool_fractions_from_trace,
+        write_chrome_trace,
+    )
     from repro.runtime.timeline import build_timeline
 
     try:
@@ -507,12 +511,11 @@ def cmd_trace(args: argparse.Namespace) -> int:
     timeline = build_timeline(controller)
     doc = chrome_trace(timeline=timeline, spans=controller.tracer.spans)
     if args.out:
-        import json as json_mod
-        import pathlib
-
-        out = pathlib.Path(args.out)
-        out.parent.mkdir(parents=True, exist_ok=True)
-        out.write_text(json_mod.dumps(doc, indent=2) + "\n")
+        # the exporter serializes through the json_safe sanitizer; a raw
+        # json.dumps here could leak numpy scalars into the trace file
+        out = write_chrome_trace(
+            args.out, timeline=timeline, spans=controller.tracer.spans
+        )
         print(f"wrote {len(doc['traceEvents'])} trace events to {out}")
     print(
         f"{len(controller.tracer.spans)} spans "
@@ -699,6 +702,101 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _example_plan_reports(batch: int):
+    """DataflowChecker reports for the configurations the repo ships.
+
+    Two plans are checked: the tiny functional PPO placement every
+    faults/trace/metrics subcommand runs (function reward on a 1-GPU pool),
+    and a full-scale llama-7b colocated placement with the memory projection
+    enabled (App. C) — the same shape §8's evaluation clusters use.
+    """
+    from repro.analysis import DataflowChecker
+    from repro.config import GenParallelConfig as GenPC
+    from repro.runtime import ModelAssignment, PlacementPlan
+
+    reports = []
+    tiny_par = ParallelConfig(pp=1, tp=2, dp=1)
+    tiny_plan = PlacementPlan(
+        pools={"main": 2, "r": 1},
+        assignments={
+            "actor": ModelAssignment("main", tiny_par, GenPC.derive(tiny_par, 1, 1)),
+            "critic": ModelAssignment("main", tiny_par),
+            "reference": ModelAssignment("main", tiny_par),
+            "reward": ModelAssignment("r", ParallelConfig(1, 1, 1)),
+        },
+    )
+    checker = DataflowChecker(global_batch_size=batch)
+    report = checker.check_plan(
+        AlgoType.PPO, tiny_plan, function_rewards=("reward",)
+    )
+    report.name = "dataflow[tiny-ppo]"
+    reports.append(report)
+
+    full_par = ParallelConfig(pp=1, tp=8, dp=2)
+    full_plan = PlacementPlan(
+        pools={"all": 16},
+        assignments={
+            "actor": ModelAssignment("all", full_par, GenPC.derive(full_par, 1, 2)),
+            "critic": ModelAssignment("all", full_par),
+            "reference": ModelAssignment("all", full_par),
+            "reward": ModelAssignment("all", full_par),
+        },
+    )
+    checker = DataflowChecker(
+        global_batch_size=1024,
+        model_specs={
+            role: MODEL_SPECS["llama-7b"]
+            for role in ("actor", "critic", "reference", "reward")
+        },
+        workload=RlhfWorkload(),
+        cluster_spec=ClusterSpec(n_machines=2),
+    )
+    report = checker.check_plan(AlgoType.PPO, full_plan)
+    report.name = "dataflow[llama-7b-colocate]"
+    reports.append(report)
+    return reports
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    """The ``repro check`` gate: RepoLint + DataflowChecker + TraceAuditor."""
+    import json
+
+    from repro.analysis import AnalysisReport, RepoLint, TraceAuditor
+    from repro.serialization import json_safe
+
+    skip = set(args.skip or ())
+    combined = AnalysisReport("repro check")
+    if "lint" not in skip:
+        lint = RepoLint().lint_paths(args.paths)
+        combined.merge(lint)
+    if "dataflow" not in skip:
+        for report in _example_plan_reports(args.batch):
+            combined.merge(report)
+    if "trace" not in skip:
+        import pathlib
+
+        golden = pathlib.Path(args.trace_file)
+        if golden.exists():
+            doc = json.loads(golden.read_text())
+            audit = TraceAuditor().audit_chrome_trace(doc)
+            combined.merge(audit)
+        else:
+            print(f"note: no trace file at {golden}, audit skipped")
+    for line in combined.summary_lines():
+        print(line)
+    if args.json:
+        print(json.dumps(json_safe(combined.to_dict(), "check"), indent=2))
+    if not combined.ok(strict=args.strict):
+        print(
+            "repro check FAILED"
+            + (" (strict: warnings are failures)" if args.strict else ""),
+            file=sys.stderr,
+        )
+        return 1
+    print("repro check passed")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli",
@@ -878,6 +976,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--seed", type=int, default=0, help="workload + model seed")
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "check",
+        help=(
+            "repro check gate: RepoLint over the tree, DataflowChecker over "
+            "the shipped example plans, TraceAuditor over the golden trace"
+        ),
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    p.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warnings as failures (CI mode)",
+    )
+    p.add_argument(
+        "--skip",
+        action="append",
+        choices=("lint", "dataflow", "trace"),
+        metavar="PASS",
+        help="skip one of the passes; repeatable",
+    )
+    p.add_argument(
+        "--batch",
+        type=int,
+        default=8,
+        help="global batch size assumed for the tiny example plan",
+    )
+    p.add_argument(
+        "--trace-file",
+        default="tests/golden/chrome_trace.json",
+        help="Chrome trace JSON to audit",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="also print the combined report as JSON",
+    )
+    p.set_defaults(fn=cmd_check)
     return parser
 
 

@@ -6,12 +6,18 @@ device counts, per-device memory, and the intra/inter-machine bandwidth
 hierarchy, all of which are modelled here.
 """
 
-from repro.cluster.device import DeviceMemory, OutOfDeviceMemory, SimDevice
+from repro.cluster.device import (
+    DeviceMemory,
+    LedgerEvent,
+    OutOfDeviceMemory,
+    SimDevice,
+)
 from repro.cluster.cluster import DeviceSet, SimCluster
 
 __all__ = [
     "DeviceMemory",
     "DeviceSet",
+    "LedgerEvent",
     "OutOfDeviceMemory",
     "SimCluster",
     "SimDevice",

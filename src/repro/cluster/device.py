@@ -9,9 +9,28 @@ simulated device tracks every named allocation and raises
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Tuple
+import dataclasses
+from typing import Dict, Iterator, List, Set, Tuple
 
 from repro.config import GpuSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class LedgerEvent:
+    """One memory-ledger operation, kept for the post-run TraceAuditor.
+
+    ``nbytes`` is the bytes the operation moved (requested for ``alloc`` /
+    ``resize``, released for ``free`` / ``clear``); ``balance`` is what the
+    tag holds afterwards.  A ``free`` with ``nbytes == 0`` on a tag whose
+    previous event was also a ``free`` is a double free; a negative
+    ``balance`` can only come from a corrupted event stream — both are
+    findings of :class:`~repro.analysis.TraceAuditor`.
+    """
+
+    op: str  # "alloc" | "free" | "resize" | "clear"
+    tag: str
+    nbytes: int
+    balance: int
 
 
 class OutOfDeviceMemory(RuntimeError):
@@ -42,6 +61,12 @@ class DeviceMemory:
         self._device = device
         self._allocations: Dict[str, int] = {}
         self.peak_used = 0
+        #: Every ledger operation in order, for the TraceAuditor.
+        self.events: List[LedgerEvent] = []
+        #: Tags that ever held bytes on this device — distinguishes a benign
+        #: free of a tag this rank never allocated (e.g. broadcast teardown)
+        #: from a genuine double free.
+        self.ever_allocated: Set[str] = set()
 
     @property
     def used(self) -> int:
@@ -59,10 +84,17 @@ class DeviceMemory:
             raise OutOfDeviceMemory(self._device, tag, nbytes)
         self._allocations[tag] = self._allocations.get(tag, 0) + nbytes
         self.peak_used = max(self.peak_used, self.used)
+        if nbytes > 0:
+            self.ever_allocated.add(tag)
+        self.events.append(
+            LedgerEvent("alloc", tag, nbytes, self._allocations[tag])
+        )
 
     def free_tag(self, tag: str) -> int:
         """Release everything under ``tag``; returns the bytes released."""
-        return self._allocations.pop(tag, 0)
+        released = self._allocations.pop(tag, 0)
+        self.events.append(LedgerEvent("free", tag, released, 0))
+        return released
 
     def resize(self, tag: str, nbytes: int) -> None:
         """Set the allocation under ``tag`` to exactly ``nbytes``."""
@@ -75,7 +107,9 @@ class DeviceMemory:
             self._allocations.pop(tag, None)
         else:
             self._allocations[tag] = nbytes
+            self.ever_allocated.add(tag)
         self.peak_used = max(self.peak_used, self.used)
+        self.events.append(LedgerEvent("resize", tag, nbytes, nbytes))
 
     def bytes_for(self, tag: str) -> int:
         return self._allocations.get(tag, 0)
@@ -90,6 +124,8 @@ class DeviceMemory:
         """Drop every allocation (device failed or its workers were torn down).
 
         ``peak_used`` is kept — it is a historical high-water mark."""
+        for tag, nbytes in sorted(self._allocations.items()):
+            self.events.append(LedgerEvent("clear", tag, nbytes, 0))
         self._allocations.clear()
 
     def __repr__(self) -> str:

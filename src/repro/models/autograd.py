@@ -25,7 +25,9 @@ _GRAD_ENABLED = True
 @contextlib.contextmanager
 def no_grad():
     """Disable graph construction (generation / inference passes)."""
-    global _GRAD_ENABLED
+    # the grad-mode flag is interpreter-global by design, like
+    # torch.no_grad; restored in the finally below so it cannot leak
+    global _GRAD_ENABLED  # repro-lint: ignore[RL305]
     prev = _GRAD_ENABLED
     _GRAD_ENABLED = False
     try:

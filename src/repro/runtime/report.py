@@ -144,13 +144,17 @@ def observability_summary(system: RlhfSystem) -> List[str]:
 
 
 def system_report_dict(
-    system: RlhfSystem, recovery=None
+    system: RlhfSystem, recovery=None, analysis=None
 ) -> Dict[str, Any]:
     """A machine-readable run report, sanitized for ``json.dumps``.
 
     Everything is routed through the same sanitizer as checkpoint
     manifests, so numpy scalars in trainer history or span attributes can
     never leak into the JSON output.
+
+    Args:
+        analysis: Optional :class:`~repro.analysis.AnalysisReport` (e.g. the
+            TraceAuditor's post-run audit); embedded under ``"analysis"``.
     """
     controller = system.controller
     collect_system_metrics(controller)
@@ -169,6 +173,8 @@ def system_report_dict(
         "spans": [s.to_dict() for s in controller.tracer.spans],
         "metrics": controller.metrics.as_dict(),
     }
+    if analysis is not None:
+        doc["analysis"] = analysis.to_dict()
     if recovery is not None:
         doc["recovery"] = {
             "n_failures": recovery.n_failures,

@@ -27,7 +27,6 @@ import dataclasses
 import json
 import pathlib
 import shutil
-import time
 from typing import Any, Dict, List, Optional
 
 import numpy as np
@@ -228,7 +227,9 @@ class SingleController:
         staging.mkdir(parents=True)
 
         manifest: Dict[str, Any] = {
-            "saved_at": time.time(),
+            # simulated time, deliberately: a wall-clock stamp here would
+            # make checkpoint bytes non-deterministic across identical runs
+            "saved_at": self.clock.now,
             "trace_seq": self._seq,
             "clock": self.clock.now,
             "groups": [],

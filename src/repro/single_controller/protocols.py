@@ -30,7 +30,8 @@ collect and distribute functions").
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Sequence, Tuple
+import dataclasses
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -38,6 +39,97 @@ from repro.data.batch import DataBatch
 from repro.single_controller.future import DataFuture
 
 Call = Tuple[tuple, dict]
+
+
+@dataclasses.dataclass(frozen=True)
+class ProtocolRequires:
+    """Declarative group-shape constraints of one transfer protocol.
+
+    Two layers consume the same descriptor so they can never drift: the
+    dispatch gate (:class:`~repro.single_controller.worker_group.RemoteMethod`
+    refuses to bind a method to an incompatible group) and the static
+    :class:`~repro.analysis.DataflowChecker` (which reports the identical
+    incompatibility before any dispatch happens).
+    """
+
+    #: The group must contain exactly one rank (``one_to_one``).
+    single_rank: bool = False
+    #: The group's topology must be pure data parallelism (``dp_proto``).
+    pure_dp: bool = False
+    #: Distribute/collect need a generation topology (``3d_all_micro_dp``);
+    #: checked at distribute time, not bind time, because the HybridEngine
+    #: may install the topology after the group is constructed.
+    needs_gen_topology: bool = False
+    #: Degenerate (not wrong) without model-parallel axes (``3d_proto``).
+    wants_model_parallel: bool = False
+    #: Degenerate without a pipeline dimension (``3d_pp_only``).
+    wants_pipeline: bool = False
+    #: Which parallel degree batch arguments are chunked into: ``"dp"``,
+    #: ``"gen_dp"`` (training DP x micro-DP), or ``"pp_dp"``.
+    splits_batch_by: Optional[str] = None
+    #: Caller supplies one input per rank instead of a batch (``all_to_all``).
+    per_rank_args: bool = False
+
+    def split_degree(self, parallel: Any, gen_config: Any = None) -> Optional[int]:
+        """Number of chunks a batch argument is split into, if any."""
+        if self.splits_batch_by == "dp":
+            return parallel.dp
+        if self.splits_batch_by == "gen_dp":
+            micro_dp = gen_config.micro_dp if gen_config is not None else 1
+            return parallel.dp * micro_dp
+        if self.splits_batch_by == "pp_dp":
+            return parallel.pp * parallel.dp
+        return None
+
+    def problems(
+        self, world_size: int, parallel: Any, has_gen_topology: bool
+    ) -> List[Tuple[str, str, str]]:
+        """All constraint violations as ``(kind, severity, message)`` tuples."""
+        out: List[Tuple[str, str, str]] = []
+        if self.single_rank and world_size != 1:
+            out.append(
+                (
+                    "single_rank",
+                    "error",
+                    f"requires a single-rank group, got {world_size}",
+                )
+            )
+        if self.pure_dp and parallel.dp != world_size:
+            out.append(
+                (
+                    "pure_dp",
+                    "error",
+                    f"expects a pure-DP group, got dp={parallel.dp} over "
+                    f"{world_size} ranks",
+                )
+            )
+        if self.needs_gen_topology and not has_gen_topology:
+            out.append(
+                (
+                    "gen_topology",
+                    "error",
+                    "requires a generation topology (HybridEngine)",
+                )
+            )
+        if self.wants_model_parallel and parallel.model_parallel_size == 1:
+            out.append(
+                (
+                    "model_parallel",
+                    "warning",
+                    "splits by DP but the group has no model-parallel axes "
+                    "(pp*tp == 1); dp_proto expresses this more directly",
+                )
+            )
+        if self.wants_pipeline and parallel.pp == 1:
+            out.append(
+                (
+                    "pipeline",
+                    "warning",
+                    "collects one output per pipeline stage but the group "
+                    "has pp=1",
+                )
+            )
+        return out
 
 
 def merge_outputs(outputs: Sequence[Any]) -> Any:
@@ -54,8 +146,17 @@ def merge_outputs(outputs: Sequence[Any]) -> Any:
     if all(isinstance(o, DataBatch) for o in outputs):
         return DataBatch.concat(list(outputs))
     if all(isinstance(o, dict) for o in outputs):
+        # merge over the union of keys in first-seen order: a key reported by
+        # only some ranks (e.g. a lead-rank-only metric) must not be dropped
+        keys: List[str] = []
+        seen = set()
+        for o in outputs:
+            for key in o:
+                if key not in seen:
+                    seen.add(key)
+                    keys.append(key)
         merged: Dict[str, Any] = {}
-        for key in outputs[0]:
+        for key in keys:
             values = [o[key] for o in outputs if key in o]
             if all(isinstance(v, (int, float, np.floating, np.integer)) for v in values):
                 merged[key] = float(np.mean(values))
@@ -68,19 +169,46 @@ def merge_outputs(outputs: Sequence[Any]) -> Any:
 
 
 class TransferProtocol:
-    """A (distribute, collect) pair keyed by name."""
+    """A (distribute, collect) pair keyed by name, plus shape requirements."""
 
     def __init__(
         self,
         name: str,
         distribute: Callable[[Any, tuple, dict], List[Call]],
         collect: Callable[[Any, List[Any]], Any],
+        requires: Optional[ProtocolRequires] = None,
     ) -> None:
         self.name = name
         self._distribute = distribute
         self._collect = collect
+        self.requires = requires if requires is not None else ProtocolRequires()
+
+    def check_group(self, group: Any) -> None:
+        """Raise ``ValueError`` when a group violates a hard requirement.
+
+        The dispatch gate: :class:`RemoteMethod` calls this at bind time and
+        ``distribute`` repeats it, so a protocol/topology mismatch fails
+        before any rank executes.  The ``gen_topology`` requirement is
+        deferred to the distribute functions (a ``RuntimeError`` there)
+        because ``set_gen_topology`` may legitimately run after binding.
+        """
+        problems = self.requires.problems(
+            group.world_size,
+            group.train_topology.config,
+            group.gen_topology is not None,
+        )
+        for kind, severity, message in problems:
+            if severity == "error" and kind != "gen_topology":
+                raise ValueError(f"{self.name} {message}")
+
+    def validate_shape(
+        self, world_size: int, parallel: Any, has_gen_topology: bool
+    ) -> List[Tuple[str, str, str]]:
+        """Non-raising requirement check for the static DataflowChecker."""
+        return self.requires.problems(world_size, parallel, has_gen_topology)
 
     def distribute(self, group: Any, args: tuple, kwargs: dict) -> List[Call]:
+        self.check_group(group)
         args = tuple(DataFuture.unwrap(a) for a in args)
         kwargs = {k: DataFuture.unwrap(v) for k, v in kwargs.items()}
         return self._distribute(group, args, kwargs)
@@ -133,10 +261,7 @@ def _one_to_all_collect(group: Any, outputs: List[Any]) -> Any:
 
 
 def _one_to_one_distribute(group: Any, args: tuple, kwargs: dict) -> List[Call]:
-    if group.world_size != 1:
-        raise ValueError(
-            f"one_to_one requires a single-rank group, got {group.world_size}"
-        )
+    # single-rank requirement enforced declaratively via ProtocolRequires
     return [(args, dict(kwargs))]
 
 
@@ -241,12 +366,8 @@ def _pp_as_dp_collect(group: Any, outputs: List[Any]) -> Any:
 
 
 def _dp_distribute(group: Any, args: tuple, kwargs: dict) -> List[Call]:
+    # pure-DP requirement enforced declaratively via ProtocolRequires
     dp = group.train_topology.config.dp
-    if dp != group.world_size:
-        raise ValueError(
-            f"dp_proto expects a pure-DP group, got dp={dp} over "
-            f"{group.world_size} ranks"
-        )
     return _split_call(group, args, kwargs, dp, lambda i: group.coords(i).d)
 
 
@@ -298,19 +419,62 @@ register_protocol(
     TransferProtocol("one_to_all", _broadcast_call, _one_to_all_collect)
 )
 register_protocol(
-    TransferProtocol("one_to_one", _one_to_one_distribute, _one_to_one_collect)
-)
-register_protocol(TransferProtocol("3d_proto", _3d_distribute, _3d_collect))
-register_protocol(
-    TransferProtocol("3d_all_micro_dp", _micro_dp_distribute, _micro_dp_collect)
-)
-register_protocol(
-    TransferProtocol("3d_pp_only", _broadcast_call, _pp_only_collect)
+    TransferProtocol(
+        "one_to_one",
+        _one_to_one_distribute,
+        _one_to_one_collect,
+        requires=ProtocolRequires(single_rank=True),
+    )
 )
 register_protocol(
-    TransferProtocol("pp_as_dp", _pp_as_dp_distribute, _pp_as_dp_collect)
+    TransferProtocol(
+        "3d_proto",
+        _3d_distribute,
+        _3d_collect,
+        requires=ProtocolRequires(
+            wants_model_parallel=True, splits_batch_by="dp"
+        ),
+    )
 )
-register_protocol(TransferProtocol("dp_proto", _dp_distribute, _dp_collect))
 register_protocol(
-    TransferProtocol("all_to_all", _all_to_all_distribute, _one_to_all_collect)
+    TransferProtocol(
+        "3d_all_micro_dp",
+        _micro_dp_distribute,
+        _micro_dp_collect,
+        requires=ProtocolRequires(
+            needs_gen_topology=True, splits_batch_by="gen_dp"
+        ),
+    )
+)
+register_protocol(
+    TransferProtocol(
+        "3d_pp_only",
+        _broadcast_call,
+        _pp_only_collect,
+        requires=ProtocolRequires(wants_pipeline=True),
+    )
+)
+register_protocol(
+    TransferProtocol(
+        "pp_as_dp",
+        _pp_as_dp_distribute,
+        _pp_as_dp_collect,
+        requires=ProtocolRequires(splits_batch_by="pp_dp"),
+    )
+)
+register_protocol(
+    TransferProtocol(
+        "dp_proto",
+        _dp_distribute,
+        _dp_collect,
+        requires=ProtocolRequires(pure_dp=True, splits_batch_by="dp"),
+    )
+)
+register_protocol(
+    TransferProtocol(
+        "all_to_all",
+        _all_to_all_distribute,
+        _one_to_all_collect,
+        requires=ProtocolRequires(per_rank_args=True),
+    )
 )

@@ -46,6 +46,9 @@ class RemoteMethod:
             )
         self.protocol_name = protocol_name
         self.protocol = get_protocol(protocol_name)
+        # bind-time dispatch gate: a protocol whose declarative requirements
+        # the group's topology violates must fail here, before any dispatch
+        self.protocol.check_group(group)
         self.blocking = registered_blocking(method)
 
     @staticmethod

@@ -1,0 +1,590 @@
+"""Tests for ``repro.analysis``: dataflow checker, trace auditor, repo lint.
+
+Each misconfiguration path must produce exactly one precise finding, and a
+clean run of the repo's own example configuration must produce zero.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ERROR,
+    WARNING,
+    AnalysisReport,
+    DataflowChecker,
+    Finding,
+    RepoLint,
+    TraceAuditor,
+    registered_methods,
+)
+from repro.cluster import LedgerEvent, SimDevice
+from repro.config import (
+    GPU_SPECS,
+    MODEL_SPECS,
+    ClusterSpec,
+    GenParallelConfig,
+    ParallelConfig,
+    RlhfWorkload,
+)
+from repro.observability.spans import Span
+from repro.rlhf.core import AlgoType
+from repro.runtime import ModelAssignment, PlacementPlan
+
+A100 = GPU_SPECS["A100-80GB"]
+
+
+def make_device(rank=0):
+    return SimDevice(global_rank=rank, machine=0, spec=A100)
+
+
+def tiny_plan(reward_parallel=ParallelConfig(1, 1, 1), reward_pool_size=1):
+    par = ParallelConfig(pp=1, tp=2, dp=1)
+    return PlacementPlan(
+        pools={"main": 2, "r": reward_pool_size},
+        assignments={
+            "actor": ModelAssignment(
+                "main", par, GenParallelConfig.derive(par, 1, 1)
+            ),
+            "critic": ModelAssignment("main", par),
+            "reference": ModelAssignment("main", par),
+            "reward": ModelAssignment("r", reward_parallel),
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# AnalysisReport
+# ---------------------------------------------------------------------------
+
+
+class TestAnalysisReport:
+    def test_severity_validated(self):
+        with pytest.raises(ValueError, match="severity"):
+            Finding("DF101", "fatal", "m", "loc")
+
+    def test_ok_and_strict(self):
+        report = AnalysisReport("t")
+        assert report.ok() and report.ok(strict=True)
+        report.add("TA201", WARNING, "w", "loc")
+        assert report.ok() and not report.ok(strict=True)
+        report.add("TA201", ERROR, "e", "loc")
+        assert not report.ok()
+
+    def test_merge_accumulates(self):
+        a, b = AnalysisReport("a"), AnalysisReport("b")
+        a.note_checked("files", 2)
+        b.note_checked("files", 3)
+        b.add("RL301", ERROR, "m", "loc")
+        a.merge(b)
+        assert a.checked["files"] == 5
+        assert len(a.by_rule("RL301")) == 1
+
+    def test_to_dict_is_json_serializable(self):
+        report = AnalysisReport("t")
+        report.note_checked("devices", int(np.int64(3)))
+        report.add("TA203", ERROR, "leak", "device 0", hint="free it")
+        doc = json.loads(json.dumps(report.to_dict()))
+        assert doc["n_errors"] == 1
+        assert doc["findings"][0]["rule"] == "TA203"
+        assert doc["checked"]["devices"] == 3
+
+    def test_summary_lines_include_findings(self):
+        report = AnalysisReport("t")
+        report.add("DF102", ERROR, "not divisible", "actor", hint="pad it")
+        lines = report.summary_lines()
+        assert "1 error(s)" in lines[0]
+        assert "DF102" in lines[1] and "pad it" in lines[1]
+
+
+# ---------------------------------------------------------------------------
+# DataflowChecker
+# ---------------------------------------------------------------------------
+
+
+class TestDataflowChecker:
+    def test_clean_tiny_plan_has_zero_findings(self):
+        report = DataflowChecker(global_batch_size=8).check_plan(
+            AlgoType.PPO, tiny_plan(), function_rewards=("reward",)
+        )
+        assert report.findings == []
+        assert report.checked["methods"] > 0  # it actually looked
+
+    def test_protocol_topology_mismatch_is_one_df101(self):
+        # a function reward (one_to_one methods) on a 2-rank group
+        report = DataflowChecker(global_batch_size=8).check_plan(
+            AlgoType.PPO,
+            tiny_plan(
+                reward_parallel=ParallelConfig(1, 1, 2), reward_pool_size=2
+            ),
+            function_rewards=("reward",),
+        )
+        assert len(report.errors) == 1
+        finding = report.errors[0]
+        assert finding.rule == "DF101"
+        assert "single-rank" in finding.message
+        assert "reward" in finding.location
+
+    def test_non_divisible_batch_is_one_df102(self):
+        # gen_dp = dp * micro_dp = 2 * 2 = 4; batch 6 splits fine over the
+        # dp=2 protocols but not over the generation micro-DP fan-out
+        par = ParallelConfig(pp=1, tp=2, dp=2)
+        plan = PlacementPlan(
+            pools={"main": 4, "r": 1},
+            assignments={
+                "actor": ModelAssignment(
+                    "main", par, GenParallelConfig.derive(par, 1, 1)
+                ),
+                "critic": ModelAssignment("main", par),
+                "reference": ModelAssignment("main", par),
+                "reward": ModelAssignment("r", ParallelConfig(1, 1, 1)),
+            },
+        )
+        report = DataflowChecker(global_batch_size=6).check_plan(
+            AlgoType.PPO, plan, function_rewards=("reward",)
+        )
+        df102 = report.by_rule("DF102")
+        assert len(df102) == 1
+        assert "not divisible" in df102[0].message
+        assert "actor" in df102[0].location
+
+    def test_over_capacity_placement_is_one_df104(self):
+        par = ParallelConfig(pp=1, tp=8, dp=1)
+        plan = PlacementPlan(
+            pools={"all": 8},
+            assignments={
+                "actor": ModelAssignment(
+                    "all", par, GenParallelConfig.derive(par, 1, 8)
+                ),
+                "critic": ModelAssignment("all", par),
+                "reference": ModelAssignment("all", par),
+                "reward": ModelAssignment("all", par),
+            },
+        )
+        checker = DataflowChecker(
+            global_batch_size=64,
+            model_specs={
+                role: MODEL_SPECS["llama-70b"]
+                for role in ("actor", "critic", "reference", "reward")
+            },
+            workload=RlhfWorkload(),
+            cluster_spec=ClusterSpec(n_machines=1),
+        )
+        report = checker.check_plan(AlgoType.PPO, plan)
+        df104 = report.by_rule("DF104")
+        assert len(df104) == 1
+        assert df104[0].severity == ERROR
+        assert "pool 'all'" in df104[0].message
+
+    def test_fitting_placement_has_no_df104(self):
+        report = DataflowChecker(
+            global_batch_size=1024,
+            model_specs={"actor": MODEL_SPECS["llama-7b"]},
+            cluster_spec=ClusterSpec(n_machines=2),
+        ).check_plan(
+            AlgoType.PPO,
+            tiny_plan(),
+            function_rewards=("reward",),
+        )
+        assert report.by_rule("DF104") == []
+        assert report.checked.get("pools_projected", 0) == 1
+
+    def test_missing_role_is_df105(self):
+        plan = tiny_plan()
+        del plan.assignments["critic"]
+        report = DataflowChecker().check_plan(
+            AlgoType.PPO, plan, function_rewards=("reward",)
+        )
+        df105 = report.by_rule("DF105")
+        assert len(df105) == 1 and "critic" in df105[0].message
+
+    def test_actor_without_gen_config_is_df105(self):
+        plan = tiny_plan()
+        plan.assignments["actor"] = ModelAssignment(
+            "main", ParallelConfig(1, 2, 1)
+        )
+        report = DataflowChecker().check_plan(
+            AlgoType.PPO, plan, function_rewards=("reward",)
+        )
+        df105 = report.by_rule("DF105")
+        assert len(df105) == 1 and "gen_parallel" in df105[0].message
+
+    def test_registered_methods_reads_the_decorator(self):
+        from repro.single_controller import Worker, register
+
+        class Probe(Worker):
+            @register(protocol="one_to_all")
+            def visible(self):
+                return None
+
+            @register(protocol="dp_proto")
+            def _hidden(self):
+                return None
+
+            def plain(self):
+                return None
+
+        assert registered_methods(Probe) == [("visible", "one_to_all")]
+
+
+# ---------------------------------------------------------------------------
+# TraceAuditor
+# ---------------------------------------------------------------------------
+
+
+class _FakeTimeline:
+    """The three methods the auditor reads, with controllable busy time."""
+
+    def __init__(self, busy=5.0):
+        self._busy = busy
+
+    def pools(self):
+        return ["main"]
+
+    def events_on(self, pool):
+        return []
+
+    def busy_time(self, pool):
+        return self._busy
+
+
+class TestTraceAuditor:
+    def test_leaked_tag_is_one_ta203(self):
+        device = make_device()
+        device.memory.alloc("actor/kv_cache", 128)
+        report = TraceAuditor().audit(devices=[device])
+        assert len(report.findings) == 1
+        assert report.findings[0].rule == "TA203"
+        assert "actor/kv_cache" in report.findings[0].message
+
+    def test_persistent_tags_are_not_leaks(self):
+        device = make_device()
+        device.memory.alloc("actor/params", 128)
+        device.memory.alloc("actor/grads", 128)
+        device.memory.alloc("actor/optim", 128)
+        assert TraceAuditor().audit(devices=[device]).findings == []
+
+    def test_double_free_is_one_ta204(self):
+        device = make_device()
+        device.memory.alloc("actor/kv_cache", 128)
+        device.memory.free_tag("actor/kv_cache")
+        device.memory.free_tag("actor/kv_cache")
+        report = TraceAuditor().audit(devices=[device])
+        assert len(report.findings) == 1
+        assert report.findings[0].rule == "TA204"
+
+    def test_free_of_never_allocated_tag_is_benign(self):
+        # the actor frees kv_cache on every rank of the group, including
+        # ranks that never led a generation replica — not a double free
+        device = make_device()
+        device.memory.free_tag("actor/kv_cache")
+        device.memory.free_tag("actor/kv_cache")
+        assert TraceAuditor().audit(devices=[device]).findings == []
+
+    def test_alloc_free_alloc_free_is_clean(self):
+        device = make_device()
+        for _ in range(2):
+            device.memory.alloc("actor/kv_cache", 64)
+            device.memory.free_tag("actor/kv_cache")
+        assert TraceAuditor().audit(devices=[device]).findings == []
+
+    def test_negative_balance_is_ta205(self):
+        device = make_device()
+        # a corrupted event stream, injected directly: the real ledger API
+        # cannot produce this, which is exactly why the auditor checks it
+        device.memory.events.append(LedgerEvent("alloc", "x", -8, -8))
+        report = TraceAuditor().audit(devices=[device])
+        assert [f.rule for f in report.findings] == ["TA205"]
+
+    def test_span_escape_is_one_ta202(self):
+        parent = Span(1, "iter", "iteration", start=0.0, end=10.0)
+        child = Span(
+            2, "gen", "dispatch", start=5.0, end=12.0, parent_id=1
+        )
+        report = TraceAuditor().audit(spans=[parent, child])
+        assert len(report.findings) == 1
+        assert report.findings[0].rule == "TA202"
+        assert "escapes" in report.findings[0].message
+
+    def test_nested_spans_are_clean(self):
+        parent = Span(1, "iter", "iteration", start=0.0, end=10.0)
+        child = Span(
+            2, "gen", "dispatch", start=2.0, end=8.0, parent_id=1
+        )
+        assert TraceAuditor().audit(spans=[parent, child]).findings == []
+
+    def test_busy_accounting_mismatch_is_ta206_warning(self):
+        device = make_device()
+        device.occupy(4.0)
+        report = TraceAuditor().audit(
+            timeline=_FakeTimeline(busy=5.0),
+            devices=[device],
+            device_pools={0: "main"},
+        )
+        assert [f.rule for f in report.findings] == ["TA206"]
+        assert report.findings[0].severity == WARNING
+
+    def test_busy_accounting_match_is_clean(self):
+        device = make_device()
+        device.occupy(5.0)
+        report = TraceAuditor().audit(
+            timeline=_FakeTimeline(busy=5.0),
+            devices=[device],
+            device_pools={0: "main"},
+        )
+        assert report.findings == []
+        assert report.checked["busy_accounted_devices"] == 1
+
+    def test_chrome_trace_overlap_is_ta201(self):
+        from repro.observability.export import _US, TIMELINE_PID
+
+        doc = {
+            "traceEvents": [
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": TIMELINE_PID,
+                    "tid": 0,
+                    "args": {"name": "pool main"},
+                },
+                {
+                    "ph": "X",
+                    "pid": TIMELINE_PID,
+                    "tid": 0,
+                    "name": "a",
+                    "ts": 0,
+                    "dur": int(2 * _US),
+                },
+                {
+                    "ph": "X",
+                    "pid": TIMELINE_PID,
+                    "tid": 0,
+                    "name": "b",
+                    "ts": int(1 * _US),
+                    "dur": int(2 * _US),
+                },
+            ]
+        }
+        report = TraceAuditor().audit_chrome_trace(doc)
+        assert len(report.findings) == 1
+        assert report.findings[0].rule == "TA201"
+        assert "pool main" in report.findings[0].location
+
+    def test_golden_trace_audits_clean(self):
+        import pathlib
+
+        golden = pathlib.Path(__file__).parent / "golden" / "chrome_trace.json"
+        doc = json.loads(golden.read_text())
+        report = TraceAuditor().audit_chrome_trace(doc)
+        assert report.findings == []
+        assert report.checked["tracks"] >= 1
+        assert report.checked["spans"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# RepoLint
+# ---------------------------------------------------------------------------
+
+
+def lint(source, filename="mod.py", rules=None):
+    linter = RepoLint(rules) if rules is not None else RepoLint()
+    return linter.lint_source(source, filename, AnalysisReport("lint"))
+
+
+class TestRepoLint:
+    def test_unseeded_numpy_rng_is_rl301(self):
+        report = lint("import numpy as np\nnp.random.seed(0)\n")
+        assert [f.rule for f in report.findings] == ["RL301"]
+        assert "mod.py:2" in report.findings[0].location
+
+    def test_seeded_generator_is_clean(self):
+        report = lint(
+            "import numpy as np\nrng = np.random.default_rng(7)\n"
+            "x = rng.integers(0, 4)\n"
+        )
+        assert report.findings == []
+
+    def test_stdlib_random_is_rl301(self):
+        report = lint("import random\nx = random.random()\n")
+        assert [f.rule for f in report.findings] == ["RL301"]
+
+    def test_seeded_random_instance_is_clean(self):
+        report = lint("import random\nrng = random.Random(3)\n")
+        assert report.findings == []
+
+    def test_conftest_exempt_from_rl301(self):
+        report = lint(
+            "import numpy as np\nnp.random.seed(0)\n", filename="conftest.py"
+        )
+        assert report.findings == []
+
+    def test_wall_clock_is_rl302(self):
+        report = lint("import time\nt = time.time()\n")
+        assert [f.rule for f in report.findings] == ["RL302"]
+
+    def test_wall_clock_through_alias_is_rl302(self):
+        report = lint("import time as clock\nt = clock.perf_counter()\n")
+        assert [f.rule for f in report.findings] == ["RL302"]
+
+    def test_float_equality_is_rl303_warning(self):
+        report = lint("def f(x):\n    return x == 1.5\n")
+        assert [f.rule for f in report.findings] == ["RL303"]
+        assert report.findings[0].severity == WARNING
+
+    def test_int_equality_is_clean(self):
+        assert lint("def f(x):\n    return x == 1\n").findings == []
+
+    def test_raw_json_dump_is_rl304(self):
+        report = lint("import json\ns = json.dumps({})\n")
+        assert [f.rule for f in report.findings] == ["RL304"]
+
+    def test_json_alias_is_tracked(self):
+        report = lint("import json as json_mod\ns = json_mod.dumps({})\n")
+        assert [f.rule for f in report.findings] == ["RL304"]
+
+    def test_json_with_serialization_import_is_clean(self):
+        report = lint(
+            "import json\nfrom repro.serialization import json_safe\n"
+            "s = json.dumps(json_safe({}, 'x'))\n"
+        )
+        assert report.findings == []
+
+    def test_global_statement_is_rl305(self):
+        report = lint("X = 0\ndef f():\n    global X\n    X = 1\n")
+        assert [f.rule for f in report.findings] == ["RL305"]
+
+    def test_worker_mutating_module_state_is_rl305(self):
+        source = (
+            "CACHE = {}\n"
+            "class FooWorker:\n"
+            "    def m(self):\n"
+            "        CACHE.update(a=1)\n"
+        )
+        report = lint(source)
+        assert [f.rule for f in report.findings] == ["RL305"]
+
+    def test_worker_subscript_write_is_rl305(self):
+        source = (
+            "CACHE = {}\n"
+            "class FooWorker:\n"
+            "    def m(self):\n"
+            "        CACHE['k'] = 1\n"
+        )
+        assert [f.rule for f in lint(source).findings] == ["RL305"]
+
+    def test_non_worker_class_may_mutate(self):
+        source = (
+            "CACHE = {}\n"
+            "class Registry:\n"
+            "    def m(self):\n"
+            "        CACHE.update(a=1)\n"
+        )
+        assert lint(source).findings == []
+
+    def test_suppression_comment_silences_the_rule(self):
+        report = lint(
+            "import numpy as np\n"
+            "np.random.seed(0)  # repro-lint: ignore[RL301]\n"
+        )
+        assert report.findings == []
+        assert report.checked["suppressed"] == 1
+
+    def test_suppression_of_other_rule_does_not_apply(self):
+        report = lint(
+            "import numpy as np\n"
+            "np.random.seed(0)  # repro-lint: ignore[RL302]\n"
+        )
+        assert [f.rule for f in report.findings] == ["RL301"]
+
+    def test_bare_suppression_silences_everything(self):
+        report = lint(
+            "import time\nt = time.time()  # repro-lint: ignore\n"
+        )
+        assert report.findings == []
+
+    def test_syntax_error_is_rl300(self):
+        report = lint("def f(:\n")
+        assert [f.rule for f in report.findings] == ["RL300"]
+        assert report.findings[0].severity == ERROR
+
+    def test_rule_subset_filters(self):
+        report = lint(
+            "import numpy as np\nnp.random.seed(0)\n", rules=["RL302"]
+        )
+        assert report.findings == []
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ValueError, match="unknown lint rules"):
+            RepoLint(rules=["RL999"])
+
+    def test_repo_source_tree_is_clean(self):
+        import pathlib
+
+        src = pathlib.Path(__file__).resolve().parents[1] / "src"
+        report = RepoLint().lint_paths([str(src)])
+        assert report.ok(strict=True), "\n".join(report.summary_lines())
+
+
+# ---------------------------------------------------------------------------
+# End-to-end over a real (tiny) system
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def tiny_system():
+    from repro.data import PromptDataset, SyntheticPreferenceTask
+    from repro.models.tinylm import TinyLMConfig
+    from repro.rlhf.trainers import TrainerConfig
+    from repro.runtime import build_rlhf_system
+
+    cfg = TinyLMConfig(
+        n_layers=2,
+        hidden_size=32,
+        n_heads=4,
+        ffn_hidden_size=48,
+        vocab_size=16,
+        max_seq_len=32,
+    )
+    task = SyntheticPreferenceTask(vocab_size=16, target_token=7)
+    system = build_rlhf_system(
+        AlgoType.PPO,
+        tiny_plan(),
+        cfg,
+        trainer_config=TrainerConfig(kl_coef=0.01, seed=7),
+        reward_fn=task.reward,
+        max_new_tokens=6,
+        lr=5e-3,
+        seed=7,
+    )
+    dataset = PromptDataset(n_prompts=32, prompt_length=4, vocab_size=16, seed=1)
+    system.trainer.train(dataset, 2, 8)
+    return system
+
+
+class TestEndToEnd:
+    def test_clean_system_passes_dataflow_check(self, tiny_system):
+        report = DataflowChecker(global_batch_size=8).check_system(tiny_system)
+        assert report.findings == [], "\n".join(report.summary_lines())
+
+    def test_clean_run_passes_trace_audit(self, tiny_system):
+        report = TraceAuditor().audit_system(tiny_system)
+        assert report.findings == [], "\n".join(report.summary_lines())
+        assert report.checked["ledger_events"] > 0
+        assert report.checked["busy_accounted_devices"] == 3
+
+    def test_audit_embeds_in_system_report(self, tiny_system):
+        from repro.runtime.report import system_report_dict
+
+        audit = TraceAuditor().audit_system(tiny_system)
+        doc = system_report_dict(tiny_system, analysis=audit)
+        json.dumps(doc)  # sanitized end to end
+        assert doc["analysis"]["n_errors"] == 0
+        assert doc["analysis"]["checked"]["devices"] == 3
+
+    def test_cli_check_gate_passes_strict(self, capsys):
+        from repro.cli import main
+
+        assert main(["check", "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "repro check passed" in out

@@ -215,6 +215,89 @@ class TestMergeOutputs:
     def test_mixed_returns_list(self):
         assert merge_outputs([1, "a"]) == [1, "a"]
 
+    def test_dict_merge_keeps_keys_missing_from_first_output(self):
+        # regression: the merge used to iterate outputs[0]'s keys only, so a
+        # metric reported by a later rank (e.g. a lead-rank-only stat)
+        # silently vanished
+        merged = merge_outputs(
+            [{"loss": 1.0}, {"loss": 3.0, "gen_tokens": 12.0}]
+        )
+        assert merged == {"loss": 2.0, "gen_tokens": 12.0}
+
+    def test_dict_merge_key_order_is_first_seen(self):
+        merged = merge_outputs([{"a": 1.0, "b": 2.0}, {"c": 3.0, "a": 5.0}])
+        assert list(merged) == ["a", "b", "c"]
+
+    def test_dict_merge_non_numeric_values_collect(self):
+        merged = merge_outputs([{"tag": "x"}, {"tag": "y"}])
+        assert merged == {"tag": ["x", "y"]}
+
+
+class TestProtocolRequires:
+    """The declarative descriptor both the dispatch gate and the static
+    DataflowChecker consume (they must agree by construction)."""
+
+    def test_every_protocol_declares_requires(self):
+        for name in (
+            "one_to_all", "one_to_one", "3d_proto", "3d_all_micro_dp",
+            "3d_pp_only", "pp_as_dp", "dp_proto", "all_to_all",
+        ):
+            assert get_protocol(name).requires is not None
+
+    def test_single_rank_problem(self):
+        requires = get_protocol("one_to_one").requires
+        assert requires.single_rank
+        kinds = [k for k, _, _ in requires.problems(2, ParallelConfig(1, 1, 2), False)]
+        assert kinds == ["single_rank"]
+        assert requires.problems(1, ParallelConfig(1, 1, 1), False) == []
+
+    def test_pure_dp_problem(self):
+        requires = get_protocol("dp_proto").requires
+        problems = requires.problems(4, ParallelConfig(1, 2, 2), False)
+        assert [(k, s) for k, s, _ in problems] == [("pure_dp", "error")]
+
+    def test_gen_topology_deferred_to_distribute(self):
+        # check_group (the bind-time gate) must NOT raise for a missing
+        # generation topology: the HybridEngine installs it after binding
+        _, group = make_group(ParallelConfig(pp=1, tp=2, dp=2))
+        protocol = get_protocol("3d_all_micro_dp")
+        protocol.check_group(group)  # no raise
+        assert [
+            k for k, _, _ in protocol.validate_shape(
+                4, ParallelConfig(1, 2, 2), False
+            )
+        ] == ["gen_topology"]
+
+    def test_degenerate_shapes_are_warnings(self):
+        problems = get_protocol("3d_proto").requires.problems(
+            2, ParallelConfig(1, 1, 2), False
+        )
+        assert [(k, s) for k, s, _ in problems] == [
+            ("model_parallel", "warning")
+        ]
+        problems = get_protocol("3d_pp_only").requires.problems(
+            2, ParallelConfig(1, 2, 1), False
+        )
+        assert [(k, s) for k, s, _ in problems] == [("pipeline", "warning")]
+
+    def test_split_degrees(self):
+        par = ParallelConfig(pp=2, tp=2, dp=2)
+        gen = GenParallelConfig(pp=1, tp=1, micro_dp=2)
+        assert get_protocol("3d_proto").requires.split_degree(par) == 2
+        assert (
+            get_protocol("3d_all_micro_dp").requires.split_degree(par, gen)
+            == 4
+        )
+        assert get_protocol("pp_as_dp").requires.split_degree(par) == 4
+        assert get_protocol("one_to_all").requires.split_degree(par) is None
+
+    def test_bind_time_gate_uses_the_descriptor(self):
+        # dp_proto on a non-pure-DP group fails at method bind, before any
+        # distribute work happens
+        _, group = make_group(ParallelConfig(pp=1, tp=2, dp=2))
+        with pytest.raises(ValueError, match="pure-DP"):
+            group.dp_compute
+
 
 class TestRegistration:
     def test_unregistered_method_raises(self):
