@@ -41,7 +41,7 @@ LM_CFG = TinyLMConfig(
 TASK = SyntheticPreferenceTask(vocab_size=16, target_token=7)
 
 
-def main(argv=None) -> None:
+def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--trace",
@@ -137,8 +137,9 @@ def main(argv=None) -> None:
         f"\nobservability: {len(tracer.spans)} spans recorded "
         f"({', '.join(f'{k}={v}' for k, v in tracer.counts_by_category().items())})"
     )
+    exit_code = 0
     if args.trace:
-        from repro.analysis import TraceAuditor
+        from repro.analysis import RaceDetector, TraceAuditor
         from repro.observability import write_chrome_trace
         from repro.runtime.report import system_report_dict
         from repro.runtime.timeline import build_timeline
@@ -153,6 +154,9 @@ def main(argv=None) -> None:
         # post-run audit: happens-before over the spans and ledgers; the
         # findings ride along inside the machine-readable run report
         audit = TraceAuditor().audit_system(system)
+        # vector-clock race detection over the same trace plus the
+        # shared-state access log (device memory, checkpoints, merges)
+        RaceDetector().detect_system(system, report=audit)
         for line in audit.summary_lines():
             print(f"  {line}")
         report_doc = system_report_dict(system, analysis=audit)
@@ -160,13 +164,18 @@ def main(argv=None) -> None:
             f"  run report embeds {len(report_doc['analysis']['findings'])} "
             "audit finding(s)"
         )
+        races = [f for f in audit.findings if f.rule.startswith("RC")]
+        if races:
+            print(f"  RACE DETECTED: {len(races)} RC5xx finding(s)")
+            exit_code = 1
     if args.metrics:
         from repro.observability import collect_system_metrics, write_prometheus
 
         collect_system_metrics(ppo_controller)
         out = write_prometheus(args.metrics, ppo_controller.metrics)
         print(f"  wrote Prometheus metrics to {out}")
+    return exit_code
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

@@ -1,23 +1,40 @@
 """Static and post-hoc analysis of composed RLHF dataflows (``repro check``).
 
-Three passes behind one report type:
+Five passes behind one report type:
 
 * :class:`DataflowChecker` — pre-execution: protocol/topology compatibility,
-  batch divisibility, serving config, projected memory vs capacity.
+  batch divisibility, serving config, projected memory vs capacity, per-
+  algorithm plan structure (PPO / ReMax / GRPO / Safe-RLHF).
 * :class:`TraceAuditor` — post-execution: happens-before over spans,
   timeline overlap, memory-ledger leaks / double frees / negative balances,
   busy-accounting consistency.
 * :class:`RepoLint` — AST rules over the source tree (seeded RNG only, no
   wall-clock reads, no float ``==``, json via ``json_safe``, no module-state
-  mutation in workers).
+  mutation in workers, no stale suppressions).
+* :class:`ShardingVerifier` — static proof that training shards partition
+  the parameter space, the train→generation gather plan is complete and
+  (under HYBRIDFLOW grouping) redundancy-free, collective group families
+  partition their pools, and ZeRO/FSDP configs match the memory projection.
+* :class:`RaceDetector` — vector-clock happens-before over the execution
+  trace plus the shared-state access log; flags conflicting accesses with
+  no ordering edge, including the nondeterministic ``merge_outputs`` hazard.
 
-All findings carry a rule id (``DF1xx`` / ``TA2xx`` / ``RL3xx``), severity,
-location, and fix hint; see ``docs/ANALYSIS.md`` for the catalog.
+All findings carry a rule id (``DF1xx`` / ``TA2xx`` / ``RL3xx`` / ``SH4xx``
+/ ``RC5xx``), severity, location, and fix hint; see ``docs/ANALYSIS.md`` for
+the catalog.
 """
 
 from repro.analysis.dataflow import DataflowChecker, registered_methods
+from repro.analysis.races import RaceDetector
 from repro.analysis.report import ERROR, WARNING, AnalysisReport, Finding
 from repro.analysis.repolint import ALL_RULES, RepoLint
+from repro.analysis.sharding import (
+    ShardingVerifier,
+    sweep_cells,
+    sweep_difference_fraction,
+    sweep_overlap_fraction,
+    sweep_union_fraction,
+)
 from repro.analysis.trace_audit import PERSISTENT_SUFFIXES, TraceAuditor
 
 __all__ = [
@@ -27,8 +44,14 @@ __all__ = [
     "ERROR",
     "Finding",
     "PERSISTENT_SUFFIXES",
+    "RaceDetector",
     "RepoLint",
+    "ShardingVerifier",
     "TraceAuditor",
     "WARNING",
     "registered_methods",
+    "sweep_cells",
+    "sweep_difference_fraction",
+    "sweep_overlap_fraction",
+    "sweep_union_fraction",
 ]

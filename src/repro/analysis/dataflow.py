@@ -17,6 +17,8 @@ Rules:
 ``DF103``  serving / eos / pad configuration inconsistencies
 ``DF104``  placement's projected persistent memory exceeds device capacity
 ``DF105``  placement plan structure (missing roles, missing gen config)
+``DF106``  plan assigns a model role the algorithm's dataflow never calls
+``DF107``  GRPO group sampling misconfigured (``group_size < 2``)
 ========  ====================================================================
 """
 
@@ -133,14 +135,23 @@ class DataflowChecker:
         algo: Any,
         plan: Any,
         function_rewards: Sequence[str] = (),
+        group_size: Optional[int] = None,
     ) -> AnalysisReport:
         """Validate an algorithm + placement plan *before* building workers.
+
+        Covers every shipped dataflow variant (PPO, ReMax, GRPO, Safe-RLHF,
+        Figure 1): role requirements differ per algorithm, and GRPO carries
+        the extra group-sampling constraint.
 
         Args:
             function_rewards: Roles served by a non-NN
                 :class:`~repro.workers.RewardFunctionWorker` (the builder's
                 ``reward_fn`` / ``cost_fn`` path), which registers
                 ``one_to_one`` methods instead of ``3d_proto``.
+            group_size: GRPO responses sampled per prompt
+                (``TrainerConfig.group_size``); its learning stage trains on
+                ``global_batch_size * group_size`` sequences.  ``None``
+                inherits the trainer's default.
         """
         # imported here: repro.runtime.builder imports workers, trainers and
         # the controller — the checker stays importable without that stack
@@ -172,6 +183,38 @@ class DataflowChecker:
                 location="plan.actor",
                 hint="derive one with GenParallelConfig.derive(parallel, ...)",
             )
+        needed = set(required_models(algo))
+        for role in sorted(plan.assignments):
+            report.note_checked("roles")
+            if role in _WORKER_CLASSES and role not in needed:
+                report.add(
+                    "DF106",
+                    WARNING,
+                    f"plan assigns {role!r}, but the {algo.value} dataflow "
+                    "never calls it — the pool's GPUs sit idle",
+                    location=f"plan.{role}",
+                    hint=f"{algo.value} uses {sorted(needed)}; drop the "
+                    "assignment or switch algorithms",
+                )
+        if algo is AlgoType.GRPO:
+            if group_size is None:
+                from repro.rlhf.trainers import TrainerConfig
+
+                group_size = TrainerConfig().group_size
+            # the learning stage trains on batch * group_size sequences; the
+            # split-degree divisibility below already transfers (d | b ⇒
+            # d | b·g), so the only extra constraint is the group itself
+            report.note_checked("grpo_group_size")
+            if group_size < 2:
+                report.add(
+                    "DF107",
+                    ERROR,
+                    f"GRPO group_size={group_size}: group-normalised "
+                    "advantages need at least 2 samples per prompt (the "
+                    "group std of a single sample is zero)",
+                    location="plan",
+                    hint="set TrainerConfig.group_size >= 2",
+                )
         shapes = []
         for role, assignment in plan.assignments.items():
             if role in function_rewards:

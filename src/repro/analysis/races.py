@@ -1,0 +1,294 @@
+"""RaceDetector: vector-clock happens-before analysis (rules RC5xx).
+
+The simulated runtime executes one remote call at a time, so it can never
+*show* a data race — but on a real cluster each resource pool runs
+concurrently, and the only ordering guarantees are the ones the dataflow
+actually expresses: program order within a pool, the future/lineage
+dependency edges recorded in the execution trace, and the controller's own
+sequential context (group construction, coordinated checkpoints) acting as
+global barriers.  This pass rebuilds exactly that happens-before relation
+with vector clocks and reports shared-state accesses it does not order.
+
+Threads of the vector clock are the resource pools (colocated models on one
+pool time-share, §2.3, so a pool is one unit of concurrency) plus a
+synthetic ``"ctl"`` thread for controller-context work.  Nodes are the
+dispatched calls (one per :class:`ExecutionRecord`) and *barrier* nodes — a
+maximal run of controller-context access events between two dispatches.
+
+Two accesses race when they touch the same resource, at least one writes,
+and their nodes' clocks are concurrent (``RC501``); writes from different
+ranks inside one dispatch race when the protocol's collect order is not
+deterministic — the ``merge_outputs`` nondeterministic-merge hazard
+(``RC502``).  ``RC503`` flags access events that reference a dispatch the
+trace never recorded, which the analysis must skip.
+
+Dependency seqs that are *absent* from the trace are skipped silently (and
+counted): lineage legitimately crosses controllers in multi-stage pipelines
+(e.g. a reward group trained under its own controller feeding PPO), and
+those edges are not part of this controller's order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.report import ERROR, WARNING, AnalysisReport
+from repro.single_controller.access_log import WRITE, AccessEvent
+
+#: Synthetic vector-clock thread for the controller's sequential context.
+CTL_THREAD = "ctl"
+
+VectorClock = Dict[str, int]
+
+
+def _merge(into: VectorClock, other: VectorClock) -> None:
+    for thread, tick in other.items():
+        if tick > into.get(thread, 0):
+            into[thread] = tick
+
+
+def _leq(a: VectorClock, b: VectorClock) -> bool:
+    return all(tick <= b.get(thread, 0) for thread, tick in a.items())
+
+
+def _concurrent(a: VectorClock, b: VectorClock) -> bool:
+    return not _leq(a, b) and not _leq(b, a)
+
+
+class _Node:
+    """One unit of the happens-before graph: a dispatch or a barrier."""
+
+    __slots__ = ("key", "clock", "label")
+
+    def __init__(self, key: Tuple[str, int], clock: VectorClock, label: str):
+        self.key = key
+        self.clock = clock
+        self.label = label
+
+
+class RaceDetector:
+    """Vector-clock pass over an execution trace plus its access log."""
+
+    def detect(
+        self,
+        trace: Sequence[Any],
+        events: Iterable[AccessEvent] = (),
+        report: Optional[AnalysisReport] = None,
+    ) -> AnalysisReport:
+        """Analyse ``trace`` (``ExecutionRecord``-shaped: ``seq``, ``pool``,
+        ``group``, ``method``, ``deps``) and the shared-state ``events``."""
+        if report is None:
+            report = AnalysisReport("races")
+        events = list(events)
+        nodes = self._build_nodes(trace, events, report)
+        self._check_same_node(events, nodes, report)
+        self._check_cross_node(events, nodes, report)
+        return report
+
+    # -- happens-before construction ---------------------------------------------------
+
+    def _build_nodes(
+        self,
+        trace: Sequence[Any],
+        events: List[AccessEvent],
+        report: AnalysisReport,
+    ) -> Dict[Tuple[str, int], _Node]:
+        barrier_positions = sorted(
+            {e.after_seq for e in events if e.seq is None}
+        )
+        # processing order: a barrier at position k ran after call k-1
+        # returned and before call k dispatched
+        schedule: List[Tuple[int, int, Any]] = [
+            (pos, 0, None) for pos in barrier_positions
+        ]
+        for record in trace:
+            schedule.append((record.seq, 1, record))
+        schedule.sort(key=lambda item: (item[0], item[1]))
+
+        nodes: Dict[Tuple[str, int], _Node] = {}
+        pool_last: Dict[str, VectorClock] = {}
+        barrier_clock: VectorClock = {}
+        for pos, kind, record in schedule:
+            if kind == 0:  # barrier: joins every pool, ticks the ctl thread
+                clock: VectorClock = dict(barrier_clock)
+                for vc in pool_last.values():
+                    _merge(clock, vc)
+                clock[CTL_THREAD] = clock.get(CTL_THREAD, 0) + 1
+                barrier_clock = clock
+                nodes[("barrier", pos)] = _Node(
+                    ("barrier", pos), clock, f"controller context @{pos}"
+                )
+                report.note_checked("barriers")
+            else:  # dispatched call
+                clock = dict(pool_last.get(record.pool, {}))
+                _merge(clock, barrier_clock)
+                for dep in record.deps:
+                    dep_node = nodes.get(("call", dep))
+                    if dep_node is None:
+                        # absent seq: lineage from another controller, or a
+                        # future edge — not an ordering edge of this trace
+                        report.note_checked("skipped_deps")
+                        continue
+                    _merge(clock, dep_node.clock)
+                clock[record.pool] = clock.get(record.pool, 0) + 1
+                pool_last[record.pool] = clock
+                nodes[("call", record.seq)] = _Node(
+                    ("call", record.seq),
+                    clock,
+                    f"{record.group}.{record.method} (seq {record.seq})",
+                )
+                report.note_checked("calls")
+        return nodes
+
+    def _node_key(self, event: AccessEvent) -> Tuple[str, int]:
+        if event.seq is None:
+            return ("barrier", event.after_seq)
+        return ("call", event.seq)
+
+    # -- conflict passes ---------------------------------------------------------------
+
+    def _check_same_node(
+        self,
+        events: List[AccessEvent],
+        nodes: Dict[Tuple[str, int], _Node],
+        report: AnalysisReport,
+    ) -> None:
+        """RC502: unordered multi-rank writes inside one dispatch.
+
+        Barrier nodes are exempt — controller context is sequential by
+        definition; inside a dispatch, per-rank work is concurrent and only
+        a protocol's deterministic collect order serialises the merge.
+        """
+        grouped: Dict[Tuple[Tuple[str, int], str], List[AccessEvent]] = {}
+        for event in events:
+            key = self._node_key(event)
+            if key[0] != "call":
+                continue
+            grouped.setdefault((key, event.resource), []).append(event)
+        for (key, resource), group in sorted(grouped.items()):
+            writers = {e.rank for e in group if e.kind == WRITE}
+            unordered = [e for e in group if e.kind == WRITE and not e.ordered]
+            if len(writers) > 1 and unordered:
+                node = nodes.get(key)
+                label = node.label if node is not None else f"seq {key[1]}"
+                report.add(
+                    "RC502",
+                    ERROR,
+                    f"{len(writers)} ranks write {resource!r} inside one "
+                    f"dispatch ({label}) with no deterministic merge order — "
+                    "merge_outputs would fold them in arrival order",
+                    location=resource,
+                    hint="collect in a fixed rank order (set the protocol's "
+                    "deterministic_collect) or reduce on the workers first",
+                )
+            report.note_checked("merge_checks")
+
+    def _check_cross_node(
+        self,
+        events: List[AccessEvent],
+        nodes: Dict[Tuple[str, int], _Node],
+        report: AnalysisReport,
+    ) -> None:
+        """RC501: conflicting accesses on concurrent nodes."""
+        by_resource: Dict[str, Dict[Tuple[str, int], Dict[str, bool]]] = {}
+        dangling = 0
+        for event in events:
+            key = self._node_key(event)
+            if key not in nodes:
+                dangling += 1
+                continue
+            summary = by_resource.setdefault(event.resource, {}).setdefault(
+                key, {"write": False, "read": False}
+            )
+            summary["write" if event.kind == WRITE else "read"] = True
+        if dangling:
+            report.add(
+                "RC503",
+                WARNING,
+                f"{dangling} access event(s) reference dispatches the trace "
+                "never recorded; they were skipped by the race analysis",
+                location="access_log",
+                hint="record_access must run inside the dispatch it claims "
+                "(controller.current_seq) — a stale seq hides races",
+            )
+        for resource, per_node in sorted(by_resource.items()):
+            report.note_checked("resources")
+            keys = sorted(per_node)
+            racy_pairs: List[Tuple[str, str]] = []
+            for i, a in enumerate(keys):
+                for b in keys[i + 1 :]:
+                    if not (per_node[a]["write"] or per_node[b]["write"]):
+                        continue
+                    report.note_checked("vc_comparisons")
+                    if _concurrent(nodes[a].clock, nodes[b].clock):
+                        racy_pairs.append((nodes[a].label, nodes[b].label))
+            if racy_pairs:
+                first = racy_pairs[0]
+                report.add(
+                    "RC501",
+                    ERROR,
+                    f"{len(racy_pairs)} conflicting access pair(s) on "
+                    f"{resource!r} with no happens-before edge; e.g. "
+                    f"{first[0]} vs {first[1]}",
+                    location=resource,
+                    hint="thread the consumer through the producer's future "
+                    "(lineage dep) or a controller barrier so the order is "
+                    "explicit",
+                )
+
+    # -- entry points ------------------------------------------------------------------
+
+    def detect_system(
+        self, system: Any, report: Optional[AnalysisReport] = None
+    ) -> AnalysisReport:
+        """Analyse a built RLHF system's controller trace + access log."""
+        controller = system.controller if hasattr(system, "controller") else system
+        return self.detect(
+            controller.trace, controller.access_log.events, report=report
+        )
+
+    def detect_chrome_trace(
+        self, doc: Dict[str, Any], report: Optional[AnalysisReport] = None
+    ) -> AnalysisReport:
+        """Rebuild the dispatch order from exported Chrome ``trace_event``
+        JSON (pid 0 timeline + pid 1 dispatch spans) and run the vector-clock
+        pass over it.
+
+        Exported traces carry no access log, so this validates the recorded
+        happens-before structure itself (every dependency resolvable and
+        well-ordered) — golden trace files stay checkable artifacts.
+        """
+        if report is None:
+            report = AnalysisReport("races")
+        from repro.observability.export import SPANS_PID, TIMELINE_PID
+
+        pools: Dict[int, str] = {}
+        deps: Dict[int, List[int]] = {}
+        for event in doc.get("traceEvents", []):
+            args = event.get("args", {})
+            if event.get("ph") != "X":
+                continue
+            if event.get("pid") == TIMELINE_PID and "seq" in args:
+                pools[int(args["seq"])] = str(args.get("pool", "pool"))
+            elif (
+                event.get("pid") == SPANS_PID
+                and event.get("cat") == "dispatch"
+                and "seq" in args
+            ):
+                deps[int(args["seq"])] = [int(d) for d in args.get("deps", [])]
+
+        class _Record:
+            __slots__ = ("seq", "pool", "group", "method", "deps")
+
+            def __init__(self, seq: int, pool: str, deps: Tuple[int, ...]):
+                self.seq = seq
+                self.pool = pool
+                self.group = pool
+                self.method = f"seq{seq}"
+                self.deps = deps
+
+        trace = [
+            _Record(seq, pool, tuple(deps.get(seq, ())))
+            for seq, pool in sorted(pools.items())
+        ]
+        return self.detect(trace, (), report=report)

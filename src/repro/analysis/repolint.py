@@ -14,6 +14,8 @@ depends on:
            ``repro.serialization`` — reports route through ``json_safe``
 ``RL305``  no module-level state mutation (``global`` statements; worker
            methods mutating module-level containers)
+``RL306``  no unused ``# repro-lint: ignore[...]`` comments — a suppression
+           that silences nothing is a stale waiver (ruff's unused-noqa)
 ========  ====================================================================
 
 Suppression: append ``# repro-lint: ignore`` (all rules) or
@@ -24,13 +26,15 @@ files are exempt from ``RL301`` — fixtures may own their seeding policy.
 from __future__ import annotations
 
 import ast
+import io
 import pathlib
 import re
+import tokenize
 from typing import Dict, Iterable, List, Optional, Set
 
 from repro.analysis.report import ERROR, WARNING, AnalysisReport
 
-ALL_RULES = ("RL301", "RL302", "RL303", "RL304", "RL305")
+ALL_RULES = ("RL301", "RL302", "RL303", "RL304", "RL305", "RL306")
 
 #: Legacy numpy global-state RNG entry points (anything except the
 #: ``default_rng`` / ``Generator`` family).
@@ -58,8 +62,21 @@ class _Suppressions:
 
     def __init__(self, source: str) -> None:
         self._by_line: Dict[int, Optional[Set[str]]] = {}
-        for lineno, line in enumerate(source.splitlines(), start=1):
-            match = _SUPPRESS_RE.search(line)
+        #: Lines whose suppression actually silenced a finding (RL306).
+        self._used: Set[int] = set()
+        # real COMMENT tokens only — the marker spelled inside a string
+        # literal (docs, hints) is not a suppression
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+            comments = [
+                (tok.start[0], tok.string)
+                for tok in tokens
+                if tok.type == tokenize.COMMENT
+            ]
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            comments = list(enumerate(source.splitlines(), start=1))
+        for lineno, text in comments:
+            match = _SUPPRESS_RE.search(text)
             if match is None:
                 continue
             rules = match.group(1)
@@ -71,7 +88,30 @@ class _Suppressions:
         if lineno not in self._by_line:
             return False
         rules = self._by_line[lineno]
-        return rules is None or rule in rules
+        if rules is None or rule in rules:
+            self._used.add(lineno)
+            return True
+        return False
+
+    def unused(self, active_rules: Set[str]) -> List[tuple]:
+        """``(lineno, rules)`` of suppressions that silenced nothing.
+
+        Only suppressions whose every listed rule was actually checked this
+        run can be called unused — a partial-rule lint cannot tell whether
+        ``ignore[RL302]`` would have fired under the full rule set.  Bare
+        ``ignore`` comments need the whole catalog active for the same
+        reason.
+        """
+        checkable = set(ALL_RULES) - {"RL306"}
+        out = []
+        for lineno, rules in sorted(self._by_line.items()):
+            if lineno in self._used:
+                continue
+            required = checkable if rules is None else set(rules) & checkable
+            if not required <= active_rules:
+                continue
+            out.append((lineno, rules))
+        return out
 
 
 class _LintVisitor(ast.NodeVisitor):
@@ -322,11 +362,12 @@ class RepoLint:
             )
             return report
         report.note_checked("files")
+        suppressions = _Suppressions(source)
         visitor = _LintVisitor(
             filename=filename,
             report=report,
             rules=self.rules,
-            suppressions=_Suppressions(source),
+            suppressions=suppressions,
             is_conftest=pathlib.Path(filename).name == "conftest.py",
         )
         # collect module-level names first so method bodies can be checked
@@ -341,4 +382,16 @@ class RepoLint:
             ):
                 visitor.module_level_names.add(node.target.id)
         visitor.visit(tree)
+        if "RL306" in self.rules:
+            for lineno, rules in suppressions.unused(self.rules):
+                what = (
+                    "all rules" if rules is None else ", ".join(sorted(rules))
+                )
+                report.add(
+                    "RL306", WARNING,
+                    f"unused repro-lint suppression ({what}): nothing on "
+                    "this line triggers the suppressed rule(s)",
+                    location=f"{filename}:{lineno}",
+                    hint="delete the stale '# repro-lint: ignore' comment",
+                )
         return report

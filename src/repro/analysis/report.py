@@ -81,6 +81,18 @@ class AnalysisReport:
     def by_rule(self, rule: str) -> List[Finding]:
         return [f for f in self.findings if f.rule == rule]
 
+    def family_counts(self) -> Dict[str, int]:
+        """Finding counts per rule family (``DF101`` -> ``DF1xx``), sorted.
+
+        The family is the rule's prefix with the last two digits wildcarded
+        — the unit CI logs grep for (`DF1xx=2 RC5xx=1 ...`).
+        """
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            family = finding.rule[:-2] + "xx" if len(finding.rule) >= 2 else finding.rule
+            counts[family] = counts.get(family, 0) + 1
+        return dict(sorted(counts.items()))
+
     def ok(self, strict: bool = False) -> bool:
         """True when the report gates a run: no errors (nor warnings, strict)."""
         return not self.errors and not (strict and self.warnings)

@@ -757,13 +757,75 @@ def _example_plan_reports(batch: int):
     return reports
 
 
+def _sharding_reports():
+    """ShardingVerifier reports for the configurations the repo ships.
+
+    Proves the resharding geometry for the tiny functional placement and
+    the llama-7b colocated placement in both grouping modes, and checks
+    the ZeRO-3 / FSDP configs the baselines assume against the memory
+    projection.
+    """
+    from repro.analysis import ShardingVerifier
+    from repro.parallel.fsdp import FsdpConfig
+    from repro.parallel.topology import (
+        GenGroupingMode,
+        GenTopology,
+        ParallelTopology,
+    )
+    from repro.parallel.zero import ZeroConfig, ZeroStage
+
+    verifier = ShardingVerifier()
+    reports = []
+    for name, par, gen_pp, gen_tp in (
+        ("tiny-ppo", ParallelConfig(pp=1, tp=2, dp=1), 1, 1),
+        ("llama-7b-colocate", ParallelConfig(pp=1, tp=8, dp=2), 1, 2),
+    ):
+        topo = ParallelTopology(par, name=name)
+        report = verifier.verify_topology(topo)
+        for mode in (GenGroupingMode.HYBRIDFLOW, GenGroupingMode.VANILLA):
+            gen = GenTopology(
+                topo, GenParallelConfig.derive(par, gen_pp, gen_tp), mode
+            )
+            verifier.verify_transition(gen, report=report)
+        report.name = f"sharding[{name}]"
+        reports.append(report)
+
+    spec = MODEL_SPECS["llama-7b"]
+    cluster = ClusterSpec(n_machines=2)
+    report = verifier.verify_zero(
+        ZeroConfig(ZeroStage.PARAMETERS, dp=cluster.n_gpus),
+        spec.n_params(),
+        cluster.n_gpus,
+        capacity_bytes=cluster.gpu.memory_bytes,
+        location="zero[llama-7b]",
+    )
+    verifier.verify_fsdp(
+        FsdpConfig(dp=cluster.n_gpus, strategy="full"),
+        spec.n_params(),
+        cluster.n_gpus,
+        capacity_bytes=cluster.gpu.memory_bytes,
+        report=report,
+        location="fsdp[llama-7b]",
+    )
+    report.name = "sharding[zero/fsdp]"
+    reports.append(report)
+    return reports
+
+
 def cmd_check(args: argparse.Namespace) -> int:
-    """The ``repro check`` gate: RepoLint + DataflowChecker + TraceAuditor."""
+    """The ``repro check`` gate: lint + dataflow + trace + sharding + races."""
     import json
 
-    from repro.analysis import AnalysisReport, RepoLint, TraceAuditor
+    from repro.analysis import (
+        AnalysisReport,
+        RaceDetector,
+        RepoLint,
+        TraceAuditor,
+    )
     from repro.serialization import json_safe
 
+    as_json = args.json or args.format == "json"
+    out = sys.stderr if as_json else sys.stdout
     skip = set(args.skip or ())
     combined = AnalysisReport("repro check")
     if "lint" not in skip:
@@ -772,28 +834,38 @@ def cmd_check(args: argparse.Namespace) -> int:
     if "dataflow" not in skip:
         for report in _example_plan_reports(args.batch):
             combined.merge(report)
-    if "trace" not in skip:
+    if "sharding" not in skip:
+        for report in _sharding_reports():
+            combined.merge(report)
+    trace_doc = None
+    if "trace" not in skip or "races" not in skip:
         import pathlib
 
         golden = pathlib.Path(args.trace_file)
         if golden.exists():
-            doc = json.loads(golden.read_text())
-            audit = TraceAuditor().audit_chrome_trace(doc)
-            combined.merge(audit)
+            trace_doc = json.loads(golden.read_text())
         else:
-            print(f"note: no trace file at {golden}, audit skipped")
+            print(f"note: no trace file at {golden}, audit skipped", file=out)
+    if "trace" not in skip and trace_doc is not None:
+        combined.merge(TraceAuditor().audit_chrome_trace(trace_doc))
+    if "races" not in skip and trace_doc is not None:
+        combined.merge(RaceDetector().detect_chrome_trace(trace_doc))
     for line in combined.summary_lines():
-        print(line)
-    if args.json:
+        print(line, file=out)
+    if as_json:
+        # machine-readable report on stdout; human summary went to stderr
         print(json.dumps(json_safe(combined.to_dict(), "check"), indent=2))
     if not combined.ok(strict=args.strict):
+        families = " ".join(
+            f"{family}={n}" for family, n in combined.family_counts().items()
+        )
         print(
-            "repro check FAILED"
+            f"repro check FAILED [{families}]"
             + (" (strict: warnings are failures)" if args.strict else ""),
             file=sys.stderr,
         )
         return 1
-    print("repro check passed")
+    print("repro check passed", file=out)
     return 0
 
 
@@ -981,7 +1053,8 @@ def build_parser() -> argparse.ArgumentParser:
         "check",
         help=(
             "repro check gate: RepoLint over the tree, DataflowChecker over "
-            "the shipped example plans, TraceAuditor over the golden trace"
+            "the shipped example plans, ShardingVerifier over the shipped "
+            "topologies, TraceAuditor + RaceDetector over the golden trace"
         ),
     )
     p.add_argument(
@@ -998,7 +1071,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--skip",
         action="append",
-        choices=("lint", "dataflow", "trace"),
+        choices=("lint", "dataflow", "sharding", "trace", "races"),
         metavar="PASS",
         help="skip one of the passes; repeatable",
     )
@@ -1014,9 +1087,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="Chrome trace JSON to audit",
     )
     p.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help=(
+            "report format: json puts the machine-readable report on stdout "
+            "and the human summary on stderr"
+        ),
+    )
+    p.add_argument(
         "--json",
         action="store_true",
-        help="also print the combined report as JSON",
+        help="alias for --format json",
     )
     p.set_defaults(fn=cmd_check)
     return parser

@@ -10,7 +10,7 @@ simulated device tracks every named allocation and raises
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Iterator, List, Set, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.config import GpuSpec
 
@@ -67,6 +67,14 @@ class DeviceMemory:
         #: free of a tag this rank never allocated (e.g. broadcast teardown)
         #: from a genuine double free.
         self.ever_allocated: Set[str] = set()
+        #: Optional ``recorder(op, tag)`` callback, wired by the controller
+        #: that owns this device's pool so every ledger mutation also lands
+        #: in the shared-state access log (race detection, RC5xx).
+        self.recorder: Optional[Callable[[str, str], None]] = None
+
+    def _notify(self, op: str, tag: str) -> None:
+        if self.recorder is not None:
+            self.recorder(op, tag)
 
     @property
     def used(self) -> int:
@@ -89,11 +97,13 @@ class DeviceMemory:
         self.events.append(
             LedgerEvent("alloc", tag, nbytes, self._allocations[tag])
         )
+        self._notify("alloc", tag)
 
     def free_tag(self, tag: str) -> int:
         """Release everything under ``tag``; returns the bytes released."""
         released = self._allocations.pop(tag, 0)
         self.events.append(LedgerEvent("free", tag, released, 0))
+        self._notify("free", tag)
         return released
 
     def resize(self, tag: str, nbytes: int) -> None:
@@ -110,6 +120,7 @@ class DeviceMemory:
             self.ever_allocated.add(tag)
         self.peak_used = max(self.peak_used, self.used)
         self.events.append(LedgerEvent("resize", tag, nbytes, nbytes))
+        self._notify("resize", tag)
 
     def bytes_for(self, tag: str) -> int:
         return self._allocations.get(tag, 0)
@@ -126,6 +137,7 @@ class DeviceMemory:
         ``peak_used`` is kept — it is a historical high-water mark."""
         for tag, nbytes in sorted(self._allocations.items()):
             self.events.append(LedgerEvent("clear", tag, nbytes, 0))
+            self._notify("clear", tag)
         self._allocations.clear()
 
     def __repr__(self) -> str:

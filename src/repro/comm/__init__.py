@@ -10,7 +10,7 @@ Two layers live here:
   reference ([13]) the paper uses for Table 2's volumes.
 """
 
-from repro.comm.groups import ProcessGroup, TrafficMeter
+from repro.comm.groups import ProcessGroup, TrafficMeter, partition_problems
 from repro.comm.collectives import (
     all_gather,
     all_gather_object,
@@ -48,6 +48,7 @@ __all__ = [
     "gather",
     "group_bandwidth",
     "p2p_time",
+    "partition_problems",
     "reduce_scatter",
     "reduce_scatter_volume_per_rank",
     "scatter",

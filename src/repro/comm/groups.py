@@ -9,7 +9,7 @@ functional implementation.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 
 class TrafficMeter:
@@ -100,3 +100,36 @@ class ProcessGroup:
 
     def __repr__(self) -> str:
         return f"ProcessGroup({self.name!r}, ranks={self.ranks})"
+
+
+def partition_problems(
+    groups: Iterable["ProcessGroup"], universe: Sequence[int]
+) -> List[str]:
+    """Why a family of groups fails to partition ``universe``, if it does.
+
+    A collective's group family (all TP groups, all micro-DP groups, ...)
+    must be a true partition of the pool's ranks: every rank in exactly one
+    group, no stray ranks.  Returns human-readable problem strings, empty
+    when the family is a partition — the basis of the ``SH404`` rule.
+    """
+    problems: List[str] = []
+    seen: Dict[int, str] = {}
+    universe_set = set(universe)
+    for group in groups:
+        for rank in group.ranks:
+            if rank not in universe_set:
+                problems.append(
+                    f"group {group.name!r} contains rank {rank}, which is "
+                    f"outside the pool's ranks"
+                )
+            if rank in seen:
+                problems.append(
+                    f"rank {rank} appears in both {seen[rank]!r} and "
+                    f"{group.name!r}"
+                )
+            else:
+                seen[rank] = group.name
+    missing = sorted(universe_set - set(seen))
+    if missing:
+        problems.append(f"ranks {missing} are covered by no group")
+    return problems

@@ -9,7 +9,14 @@ and the engine reports per-rank communication volume, peak memory, and
 redundant bytes so the Table 2 algebra is checkable against real arrays.
 """
 
-from repro.hybrid_engine.engine import HybridEngine3D, TransitionReport
+from repro.hybrid_engine.engine import (
+    GatherTile,
+    HybridEngine3D,
+    RankTransitionPlan,
+    TransitionPlan,
+    TransitionReport,
+    plan_transition,
+)
 from repro.hybrid_engine.overhead import (
     EngineKind,
     TransitionOverhead,
@@ -18,8 +25,12 @@ from repro.hybrid_engine.overhead import (
 
 __all__ = [
     "EngineKind",
+    "GatherTile",
     "HybridEngine3D",
+    "RankTransitionPlan",
     "TransitionOverhead",
+    "TransitionPlan",
     "TransitionReport",
+    "plan_transition",
     "transition_overhead",
 ]

@@ -32,7 +32,79 @@ from repro.models.sharding import (
     shard_nbytes,
     shard_params,
 )
+from repro.parallel.sharding import WeightShard, generation_shard, training_shard
 from repro.parallel.topology import GenGroupingMode, GenTopology
+
+
+@dataclasses.dataclass(frozen=True)
+class GatherTile:
+    """One tile shipped during a transition: a rectangle from a source rank."""
+
+    source_rank: int
+    shard: WeightShard
+
+
+@dataclasses.dataclass(frozen=True)
+class RankTransitionPlan:
+    """What one rank gathers to move from its training to its gen layout.
+
+    ``reused`` is the rank's own resting training shard (kept in place);
+    ``tiles`` are the rectangles it receives from peers; together they must
+    cover ``target``.  ``group_ranks`` is the collective group the gather
+    runs in.
+    """
+
+    rank: int
+    target: WeightShard
+    reused: WeightShard
+    tiles: tuple  # of GatherTile
+    group_ranks: tuple  # of int
+
+
+@dataclasses.dataclass(frozen=True)
+class TransitionPlan:
+    """The full train->generation all-gather plan, one entry per rank.
+
+    This is the *declarative* form of what :meth:`HybridEngine3D.to_generation`
+    executes — produced independently from the topology geometry so the
+    :class:`~repro.analysis.ShardingVerifier` can prove coverage and
+    zero-redundancy (§5.3, Eq. 1–2) without running the engine.
+    """
+
+    mode: GenGroupingMode
+    by_rank: Dict[int, RankTransitionPlan]
+
+
+def plan_transition(gen: GenTopology) -> TransitionPlan:
+    """Derive the per-rank gather plan a topology pair implies.
+
+    * HYBRIDFLOW: each rank gathers exactly its micro-DP peers' training
+      shards — those tile its generation shard with its own shard reused in
+      place (the zero-redundancy grouping of Figure 8b).
+    * VANILLA: each rank gathers every training model-parallel peer's shard
+      (the full replica) and slices its generation shard out, as
+      ``_gather_vanilla`` does.
+    """
+    train = gen.train
+    by_rank: Dict[int, RankTransitionPlan] = {}
+    for rank in train.global_ranks:
+        if gen.mode is GenGroupingMode.HYBRIDFLOW:
+            group = gen.micro_dp_group(rank)
+        else:
+            group = train.mp_group(rank)
+        tiles = tuple(
+            GatherTile(peer, training_shard(train, peer))
+            for peer in group.ranks
+            if peer != rank
+        )
+        by_rank[rank] = RankTransitionPlan(
+            rank=rank,
+            target=generation_shard(gen, rank),
+            reused=training_shard(train, rank),
+            tiles=tiles,
+            group_ranks=tuple(group.ranks),
+        )
+    return TransitionPlan(mode=gen.mode, by_rank=by_rank)
 
 
 @dataclasses.dataclass
@@ -72,6 +144,10 @@ class HybridEngine3D:
     @property
     def gen_topology(self) -> GenTopology:
         return self.group.gen_topology
+
+    def plan_transition(self) -> TransitionPlan:
+        """The declarative gather plan this engine will execute."""
+        return plan_transition(self.gen_topology)
 
     def _observability(self):
         """The owning controller's (tracer, metrics), if any."""

@@ -38,6 +38,7 @@ from repro.faults.policy import RetryPolicy, SimClock
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.spans import SpanTracer
 from repro.serialization import json_safe
+from repro.single_controller.access_log import CONTROLLER_RANK, READ, WRITE, AccessLog
 from repro.single_controller.resource_pool import ResourcePool
 from repro.single_controller.worker_group import WorkerGroup
 
@@ -109,6 +110,12 @@ class SingleController:
         #: Counters/gauges/histograms fed by the dispatch path, fault gate,
         #: cluster collectors, and RLHF pipeline.
         self.metrics = MetricsRegistry()
+        #: Shared-state read/write events for the RC5xx race detector.
+        self.access_log = AccessLog()
+        #: Seq of the dispatch currently executing, ``None`` between calls
+        #: (controller context).  Set by :class:`RemoteMethod` around the
+        #: distribute/execute/collect round trip.
+        self.current_seq: Optional[int] = None
 
     # -- resources -----------------------------------------------------------------
 
@@ -117,7 +124,22 @@ class SingleController:
         if pool.name in self.pools:
             raise ValueError(f"duplicate pool name {pool.name!r}")
         self.pools[pool.name] = pool
+        for device in pool.devices:
+            device.memory.recorder = self._memory_recorder(device.global_rank)
         return pool
+
+    def _memory_recorder(self, rank: int):
+        """Route a device's ledger mutations into the access log.
+
+        Every ledger op is a *write* to that device's tag; the resource name
+        embeds the rank, so only genuinely cross-rank hazards (which would
+        need two devices writing one resource) can ever collide.
+        """
+
+        def recorder(op: str, tag: str) -> None:
+            self.record_access(WRITE, f"mem[{rank}]/{tag}", rank=rank, note=op)
+
+        return recorder
 
     def release_pools(self) -> None:
         """Return every pool's devices to the cluster (recovery teardown).
@@ -194,7 +216,32 @@ class SingleController:
 
     def reset_trace(self) -> None:
         self.trace.clear()
+        self.access_log.clear()
         self._seq = 0
+
+    def record_access(
+        self,
+        kind: str,
+        resource: str,
+        rank: int = CONTROLLER_RANK,
+        ordered: bool = True,
+        note: str = "",
+    ) -> None:
+        """Log a shared-state access for the RC5xx race detector.
+
+        ``current_seq`` (the in-flight dispatch) and ``next_seq`` (dispatches
+        completed so far) position the event in the happens-before model;
+        callers only say *what* was touched and by *whom*.
+        """
+        self.access_log.record(
+            kind,
+            resource,
+            rank=rank,
+            seq=self.current_seq,
+            after_seq=self._seq,
+            ordered=ordered,
+            note=note,
+        )
 
     # -- checkpointing (§9) ---------------------------------------------------------------
 
@@ -214,6 +261,9 @@ class SingleController:
         with self.tracer.span(
             "checkpoint.write", category="checkpoint", directory=str(directory)
         ) as span:
+            self.record_access(
+                WRITE, f"checkpoint:{directory}", note="save_checkpoint"
+            )
             self._save_checkpoint(directory, extra, span)
 
     def _save_checkpoint(
@@ -292,6 +342,9 @@ class SingleController:
         with self.tracer.span(
             "checkpoint.read", category="checkpoint", directory=str(directory)
         ) as span:
+            self.record_access(
+                READ, f"checkpoint:{directory}", note="load_checkpoint"
+            )
             return self._load_checkpoint(directory, span)
 
     def _load_checkpoint(self, directory: str, span) -> Dict[str, Any]:

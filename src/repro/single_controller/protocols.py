@@ -69,6 +69,12 @@ class ProtocolRequires:
     splits_batch_by: Optional[str] = None
     #: Caller supplies one input per rank instead of a batch (``all_to_all``).
     per_rank_args: bool = False
+    #: The collect function visits contributing ranks in a deterministic
+    #: order.  All shipped protocols do (they walk ranks in group order); a
+    #: custom protocol collecting in e.g. completion order must set this
+    #: False, which the RC5xx race detector reports as the
+    #: ``merge_outputs`` nondeterministic-merge hazard.
+    deterministic_collect: bool = True
 
     def split_degree(self, parallel: Any, gen_config: Any = None) -> Optional[int]:
         """Number of chunks a batch argument is split into, if any."""

@@ -221,8 +221,13 @@ class RemoteMethod:
                 protocol=self.protocol_name,
                 deps=list(deps),
             )
+        prev_seq = getattr(controller, "current_seq", None)
         try:
             duration = self._dispatch_gate()
+            # every shared-state access below happens *inside* this dispatch:
+            # stamp it with the seq notify_executed will assign afterwards
+            if controller is not None:
+                controller.current_seq = controller.next_seq
             if tracer is not None:
                 with tracer.span(
                     "distribute", category="protocol", pool=pool.name,
@@ -234,6 +239,7 @@ class RemoteMethod:
             outputs: List[Any] = []
             for worker, (wargs, wkwargs) in zip(self.group.workers, calls):
                 outputs.append(getattr(worker, self.method_name)(*wargs, **wkwargs))
+            self._record_merge_accesses(controller, outputs)
             if tracer is not None:
                 with tracer.span(
                     "collect", category="protocol", pool=pool.name,
@@ -278,8 +284,41 @@ class RemoteMethod:
                 span.attrs.setdefault("error", type(exc).__name__)
             raise
         finally:
+            if controller is not None:
+                controller.current_seq = prev_seq
             if span is not None:
                 tracer.end(span)
+
+    def _record_merge_accesses(self, controller, outputs: List[Any]) -> None:
+        """Log the per-rank writes into this call's output merge buffer.
+
+        Each rank that produced a (non-``None``) output conceptually writes
+        one slot of a shared merge buffer the controller then reads and
+        folds with ``merge_outputs``.  Whether those writes land in a
+        deterministic order is a property of the protocol
+        (``requires.deterministic_collect``); the RC5xx race detector flags
+        unordered multi-rank writes as the nondeterministic-merge hazard.
+        """
+        if controller is None or not hasattr(controller, "record_access"):
+            return
+        from repro.single_controller.access_log import READ, WRITE
+
+        resource = f"merge[{self.group.name}.{self.method_name}]"
+        ordered = self.protocol.requires.deterministic_collect
+        wrote = False
+        for worker, output in zip(self.group.workers, outputs):
+            if output is None:
+                continue
+            wrote = True
+            controller.record_access(
+                WRITE,
+                resource,
+                rank=worker.ctx.global_rank,
+                ordered=ordered,
+                note=self.protocol_name,
+            )
+        if wrote:
+            controller.record_access(READ, resource, note="collect")
 
     def _generated_tokens(self, result: Any) -> int:
         """Response tokens in a ``generate_sequences`` output batch, else 0."""

@@ -210,6 +210,13 @@ class TestDataflowChecker:
         df105 = report.by_rule("DF105")
         assert len(df105) == 1 and "gen_parallel" in df105[0].message
 
+    def test_family_counts_wildcards_the_rule(self):
+        report = AnalysisReport("t")
+        report.add("DF101", ERROR, "m", "loc")
+        report.add("DF102", ERROR, "m", "loc")
+        report.add("RC501", ERROR, "m", "loc")
+        assert report.family_counts() == {"DF1xx": 2, "RC5xx": 1}
+
     def test_registered_methods_reads_the_decorator(self):
         from repro.single_controller import Worker, register
 
@@ -226,6 +233,93 @@ class TestDataflowChecker:
                 return None
 
         assert registered_methods(Probe) == [("visible", "one_to_all")]
+
+
+def variant_plan(roles):
+    """A placement plan assigning exactly ``roles`` (tiny shapes)."""
+    par = ParallelConfig(pp=1, tp=2, dp=1)
+    assignments = {}
+    for role in roles:
+        if role == "actor":
+            assignments[role] = ModelAssignment(
+                "main", par, GenParallelConfig.derive(par, 1, 1)
+            )
+        elif role in ("reward", "cost"):
+            assignments[role] = ModelAssignment("r", ParallelConfig(1, 1, 1))
+        else:
+            assignments[role] = ModelAssignment("main", par)
+    return PlacementPlan(pools={"main": 2, "r": 1}, assignments=assignments)
+
+
+class TestDataflowVariants:
+    """check_plan across the Figure 1 dataflow variants (DF105/DF106/DF107)."""
+
+    def test_remax_clean_plan(self):
+        report = DataflowChecker(global_batch_size=8).check_plan(
+            AlgoType.REMAX,
+            variant_plan(("actor", "reference", "reward")),
+            function_rewards=("reward",),
+        )
+        assert report.findings == []
+
+    def test_remax_missing_reference_is_df105(self):
+        report = DataflowChecker(global_batch_size=8).check_plan(
+            AlgoType.REMAX,
+            variant_plan(("actor", "reward")),
+            function_rewards=("reward",),
+        )
+        df105 = report.by_rule("DF105")
+        assert len(df105) == 1 and "reference" in df105[0].message
+
+    def test_remax_with_critic_is_df106_warning(self):
+        report = DataflowChecker(global_batch_size=8).check_plan(
+            AlgoType.REMAX,
+            variant_plan(("actor", "critic", "reference", "reward")),
+            function_rewards=("reward",),
+        )
+        df106 = report.by_rule("DF106")
+        assert len(df106) == 1
+        assert df106[0].severity == WARNING
+        assert "critic" in df106[0].message
+        assert report.ok() and not report.ok(strict=True)
+
+    def test_grpo_group_size_one_is_df107(self):
+        report = DataflowChecker(global_batch_size=8).check_plan(
+            AlgoType.GRPO,
+            variant_plan(("actor", "reference", "reward")),
+            function_rewards=("reward",),
+            group_size=1,
+        )
+        df107 = report.by_rule("DF107")
+        assert len(df107) == 1 and df107[0].severity == ERROR
+        assert "group_size=1" in df107[0].message
+
+    def test_grpo_default_group_size_is_clean(self):
+        # group_size=None inherits TrainerConfig's default (4)
+        report = DataflowChecker(global_batch_size=8).check_plan(
+            AlgoType.GRPO,
+            variant_plan(("actor", "reference", "reward")),
+            function_rewards=("reward",),
+        )
+        assert report.findings == []
+        assert report.checked["grpo_group_size"] == 1
+
+    def test_safe_rlhf_missing_cost_is_df105(self):
+        report = DataflowChecker(global_batch_size=8).check_plan(
+            AlgoType.SAFE_RLHF,
+            variant_plan(("actor", "critic", "reference", "reward")),
+            function_rewards=("reward",),
+        )
+        df105 = report.by_rule("DF105")
+        assert len(df105) == 1 and "cost" in df105[0].message
+
+    def test_safe_rlhf_clean_plan(self):
+        report = DataflowChecker(global_batch_size=8).check_plan(
+            AlgoType.SAFE_RLHF,
+            variant_plan(("actor", "critic", "reference", "reward", "cost")),
+            function_rewards=("reward", "cost"),
+        )
+        assert report.findings == []
 
 
 # ---------------------------------------------------------------------------
@@ -495,12 +589,47 @@ class TestRepoLint:
             "import numpy as np\n"
             "np.random.seed(0)  # repro-lint: ignore[RL302]\n"
         )
-        assert [f.rule for f in report.findings] == ["RL301"]
+        # RL301 still fires, and RL306 flags the suppression as stale
+        # (nothing on the line triggers RL302).
+        assert [f.rule for f in report.findings] == ["RL301", "RL306"]
 
     def test_bare_suppression_silences_everything(self):
         report = lint(
             "import time\nt = time.time()  # repro-lint: ignore\n"
         )
+        assert report.findings == []
+
+    def test_unused_suppression_is_exactly_one_rl306(self):
+        report = lint("x = 1  # repro-lint: ignore[RL303]\n")
+        rl306 = report.by_rule("RL306")
+        assert [f.rule for f in report.findings] == ["RL306"]
+        assert rl306[0].severity == WARNING
+        assert rl306[0].location == "mod.py:1"
+        assert "RL303" in rl306[0].message
+
+    def test_unused_bare_suppression_is_rl306(self):
+        report = lint("x = 1  # repro-lint: ignore\n")
+        assert [f.rule for f in report.findings] == ["RL306"]
+
+    def test_used_suppression_is_not_rl306(self):
+        report = lint(
+            "import numpy as np\n"
+            "np.random.seed(0)  # repro-lint: ignore[RL301]\n"
+        )
+        assert report.findings == []
+
+    def test_partial_rule_run_cannot_call_suppressions_unused(self):
+        # with only RL302 active, an ignore[RL301] line may still be load-
+        # bearing under the full catalog — no RL306
+        report = lint(
+            "import numpy as np\n"
+            "np.random.seed(0)  # repro-lint: ignore[RL301]\n",
+            rules=["RL302", "RL306"],
+        )
+        assert report.findings == []
+
+    def test_marker_inside_a_string_is_not_a_suppression(self):
+        report = lint("hint = \"# repro-lint: ignore\"\n")
         assert report.findings == []
 
     def test_syntax_error_is_rl300(self):

@@ -182,3 +182,70 @@ class TestServe:
 
     def test_rejects_bad_priority_levels(self, capsys):
         assert main(["serve", "--priority-levels", "0"]) == 2
+
+
+class TestCheckCommand:
+    def test_sharding_and_races_passes_run(self, capsys):
+        assert main(["check", "--skip", "lint", "--skip", "dataflow"]) == 0
+        out = capsys.readouterr().out
+        assert "geometry_cross_checks" in out
+        assert "zero_configs" in out
+        assert "repro check passed" in out
+
+    def test_format_json_emits_report_on_stdout(self, capsys):
+        import json as json_mod
+
+        assert main(
+            [
+                "check",
+                "--format",
+                "json",
+                "--skip",
+                "lint",
+                "--skip",
+                "dataflow",
+                "--skip",
+                "trace",
+                "--skip",
+                "races",
+            ]
+        ) == 0
+        captured = capsys.readouterr()
+        doc = json_mod.loads(captured.out)
+        assert doc["name"] == "repro check"
+        assert doc["n_errors"] == 0
+        assert "findings" in doc
+        # human summary moved to stderr
+        assert "repro check passed" in captured.err
+
+    def test_json_flag_is_an_alias(self, capsys):
+        import json as json_mod
+
+        assert main(
+            ["check", "--json", "--skip", "lint", "--skip", "dataflow",
+             "--skip", "trace", "--skip", "races"]
+        ) == 0
+        doc = json_mod.loads(capsys.readouterr().out)
+        assert doc["name"] == "repro check"
+
+    def test_failure_line_lists_family_counts(self, capsys, tmp_path):
+        # lint a file with a seeded violation: non-zero exit and the summary
+        # names the failing rule family with its count
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nt = time.time()\n")
+        assert main(
+            [
+                "check",
+                str(bad),
+                "--skip",
+                "dataflow",
+                "--skip",
+                "sharding",
+                "--skip",
+                "trace",
+                "--skip",
+                "races",
+            ]
+        ) == 1
+        err = capsys.readouterr().err
+        assert "repro check FAILED [RL3xx=1]" in err
