@@ -19,6 +19,10 @@ Five subcommands, mirroring the evaluation's workflows:
   (Figure 3) plus the runtime-span track, verifying the exported busy/idle
   fractions against the in-memory timeline accounting.
 * ``metrics`` — same run, dumped as Prometheus text exposition.
+* ``fleet`` — gang-schedule several tenant RLHF jobs onto one shared
+  simulated cluster under injected machine/rack kills, with elastic
+  resizing, checkpoint-and-evict preemption, and per-job MTTR/goodput/
+  fairness accounting (``repro.fleet``).
 * ``serve`` — run the functional continuous-batching rollout server
   (paged KV blocks, priority scheduling, preempt-and-recompute) on a
   synthetic request stream, report latency/SLO statistics, and cross-check
@@ -36,6 +40,7 @@ Examples::
     python -m repro.cli trace --out run.json --kill-device 1 --at-step 30
     python -m repro.cli metrics --out metrics.prom
     python -m repro.cli serve --requests 16 --slots 4 --blocks 12
+    python -m repro.cli fleet --jobs 3 --kill-machine 0 --kill-machine 2
 """
 
 from __future__ import annotations
@@ -702,6 +707,129 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """Multi-tenant fleet run: N jobs, one shared cluster, injected kills."""
+    import json
+    import tempfile
+
+    from repro.faults import FaultPlan
+    from repro.fleet import FleetScheduler, JobSpec
+    from repro.observability import collect_fleet_metrics
+    from repro.serialization import json_safe
+
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
+    spec = ClusterSpec(
+        n_machines=args.machines, gpus_per_machine=args.gpus_per_machine
+    )
+    # Job 0 is elastic (prefers DP=2, accepts DP=1); the rest are fixed-width
+    # DP=1 tenants.  Seeds differ so the tenants are distinct models.
+    jobs = [
+        JobSpec(
+            name=f"job{i}",
+            priority=0,
+            n_iterations=args.iterations,
+            checkpoint_every=args.ckpt_every,
+            tp=2,
+            preferred_dp=2 if i == 0 else 1,
+            min_dp=1,
+            seed=7 + 2 * i,
+        )
+        for i in range(args.jobs)
+    ]
+    demand = " + ".join(str(j.gpus_at(j.preferred_dp)) for j in jobs)
+
+    plan = FaultPlan()
+    for machine in args.kill_machines or ():
+        if not 0 <= machine < spec.n_machines:
+            print(
+                f"--kill-machine {machine} out of range for "
+                f"{spec.n_machines} machine(s)",
+                file=sys.stderr,
+            )
+            return 2
+        plan.kill_machine(machine, at_step=args.at_tick)
+    if args.kill_rack is not None:
+        n_racks = max(1, spec.n_machines // args.machines_per_rack)
+        if not 0 <= args.kill_rack < n_racks:
+            print(
+                f"--kill-rack {args.kill_rack} out of range for "
+                f"{n_racks} rack(s)",
+                file=sys.stderr,
+            )
+            return 2
+        plan.kill_rack(
+            args.kill_rack,
+            at_step=args.at_tick,
+            machines_per_rack=args.machines_per_rack,
+        )
+
+    print(
+        f"fleet: {args.jobs} tenant job(s) (GPU demand {demand}) on "
+        f"{spec.n_gpus} shared GPUs, {len(plan)} scheduled kill(s) at "
+        f"tick {args.at_tick}"
+    )
+    with tempfile.TemporaryDirectory() as ckpt_root:
+        scheduler = FleetScheduler(
+            spec,
+            jobs,
+            checkpoint_root=ckpt_root,
+            fault_plan=plan,
+            preemption=not args.no_preemption,
+            run_checks=not args.no_checks,
+        )
+        report = scheduler.run()
+        registry = collect_fleet_metrics(scheduler)
+    for line in report.summary_lines():
+        print(line)
+
+    gate_clean = not report.checks_run or not report.analysis_findings
+    goodputs = {j.name: j.goodput for j in report.jobs}
+    ok = (
+        report.all_completed
+        and all(g > 0 for g in goodputs.values())
+        and gate_clean
+    )
+    if args.bench_out:
+        import pathlib
+
+        bench = {
+            "benchmark": "fleet_chaos_smoke",
+            "jobs": args.jobs,
+            "cluster_gpus": spec.n_gpus,
+            "devices_killed": report.devices_killed,
+            "goodput_per_job": goodputs,
+            "goodput_mean": sum(goodputs.values()) / len(goodputs),
+            "mttr": report.mttr,
+            "fairness": report.fairness,
+            "preemptions": report.preemptions,
+            "resizes": report.resizes,
+            "failures": report.failures,
+            "makespan": report.makespan,
+            "ticks": report.ticks,
+            "all_completed": report.all_completed,
+            "analysis_findings": dict(report.analysis_findings),
+            "metrics_series": len(registry),
+            "ok": ok,
+        }
+        out = pathlib.Path(args.bench_out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(json_safe(bench, "fleet"), indent=2) + "\n")
+        print(f"  wrote benchmark record to {out}")
+    if not ok:
+        reasons = []
+        if not report.all_completed:
+            reasons.append("not every job completed")
+        if not all(g > 0 for g in goodputs.values()):
+            reasons.append("a job finished with zero goodput")
+        if not gate_clean:
+            reasons.append("analysis gate found issues")
+        print(f"fleet run FAILED: {'; '.join(reasons)}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _example_plan_reports(batch: int):
     """DataflowChecker reports for the configurations the repo ships.
 
@@ -1048,6 +1176,80 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--seed", type=int, default=0, help="workload + model seed")
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "fleet",
+        help=(
+            "multi-tenant fleet run: gang-schedule N tiny RLHF jobs onto "
+            "one shared cluster under injected machine/rack kills"
+        ),
+    )
+    p.add_argument("--jobs", type=int, default=3, help="tenant job count")
+    p.add_argument(
+        "--machines", type=int, default=3, help="simulated machines"
+    )
+    p.add_argument(
+        "--gpus-per-machine",
+        type=int,
+        default=4,
+        help="GPUs per simulated machine",
+    )
+    p.add_argument(
+        "--iterations", type=int, default=4, help="PPO iterations per job"
+    )
+    p.add_argument(
+        "--ckpt-every",
+        type=int,
+        default=1,
+        help="checkpoint interval in iterations",
+    )
+    p.add_argument(
+        "--kill-machine",
+        action="append",
+        dest="kill_machines",
+        type=int,
+        metavar="M",
+        help=(
+            "kill machine M at --at-tick; repeat for a correlated "
+            "multi-machine failure"
+        ),
+    )
+    p.add_argument(
+        "--kill-rack",
+        type=int,
+        default=None,
+        metavar="R",
+        help="kill every machine in rack R at --at-tick",
+    )
+    p.add_argument(
+        "--machines-per-rack",
+        type=int,
+        default=2,
+        help="rack width for --kill-rack",
+    )
+    p.add_argument(
+        "--at-tick",
+        type=int,
+        default=2,
+        help="scheduler tick at which the kills land",
+    )
+    p.add_argument(
+        "--no-preemption",
+        action="store_true",
+        help="disable checkpoint-and-evict preemption",
+    )
+    p.add_argument(
+        "--no-checks",
+        action="store_true",
+        help="skip the DF/TA/SH/RC analysis gate over completed jobs",
+    )
+    p.add_argument(
+        "--bench-out",
+        default=None,
+        metavar="FILE",
+        help="write a JSON benchmark record (goodput, MTTR, fairness)",
+    )
+    p.set_defaults(fn=cmd_fleet)
 
     p = sub.add_parser(
         "check",

@@ -166,6 +166,34 @@ class SimCluster:
                 died.append(device.global_rank)
         return died
 
+    def fail_rack(
+        self,
+        rack: int,
+        machines_per_rack: int = 2,
+        at_time: Optional[float] = None,
+    ) -> List[int]:
+        """Kill every device in one rack — a correlated multi-machine loss.
+
+        Racks are contiguous machine blocks: rack ``r`` covers machines
+        ``[r * machines_per_rack, (r + 1) * machines_per_rack)``, clipped to
+        the cluster.  Returns the ranks that died now.
+        """
+        if machines_per_rack < 1:
+            raise ValueError(
+                f"machines_per_rack must be >= 1, got {machines_per_rack}"
+            )
+        first = rack * machines_per_rack
+        if not 0 <= first < self.spec.n_machines:
+            raise ValueError(
+                f"rack {rack} out of range: machines start at {first}, "
+                f"cluster has {self.spec.n_machines} machines"
+            )
+        died = []
+        last = min(first + machines_per_rack, self.spec.n_machines)
+        for machine in range(first, last):
+            died.extend(self.fail_machine(machine, at_time=at_time))
+        return died
+
     def total_memory_in_use(self) -> int:
         return sum(d.memory.used for d in self.devices)
 

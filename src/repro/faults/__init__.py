@@ -18,21 +18,24 @@ makes failure a first-class simulated event:
 from repro.faults.errors import (
     CallTimeoutError,
     FaultError,
+    RetryBudgetExhausted,
     TransientRpcError,
     WorkerLostError,
 )
 from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
 from repro.faults.policy import RetryPolicy, SimClock
-from repro.faults.injector import FaultInjector, FaultStats
+from repro.faults.injector import ClusterFaultDriver, FaultInjector, FaultStats
 
 __all__ = [
     "CallTimeoutError",
+    "ClusterFaultDriver",
     "FaultError",
     "FaultEvent",
     "FaultInjector",
     "FaultKind",
     "FaultPlan",
     "FaultStats",
+    "RetryBudgetExhausted",
     "RetryPolicy",
     "SimClock",
     "TransientRpcError",

@@ -74,3 +74,45 @@ class WorkerLostError(FaultError):
         self.step = step
         self.cause = cause
         super().__init__(message)
+
+
+class RetryBudgetExhausted(WorkerLostError):
+    """The per-call retry *deadline* ran out before the retry count did.
+
+    Raised by :meth:`RetryPolicy.backoff_delay` (and surfaced by the
+    dispatch gate) when a call has already spent its whole ``deadline``
+    budget on attempts, timeouts, and backoff waits.  Subclasses
+    :class:`WorkerLostError` so recovery escalates it like any permanent
+    loss, while the distinct type lets callers tell "we ran out of time"
+    from "the retry count ran out".
+
+    Attributes (beyond :class:`WorkerLostError`'s):
+        method: Remote method name of the call that ran out of budget.
+        deadline: The per-call budget (simulated seconds).
+        spent: Simulated seconds consumed when the budget was declared gone.
+        attempts: Call attempts made before giving up.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        group: str = "",
+        method: str = "",
+        pool: str = "",
+        step: Optional[int] = None,
+        deadline: float = 0.0,
+        spent: float = 0.0,
+        attempts: int = 0,
+    ) -> None:
+        self.method = method
+        self.deadline = deadline
+        self.spent = spent
+        self.attempts = attempts
+        super().__init__(
+            message,
+            group=group,
+            pool=pool,
+            dead_ranks=(),
+            step=step,
+            cause="retry deadline exhausted",
+        )

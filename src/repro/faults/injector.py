@@ -164,6 +164,14 @@ class FaultInjector:
                     count_kills(1)
             elif event.kind is FaultKind.MACHINE_LOSS:
                 count_kills(len(cluster.fail_machine(event.machine, at_time=now)))
+            elif event.kind is FaultKind.RACK_LOSS:
+                count_kills(
+                    len(
+                        cluster.fail_rack(
+                            event.rack, event.machines_per_rack, at_time=now
+                        )
+                    )
+                )
             elif event.kind is FaultKind.TRANSIENT_RPC:
                 self._transients.append(_ActiveTransient(event))
             elif event.kind is FaultKind.STRAGGLER:
@@ -174,6 +182,76 @@ class FaultInjector:
     def __repr__(self) -> str:
         return (
             f"FaultInjector({len(self._pending)} pending of "
+            f"{len(self.plan)} events)"
+        )
+
+
+#: Kill kinds a fleet-level chaos plan may carry (capacity faults only).
+KILL_KINDS = frozenset(
+    {FaultKind.DEVICE_LOSS, FaultKind.MACHINE_LOSS, FaultKind.RACK_LOSS}
+)
+
+
+class ClusterFaultDriver:
+    """Fleet-scoped fault delivery: kills devices in a shared cluster directly.
+
+    A :class:`FaultInjector` keys events by *one controller's* trace steps,
+    which has no meaning when several tenant jobs (each with its own
+    controller and trace) share a cluster.  The driver instead keys the same
+    :class:`FaultPlan` events by **fleet scheduler tick** and mutates the
+    shared :class:`~repro.cluster.SimCluster` between ticks; each job then
+    *detects* the loss on its next remote call through its own (possibly
+    empty-plan) injector — detection-on-contact, exactly like single-job
+    faults.
+
+    Only capacity faults (device / machine / rack kills) are meaningful
+    fleet-wide; transient and straggler events belong in a per-job plan and
+    are rejected loudly.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        bad = [e.kind.value for e in plan if e.kind not in KILL_KINDS]
+        if bad:
+            raise ValueError(
+                f"a fleet fault plan may only contain kill events "
+                f"(device/machine/rack loss); got {sorted(set(bad))} — "
+                f"put transient/straggler events in a per-job plan instead"
+            )
+        self.plan = plan
+        self._pending: List[FaultEvent] = sorted(
+            plan.events, key=lambda e: e.at_step
+        )
+        self.devices_killed = 0
+
+    @property
+    def pending_events(self) -> Tuple[FaultEvent, ...]:
+        return tuple(self._pending)
+
+    def apply_due(
+        self, cluster, tick: int, at_time: Optional[float] = None
+    ) -> List[int]:
+        """Apply every event due at or before ``tick``; returns ranks killed now."""
+        died: List[int] = []
+        while self._pending and self._pending[0].at_step <= tick:
+            event = self._pending.pop(0)
+            if event.kind is FaultKind.DEVICE_LOSS:
+                if cluster.device(event.rank).alive:
+                    cluster.fail_device(event.rank, at_time=at_time)
+                    died.append(event.rank)
+            elif event.kind is FaultKind.MACHINE_LOSS:
+                died.extend(cluster.fail_machine(event.machine, at_time=at_time))
+            elif event.kind is FaultKind.RACK_LOSS:
+                died.extend(
+                    cluster.fail_rack(
+                        event.rack, event.machines_per_rack, at_time=at_time
+                    )
+                )
+        self.devices_killed += len(died)
+        return died
+
+    def __repr__(self) -> str:
+        return (
+            f"ClusterFaultDriver({len(self._pending)} pending of "
             f"{len(self.plan)} events)"
         )
 

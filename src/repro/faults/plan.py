@@ -22,6 +22,7 @@ class FaultKind(str, enum.Enum):
 
     DEVICE_LOSS = "device_loss"  # one GPU dies permanently
     MACHINE_LOSS = "machine_loss"  # a whole machine (all its GPUs) dies
+    RACK_LOSS = "rack_loss"  # a rack (several adjacent machines) dies at once
     TRANSIENT_RPC = "transient_rpc"  # a retryable controller->group RPC failure
     STRAGGLER = "straggler"  # one rank becomes persistently slow
 
@@ -36,6 +37,11 @@ class FaultEvent:
             effect on the first remote call at or after this step.
         rank: Target global device rank (``DEVICE_LOSS`` / ``STRAGGLER``).
         machine: Target machine index (``MACHINE_LOSS``).
+        rack: Target rack index (``RACK_LOSS``).  A rack is a contiguous
+            block of ``machines_per_rack`` machines — a correlated failure
+            domain (shared power/top-of-rack switch) that takes several
+            machines down in the same tick.
+        machines_per_rack: Machines per rack for ``RACK_LOSS`` events.
         group: Restrict ``TRANSIENT_RPC`` to calls of this worker group
             (``None`` = any group).
         pool: Restrict ``TRANSIENT_RPC`` to groups on this pool.
@@ -47,6 +53,8 @@ class FaultEvent:
     at_step: int
     rank: Optional[int] = None
     machine: Optional[int] = None
+    rack: Optional[int] = None
+    machines_per_rack: int = 2
     group: Optional[str] = None
     pool: Optional[str] = None
     count: int = 1
@@ -59,6 +67,13 @@ class FaultEvent:
             raise ValueError("DEVICE_LOSS needs a target rank")
         if self.kind is FaultKind.MACHINE_LOSS and self.machine is None:
             raise ValueError("MACHINE_LOSS needs a target machine")
+        if self.kind is FaultKind.RACK_LOSS:
+            if self.rack is None:
+                raise ValueError("RACK_LOSS needs a target rack")
+            if self.machines_per_rack < 1:
+                raise ValueError(
+                    f"machines_per_rack must be >= 1, got {self.machines_per_rack}"
+                )
         if self.kind is FaultKind.STRAGGLER:
             if self.rank is None:
                 raise ValueError("STRAGGLER needs a target rank")
@@ -89,6 +104,25 @@ class FaultPlan:
     def kill_machine(self, machine: int, at_step: int) -> "FaultPlan":
         return self._add(
             FaultEvent(FaultKind.MACHINE_LOSS, at_step=at_step, machine=machine)
+        )
+
+    def kill_machines(self, machines: Sequence[int], at_step: int) -> "FaultPlan":
+        """Correlated loss: several whole machines die in the same tick."""
+        for machine in machines:
+            self.kill_machine(machine, at_step=at_step)
+        return self
+
+    def kill_rack(
+        self, rack: int, at_step: int, machines_per_rack: int = 2
+    ) -> "FaultPlan":
+        """Correlated loss of one failure domain: a contiguous machine block."""
+        return self._add(
+            FaultEvent(
+                FaultKind.RACK_LOSS,
+                at_step=at_step,
+                rack=rack,
+                machines_per_rack=machines_per_rack,
+            )
         )
 
     def transient(
@@ -135,6 +169,7 @@ class FaultPlan:
         max_step: int,
         n_ranks: int,
         n_machines: int = 1,
+        machines_per_rack: int = 2,
         kinds: Sequence[FaultKind] = (
             FaultKind.TRANSIENT_RPC,
             FaultKind.STRAGGLER,
@@ -145,6 +180,7 @@ class FaultPlan:
         if n_events < 0 or max_step < 1 or n_ranks < 1:
             raise ValueError("need n_events >= 0, max_step >= 1, n_ranks >= 1")
         rng = np.random.default_rng(seed)
+        n_racks = max(1, n_machines // machines_per_rack)
         events: List[FaultEvent] = []
         for _ in range(n_events):
             kind = kinds[int(rng.integers(len(kinds)))]
@@ -156,6 +192,15 @@ class FaultPlan:
             elif kind is FaultKind.MACHINE_LOSS:
                 events.append(
                     FaultEvent(kind, step, machine=int(rng.integers(n_machines)))
+                )
+            elif kind is FaultKind.RACK_LOSS:
+                events.append(
+                    FaultEvent(
+                        kind,
+                        step,
+                        rack=int(rng.integers(n_racks)),
+                        machines_per_rack=machines_per_rack,
+                    )
                 )
             elif kind is FaultKind.STRAGGLER:
                 events.append(

@@ -15,6 +15,8 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.faults.errors import RetryBudgetExhausted
+
 
 class SimClock:
     """A monotonically advancing simulated clock (seconds)."""
@@ -51,6 +53,14 @@ class RetryPolicy:
         timeout: Per-call ceiling on the simulated clock; a call whose
             (straggler-inflated) duration exceeds it raises
             ``CallTimeoutError``.  ``None`` disables the timeout.
+        deadline: Total simulated-seconds budget one call may spend across
+            *all* attempts, timeouts, and backoff waits.  Without it a call
+            with ``max_retries=3`` and a 2s timeout can burn ~8s+ of clock —
+            more than any single ``timeout`` a caller thinks it set.  When
+            the budget is gone, retrying raises
+            :class:`~repro.faults.errors.RetryBudgetExhausted` instead of
+            waiting again.  ``None`` (default) keeps the old unbounded
+            behaviour.
         seed: Seed of the jitter stream.
     """
 
@@ -59,6 +69,7 @@ class RetryPolicy:
     backoff_factor: float = 2.0
     jitter: float = 0.0
     timeout: Optional[float] = None
+    deadline: Optional[float] = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -71,17 +82,49 @@ class RetryPolicy:
             )
         if self.timeout is not None and self.timeout <= 0:
             raise ValueError(f"timeout must be positive, got {self.timeout}")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {self.deadline}")
         self._rng = np.random.default_rng(self.seed)
 
-    def backoff_delay(self, attempt: int) -> float:
-        """Delay before retry ``attempt`` (1-based), deterministic under seed."""
+    def backoff_delay(self, attempt: int, spent: Optional[float] = None) -> float:
+        """Delay before retry ``attempt`` (1-based), deterministic under seed.
+
+        With a ``deadline`` configured, pass ``spent`` (simulated seconds this
+        call has already consumed) and the delay is clipped to the remaining
+        budget; a call whose budget is already gone gets
+        :class:`RetryBudgetExhausted` rather than another wait.
+        """
         if attempt < 1:
             raise ValueError(f"attempt is 1-based, got {attempt}")
         delay = self.backoff_base * self.backoff_factor ** (attempt - 1)
         if self.jitter:
             delay *= 1.0 + self.jitter * float(self._rng.random())
+        if self.deadline is not None and spent is not None:
+            remaining = self.deadline - spent
+            if remaining <= 0:
+                raise RetryBudgetExhausted(
+                    f"retry budget exhausted after {spent:.3f}s of a "
+                    f"{self.deadline:.3f}s deadline (attempt {attempt})",
+                    deadline=self.deadline,
+                    spent=spent,
+                    attempts=attempt,
+                )
+            delay = min(delay, remaining)
         return delay
 
     def schedule(self) -> List[float]:
-        """The full backoff schedule a call would see (consumes the jitter stream)."""
-        return [self.backoff_delay(i + 1) for i in range(self.max_retries)]
+        """The full backoff schedule a call would see (consumes the jitter stream).
+
+        With a ``deadline``, the schedule is truncated so its cumulative sum
+        never exceeds the budget: the last delay is clipped to what remains
+        and later retries are dropped entirely.
+        """
+        delays: List[float] = []
+        spent = 0.0
+        for i in range(self.max_retries):
+            if self.deadline is not None and spent >= self.deadline:
+                break
+            delay = self.backoff_delay(i + 1, spent=spent if self.deadline else None)
+            delays.append(delay)
+            spent += delay
+        return delays

@@ -1,0 +1,189 @@
+"""Tenant job description: what one RLHF job in the fleet looks like.
+
+A :class:`JobSpec` is the scheduler-facing contract of a job: its priority,
+its iteration budget, its *elastic range* of data-parallel widths, and how
+to build a fresh :class:`~repro.runtime.builder.RlhfSystem` for it at any
+admissible width.  The build is deterministic in (spec, width), which is
+what makes checkpoint/evict/resize/resume bit-exact.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from repro.config import ClusterSpec, GenParallelConfig, ParallelConfig
+from repro.data.dataset import PromptDataset
+from repro.mapping.elastic import candidate_dps as _candidate_dps
+from repro.models.tinylm import TinyLMConfig
+from repro.rlhf.core import AlgoType
+from repro.data.dataset import SyntheticPreferenceTask
+from repro.rlhf.trainers import TrainerConfig
+from repro.runtime.builder import RlhfSystem, build_rlhf_system
+from repro.runtime.placement import ModelAssignment, PlacementPlan
+
+#: Algorithms whose model set (actor/critic/reference + function reward) the
+#: default job shape can build; SAFE_RLHF needs a cost model pool.
+SUPPORTED_ALGOS = (AlgoType.PPO, AlgoType.REMAX, AlgoType.GRPO)
+
+
+@dataclasses.dataclass
+class JobSpec:
+    """One tenant RLHF job submitted to the fleet.
+
+    Attributes:
+        name: Unique job name (also its checkpoint subdirectory).
+        priority: Larger = more important; preemption only ever evicts a
+            strictly lower-priority victim.
+        n_iterations: PPO iterations to run to completion.
+        batch_size: Global batch per iteration; every admissible DP width
+            must divide it (asserted at construction).
+        checkpoint_every: Save an atomic checkpoint after every N completed
+            iterations.
+        tp: Tensor-parallel width (fixed — only DP is elastic).
+        preferred_dp: DP width the job wants when capacity allows.
+        min_dp: Narrowest DP width the job accepts when degraded.
+        arrival_tick: Fleet tick at which the job becomes schedulable.
+        seed: Seed for model init, worker RNG streams, and the trainer.
+        algo: RLHF algorithm variant (see :data:`SUPPORTED_ALGOS`).
+        model_config: Model architecture; defaults to the tiny functional
+            LM every integration test uses.
+    """
+
+    name: str
+    priority: int = 0
+    n_iterations: int = 4
+    batch_size: int = 8
+    checkpoint_every: int = 1
+    tp: int = 2
+    preferred_dp: int = 1
+    min_dp: int = 1
+    arrival_tick: int = 0
+    seed: int = 7
+    lr: float = 5e-3
+    kl_coef: float = 0.01
+    max_new_tokens: int = 6
+    target_token: int = 7
+    dataset_seed: int = 1
+    n_prompts: int = 128
+    prompt_length: int = 4
+    algo: AlgoType = AlgoType.PPO
+    model_config: Optional[TinyLMConfig] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a job needs a non-empty name")
+        if self.n_iterations < 1:
+            raise ValueError(f"n_iterations must be >= 1, got {self.n_iterations}")
+        if self.checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1, got {self.checkpoint_every}"
+            )
+        if self.min_dp < 1 or self.preferred_dp < self.min_dp:
+            raise ValueError(
+                f"need 1 <= min_dp <= preferred_dp, got "
+                f"{self.min_dp}..{self.preferred_dp}"
+            )
+        self.algo = AlgoType(self.algo)
+        if self.algo not in SUPPORTED_ALGOS:
+            raise ValueError(
+                f"fleet jobs support {[a.value for a in SUPPORTED_ALGOS]}, "
+                f"got {self.algo.value}"
+            )
+        if self.model_config is None:
+            self.model_config = TinyLMConfig(
+                n_layers=2,
+                hidden_size=32,
+                n_heads=4,
+                ffn_hidden_size=48,
+                vocab_size=16,
+                max_seq_len=32,
+            )
+        if not self.candidate_dps():
+            raise ValueError(
+                f"job {self.name!r} has no admissible DP width: none of "
+                f"{self.min_dp}..{self.preferred_dp} divides "
+                f"batch_size={self.batch_size}"
+            )
+
+    # -- elastic geometry --------------------------------------------------------------
+
+    def candidate_dps(self) -> List[int]:
+        """Admissible DP widths, widest (most preferred) first."""
+        return _candidate_dps(
+            self.preferred_dp, self.min_dp, batch_size=self.batch_size
+        )
+
+    def gpus_at(self, dp: int) -> int:
+        """GPU demand at width ``dp``: the model pool plus one reward GPU."""
+        return self.tp * dp + 1
+
+    @property
+    def min_gpus(self) -> int:
+        return self.gpus_at(self.candidate_dps()[-1])
+
+    # -- construction ------------------------------------------------------------------
+
+    def plan_at(self, dp: int) -> PlacementPlan:
+        """Colocated placement of the job's models at DP width ``dp``."""
+        par = ParallelConfig(pp=1, tp=self.tp, dp=dp)
+        roles = {"actor", "critic", "reference"}
+        if self.algo in (AlgoType.REMAX, AlgoType.GRPO):
+            roles = {"actor", "reference"}
+        assignments = {
+            role: ModelAssignment(
+                "main",
+                par,
+                GenParallelConfig.derive(par, 1, 1) if role == "actor" else None,
+            )
+            for role in roles
+        }
+        assignments["reward"] = ModelAssignment("r", ParallelConfig(1, 1, 1))
+        return PlacementPlan(
+            pools={"main": self.tp * dp, "r": 1}, assignments=assignments
+        )
+
+    def dataset(self) -> PromptDataset:
+        """A fresh, deterministic prompt stream (same bytes every call)."""
+        return PromptDataset(
+            n_prompts=self.n_prompts,
+            prompt_length=self.prompt_length,
+            vocab_size=self.model_config.vocab_size,
+            seed=self.dataset_seed,
+        )
+
+    def build(
+        self,
+        cluster=None,
+        dp: Optional[int] = None,
+        cluster_spec: Optional[ClusterSpec] = None,
+    ) -> RlhfSystem:
+        """Build this job's system at width ``dp`` (default: preferred).
+
+        Pass the fleet's shared ``cluster`` to allocate out of it, or a
+        ``cluster_spec`` to materialise a private cluster (reference runs in
+        tests).  Deterministic in (spec, dp): two builds at the same width
+        start bit-identical.
+        """
+        dp = self.preferred_dp if dp is None else dp
+        if dp not in self.candidate_dps():
+            raise ValueError(
+                f"job {self.name!r} cannot run at dp={dp}; admissible "
+                f"widths are {self.candidate_dps()}"
+            )
+        task = SyntheticPreferenceTask(
+            vocab_size=self.model_config.vocab_size,
+            target_token=self.target_token,
+        )
+        return build_rlhf_system(
+            self.algo,
+            self.plan_at(dp),
+            self.model_config,
+            cluster_spec=cluster_spec,
+            trainer_config=TrainerConfig(kl_coef=self.kl_coef, seed=self.seed),
+            reward_fn=task.reward,
+            max_new_tokens=self.max_new_tokens,
+            lr=self.lr,
+            seed=self.seed,
+            cluster=cluster,
+        )

@@ -1,0 +1,92 @@
+"""Elastic re-placement: shrink a job's parallelism onto surviving devices.
+
+The fleet scheduler (:mod:`repro.fleet`) uses two entry points when faults
+remove capacity mid-run:
+
+* :func:`max_feasible_dp` — the widest data-parallel width a job can run at
+  inside a GPU budget, respecting its batch-size divisibility; this is the
+  inner loop of elastic resizing (same PP/TP, narrower DP, so the saved
+  checkpoint remains loadable by coordinates).
+* :func:`replan_under_loss` — re-run Algorithm 1 (:func:`map_dataflow`) on
+  the surviving device count, for full re-placement studies where the model
+  set is described by :class:`~repro.config.ModelSpec` rather than a tiny
+  functional system.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.config import ClusterSpec, ModelSpec, RlhfWorkload
+from repro.mapping.device_mapping import MappingResult, map_dataflow
+from repro.rlhf.core import AlgoType
+
+
+def max_feasible_dp(
+    available_gpus: int,
+    tp: int = 1,
+    pp: int = 1,
+    extra_gpus: int = 0,
+    preferred_dp: int = 1,
+    min_dp: int = 1,
+    batch_size: Optional[int] = None,
+) -> Optional[int]:
+    """Widest DP in ``[min_dp, preferred_dp]`` that fits ``available_gpus``.
+
+    A job at width ``dp`` needs ``pp * tp * dp + extra_gpus`` devices
+    (``extra_gpus`` covers side pools such as a reward-function worker).
+    Widths that do not divide ``batch_size`` are skipped — DP replicas each
+    take an equal batch slice, so an indivisible width would change the
+    per-replica batch shape and break bit-exact resume semantics.
+
+    Returns ``None`` when even ``min_dp`` does not fit.
+    """
+    if min_dp < 1 or preferred_dp < min_dp:
+        raise ValueError(
+            f"need 1 <= min_dp <= preferred_dp, got {min_dp}..{preferred_dp}"
+        )
+    for dp in range(preferred_dp, min_dp - 1, -1):
+        if batch_size is not None and batch_size % dp:
+            continue
+        if pp * tp * dp + extra_gpus <= available_gpus:
+            return dp
+    return None
+
+
+def candidate_dps(
+    preferred_dp: int, min_dp: int = 1, batch_size: Optional[int] = None
+) -> List[int]:
+    """All admissible DP widths, widest first (the scheduler's search order)."""
+    return [
+        dp
+        for dp in range(preferred_dp, min_dp - 1, -1)
+        if batch_size is None or batch_size % dp == 0
+    ]
+
+
+def replan_under_loss(
+    algo: AlgoType,
+    specs: Dict[str, ModelSpec],
+    cluster: ClusterSpec,
+    workload: RlhfWorkload,
+    n_surviving: int,
+    **map_kwargs,
+) -> MappingResult:
+    """Re-run Algorithm 1 against the post-failure device count.
+
+    ``n_surviving`` is rounded down to whole machines (the subcluster
+    abstraction allocates machine-granular slices; a partially dead machine
+    contributes nothing to a gang-scheduled placement), then the ordinary
+    placement/allocation/parallelism search runs on that subcluster.
+
+    Raises ``ValueError`` when no machine-granular subcluster survives.
+    """
+    if n_surviving < 1:
+        raise ValueError(f"need at least one surviving GPU, got {n_surviving}")
+    per_machine = cluster.gpus_per_machine
+    if n_surviving >= per_machine:
+        usable = n_surviving - (n_surviving % per_machine)
+    else:
+        usable = n_surviving
+    sub = cluster.subcluster(usable)
+    return map_dataflow(algo, specs, sub, workload, **map_kwargs)

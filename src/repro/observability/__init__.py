@@ -17,6 +17,7 @@ Three layers, all fed from the same seams the fault gate established:
 
 from repro.observability.collect import (
     collect_cluster_metrics,
+    collect_fleet_metrics,
     collect_system_metrics,
     collect_traffic_metrics,
 )
@@ -46,6 +47,7 @@ __all__ = [
     "SpanTracer",
     "chrome_trace",
     "collect_cluster_metrics",
+    "collect_fleet_metrics",
     "collect_system_metrics",
     "collect_traffic_metrics",
     "pool_fractions_from_trace",

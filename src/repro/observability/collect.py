@@ -67,3 +67,55 @@ def collect_system_metrics(controller) -> MetricsRegistry:
     collect_cluster_metrics(controller)
     collect_traffic_metrics(controller)
     return controller.metrics
+
+
+#: Numeric encoding of fleet job states for the state gauge.
+_FLEET_STATE_CODES = {"pending": 0.0, "running": 1.0, "completed": 2.0, "failed": 3.0}
+
+
+def collect_fleet_metrics(scheduler) -> MetricsRegistry:
+    """Sample per-job gauges from a :class:`~repro.fleet.FleetScheduler`.
+
+    Incremental events (preemptions, resizes, failures, devices killed) are
+    counters the scheduler bumps at the event site; this collector samples
+    the *current* per-job picture — progress, state, goodput — into the
+    fleet-level registry, idempotently, so it can run every tick or once at
+    the end with the same result.
+    """
+    metrics: MetricsRegistry = scheduler.metrics
+    metrics.gauge(
+        "repro_fleet_clock_seconds", "Simulated wall clock of the fleet"
+    ).set(scheduler.clock.now)
+    metrics.gauge(
+        "repro_fleet_ticks", "Scheduler ticks executed so far"
+    ).set(scheduler.ticks_run)
+    report = scheduler.report()
+    for row in report.jobs:
+        name = row.name
+        metrics.gauge(
+            "repro_fleet_job_state",
+            "Job state (0=pending, 1=running, 2=completed, 3=failed)",
+            job=name,
+        ).set(_FLEET_STATE_CODES[row.state])
+        metrics.gauge(
+            "repro_fleet_job_iterations", "Completed surviving iterations",
+            job=name,
+        ).set(row.iterations)
+        metrics.gauge(
+            "repro_fleet_job_dp", "Current data-parallel width (0 = not placed)",
+            job=name,
+        ).set(row.dp)
+        metrics.gauge(
+            "repro_fleet_job_goodput",
+            "Useful time over fleet wall time for the job",
+            job=name,
+        ).set(row.goodput)
+        metrics.gauge(
+            "repro_fleet_job_wait_ticks", "Ticks spent schedulable but queued",
+            job=name,
+        ).set(row.wait_ticks)
+    metrics.gauge(
+        "repro_fleet_fairness",
+        "Jain's fairness index over completed jobs' goodput",
+    ).set(report.fairness)
+    return metrics

@@ -13,6 +13,7 @@ from repro.runtime.recovery import (
     RecoveryCostModel,
     RecoveryEvent,
     RecoveryReport,
+    restore_system,
     train_with_recovery,
 )
 
@@ -29,6 +30,7 @@ __all__ = [
     "build_timeline",
     "observability_summary",
     "recovery_summary",
+    "restore_system",
     "system_report",
     "system_report_dict",
     "train_with_recovery",

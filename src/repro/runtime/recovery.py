@@ -134,6 +134,35 @@ def _checkpoint_nbytes(directory: pathlib.Path) -> int:
     return sum(f.stat().st_size for f in directory.glob("*") if f.is_file())
 
 
+def restore_system(
+    system: RlhfSystem,
+    checkpoint_dir: str,
+    cost_model: Optional[RecoveryCostModel] = None,
+    allow_resize: bool = False,
+) -> Tuple[int, float]:
+    """Load the atomic checkpoint into a (possibly resized) rebuilt system.
+
+    The one restore path shared by :func:`train_with_recovery` and the fleet
+    scheduler: loads worker state (``allow_resize=True`` permits a different
+    DP width — see :meth:`SingleController.load_checkpoint`), charges the
+    restore to the simulated clock, and re-hydrates the trainer's RNG and
+    iteration counter from the manifest.
+
+    Returns:
+        ``(resumed_iteration, restore_time)``.
+    """
+    cost = cost_model or RecoveryCostModel()
+    root = pathlib.Path(checkpoint_dir)
+    manifest = system.controller.load_checkpoint(root, allow_resize=allow_resize)
+    src = root if root.is_dir() else root.parent / f".{root.name}.replaced"
+    restore_time = cost.restore_time(_checkpoint_nbytes(src))
+    system.controller.clock.advance(restore_time)
+    extra = manifest.get("extra") or {}
+    if "trainer" in extra:
+        system.trainer.load_state_dict(extra["trainer"])
+    return int(extra.get("iteration", 0)), restore_time
+
+
 def train_with_recovery(
     build_fn: BuildFn,
     dataset: PromptDataset,
@@ -251,13 +280,8 @@ def train_with_recovery(
             with tracer.span("recovery.rebuild", category="recovery"):
                 system.controller.clock.advance(cost.reinit_time)
             with tracer.span("recovery.restore", category="recovery") as restore_span:
-                manifest = system.controller.load_checkpoint(root)
-                restore_time = cost.restore_time(_checkpoint_nbytes(root))
-                system.controller.clock.advance(restore_time)
+                resumed, restore_time = restore_system(system, root, cost)
                 restore_span.attrs["restore_time"] = restore_time
-            extra = manifest.get("extra") or {}
-            system.trainer.load_state_dict(extra["trainer"])
-            resumed = int(extra["iteration"])
             tracer.end(
                 recovery_span,
                 resumed_iteration=resumed,

@@ -286,7 +286,15 @@ class SingleController:
             "extra": _json_safe(extra, "extra") if extra is not None else None,
         }
         for gi, group in enumerate(self.groups):
-            group_entry = {"name": group.name, "workers": []}
+            cfg = group.train_topology.config
+            group_entry = {
+                "name": group.name,
+                # Recorded so a resized restore (allow_resize=True) can map
+                # saved ranks onto a narrower/wider DP layout by coordinates.
+                "parallel": [cfg.pp, cfg.tp, cfg.dp],
+                "layout": getattr(group.workers[0], "layout", None),
+                "workers": [],
+            }
             for wi, worker in enumerate(group.workers):
                 state = worker.state_for_checkpoint()
                 arrays = {
@@ -331,13 +339,28 @@ class SingleController:
         else:
             staging.rename(root)
 
-    def load_checkpoint(self, directory: str) -> Dict[str, Any]:
+    def load_checkpoint(
+        self, directory: str, allow_resize: bool = False
+    ) -> Dict[str, Any]:
         """Restore every worker from ``directory``; returns the manifest.
 
         The controller's trace sequence counter resumes from the saved value
         so a recovered run continues numbering instead of restarting at 0.
         Any missing, truncated, or corrupted file raises
         :class:`CheckpointError` with the reason.
+
+        If a save was interrupted between swapping the old checkpoint out
+        and the new one in, the previous complete checkpoint survives as
+        ``.<name>.replaced`` next to ``directory``; loading falls back to it
+        so a crash mid-save never strands the job without a restore point.
+
+        Args:
+            allow_resize: Permit restoring into groups whose DP width
+                differs from the saved one (same PP/TP, 3d layout only).
+                Ranks are mapped by parallel coordinates: 3d shards depend
+                only on the (pipeline, tensor) position, and DP replicas are
+                bit-identical copies, so a shrunken group loads the matching
+                prefix and a grown group clones the last saved replica.
         """
         with self.tracer.span(
             "checkpoint.read", category="checkpoint", directory=str(directory)
@@ -345,15 +368,62 @@ class SingleController:
             self.record_access(
                 READ, f"checkpoint:{directory}", note="load_checkpoint"
             )
-            return self._load_checkpoint(directory, span)
+            return self._load_checkpoint(directory, span, allow_resize)
 
-    def _load_checkpoint(self, directory: str, span) -> Dict[str, Any]:
+    def _resolve_checkpoint_root(self, directory: str) -> pathlib.Path:
         root = pathlib.Path(directory)
+        fallback = root.parent / f".{root.name}.replaced"
+        if root.is_dir() and (root / "manifest.json").is_file():
+            return root
+        # A crash between the two rename steps of an atomic save can leave
+        # the old checkpoint parked under the .replaced name; use it.
+        if fallback.is_dir() and (fallback / "manifest.json").is_file():
+            return fallback
         if not root.is_dir():
             raise CheckpointError(f"no checkpoint directory at {root}")
+        raise CheckpointError(f"checkpoint at {root} has no manifest.json")
+
+    def _resize_index_map(self, group, entry: Dict[str, Any]) -> List[int]:
+        """Saved-worker index for each current worker, by parallel coordinates.
+
+        Valid because 3d shards are a function of (pipeline, tensor) position
+        only and DP replicas are bit-identical: local ranks enumerate TP
+        fastest, then PP, then DP, so a new rank at coordinates ``(p, t, d)``
+        restores from the saved rank at ``(p, t, min(d, old_dp - 1))`` — the
+        identity prefix when shrinking, a clone of the last replica (which
+        carries optimizer state on its leads) when growing.
+        """
+        saved_parallel = entry.get("parallel")
+        if not saved_parallel:
+            raise CheckpointError(
+                f"checkpoint for {group.name!r} predates resize support: "
+                f"no 'parallel' layout recorded in the manifest"
+            )
+        if entry.get("layout") != "3d":
+            raise CheckpointError(
+                f"elastic restore of {group.name!r} needs the 3d layout; "
+                f"saved layout is {entry.get('layout')!r} (flat/ZeRO shards "
+                f"are partitioned across DP and cannot be remapped)"
+            )
+        old_pp, old_tp, old_dp = (int(x) for x in saved_parallel)
+        cfg = group.train_topology.config
+        if (cfg.pp, cfg.tp) != (old_pp, old_tp):
+            raise CheckpointError(
+                f"elastic restore of {group.name!r} only resizes DP: saved "
+                f"pp={old_pp} tp={old_tp}, current pp={cfg.pp} tp={cfg.tp}"
+            )
+        stage = cfg.pp * cfg.tp
+        index_map = []
+        for local_rank in range(len(group.workers)):
+            d, rem = divmod(local_rank, stage)
+            index_map.append(min(d, old_dp - 1) * stage + rem)
+        return index_map
+
+    def _load_checkpoint(
+        self, directory: str, span, allow_resize: bool = False
+    ) -> Dict[str, Any]:
+        root = self._resolve_checkpoint_root(directory)
         manifest_path = root / "manifest.json"
-        if not manifest_path.is_file():
-            raise CheckpointError(f"checkpoint at {root} has no manifest.json")
         try:
             manifest = json.loads(manifest_path.read_text())
         except (ValueError, OSError) as exc:
@@ -373,11 +443,17 @@ class SingleController:
                 )
             entry = saved[group.name]
             if len(entry["workers"]) != len(group.workers):
-                raise CheckpointError(
-                    f"checkpoint rank count mismatch for {group.name!r}: "
-                    f"{len(entry['workers'])} vs {len(group.workers)}"
-                )
-            for worker, wentry in zip(group.workers, entry["workers"]):
+                if not allow_resize:
+                    raise CheckpointError(
+                        f"checkpoint rank count mismatch for {group.name!r}: "
+                        f"{len(entry['workers'])} vs {len(group.workers)} "
+                        f"(pass allow_resize=True for an elastic restore)"
+                    )
+                index_map = self._resize_index_map(group, entry)
+            else:
+                index_map = list(range(len(group.workers)))
+            for worker, saved_index in zip(group.workers, index_map):
+                wentry = entry["workers"][saved_index]
                 state: Dict[str, Any] = dict(wentry["scalars"])
                 if wentry["file"]:
                     array_path = root / wentry["file"]
@@ -395,6 +471,9 @@ class SingleController:
                         ) from exc
                 worker.load_from_checkpoint(state)
         self._seq = int(manifest.get("trace_seq", self._seq))
+        span.attrs["resized"] = any(
+            len(saved[g.name]["workers"]) != len(g.workers) for g in self.groups
+        )
         restored_bytes = sum(
             f.stat().st_size for f in root.iterdir() if f.is_file()
         )

@@ -18,6 +18,7 @@ from typing import Any, Callable, Dict, List, Optional, Type
 from repro.config import GenParallelConfig, ParallelConfig
 from repro.faults.errors import (
     CallTimeoutError,
+    RetryBudgetExhausted,
     TransientRpcError,
     WorkerLostError,
 )
@@ -129,6 +130,7 @@ class RemoteMethod:
         metrics = getattr(controller, "metrics", None)
         tracer = getattr(controller, "tracer", None)
         attempt = 0
+        call_started = clock.now
         while True:
             try:
                 injector.pre_call(self.group, self.method_name, controller.next_seq)
@@ -187,7 +189,34 @@ class RemoteMethod:
                         group=self.group.name,
                         method=self.method_name,
                     ).inc()
-                delay = policy.backoff_delay(attempt)
+                # Clock time this call already burned (timeouts + backoffs)
+                # counts against the policy's per-call deadline budget.
+                spent = clock.now - call_started
+                try:
+                    delay = policy.backoff_delay(
+                        attempt,
+                        spent=spent if policy.deadline is not None else None,
+                    )
+                except RetryBudgetExhausted:
+                    if metrics is not None:
+                        metrics.counter(
+                            "repro_retry_budget_exhausted_total",
+                            "Remote calls whose retry deadline budget ran out",
+                            group=self.group.name,
+                            method=self.method_name,
+                        ).inc()
+                    raise RetryBudgetExhausted(
+                        f"{self.group.name}.{self.method_name} spent "
+                        f"{spent:.3f}s of its {policy.deadline:.3f}s retry "
+                        f"deadline over {attempt} attempt(s): {exc}",
+                        group=self.group.name,
+                        method=self.method_name,
+                        pool=self.group.resource_pool.name,
+                        step=controller.next_seq,
+                        deadline=policy.deadline,
+                        spent=spent,
+                        attempts=attempt,
+                    ) from exc
                 if tracer is not None:
                     with tracer.span(
                         "backoff",

@@ -9,10 +9,12 @@ from repro.cluster import SimCluster
 from repro.config import ClusterSpec, GenParallelConfig, ParallelConfig
 from repro.data import PromptDataset, SyntheticPreferenceTask
 from repro.faults import (
+    ClusterFaultDriver,
     FaultEvent,
     FaultInjector,
     FaultKind,
     FaultPlan,
+    RetryBudgetExhausted,
     RetryPolicy,
     SimClock,
     TransientRpcError,
@@ -510,3 +512,301 @@ class TestRecoveryAnalytics:
         assert mean_time_to_recover(1.0, 2.0, 3.0) == 6.0
         with pytest.raises(ValueError):
             mean_time_to_recover(-1.0, 0.0)
+
+
+# -- correlated failures: machine groups and rack-scoped kills ------------------
+
+
+class TestCorrelatedFailures:
+    def test_kill_machines_is_one_correlated_event_per_machine(self):
+        plan = FaultPlan().kill_machines([0, 2], at_step=5)
+        assert len(plan) == 2
+        assert all(
+            e.kind is FaultKind.MACHINE_LOSS and e.at_step == 5
+            for e in plan.events
+        )
+        assert [e.machine for e in plan.events] == [0, 2]
+
+    def test_rack_event_validation(self):
+        with pytest.raises(ValueError, match="rack"):
+            FaultEvent(FaultKind.RACK_LOSS, at_step=1)
+        with pytest.raises(ValueError, match="machines_per_rack"):
+            FaultEvent(
+                FaultKind.RACK_LOSS, at_step=1, rack=0, machines_per_rack=0
+            )
+
+    def test_fail_rack_kills_the_whole_machine_block(self):
+        cluster = SimCluster(ClusterSpec(n_machines=4, gpus_per_machine=2))
+        died = cluster.fail_rack(1, machines_per_rack=2)
+        assert died == [4, 5, 6, 7]  # machines 2 and 3
+        assert cluster.n_alive == 4
+        with pytest.raises(ValueError):
+            cluster.fail_rack(2, machines_per_rack=2)  # only racks 0..1
+
+    def test_injector_arms_rack_loss(self):
+        plan = FaultPlan().kill_rack(0, at_step=1, machines_per_rack=2)
+        controller, group, injector = faulty_controller(plan, n_machines=2)
+        with pytest.raises(WorkerLostError) as err:
+            for _ in range(4):
+                group.bump()
+        assert injector.stats.devices_killed == controller.cluster.n_gpus
+        assert len(err.value.dead_ranks) > 0
+
+    def test_random_rack_plan_is_seed_deterministic(self):
+        kw = dict(
+            n_events=6,
+            max_step=20,
+            n_ranks=8,
+            n_machines=4,
+            machines_per_rack=2,
+            kinds=(FaultKind.RACK_LOSS, FaultKind.MACHINE_LOSS),
+        )
+        a = FaultPlan.random(seed=3, **kw)
+        b = FaultPlan.random(seed=3, **kw)
+        assert a.events == b.events
+        assert any(e.kind is FaultKind.RACK_LOSS for e in a.events)
+        assert all(
+            e.rack is not None and 0 <= e.rack < 2
+            for e in a.events
+            if e.kind is FaultKind.RACK_LOSS
+        )
+
+
+class TestClusterFaultDriver:
+    def test_rejects_non_kill_kinds(self):
+        plan = FaultPlan().transient(at_step=1)
+        with pytest.raises(ValueError, match="kill"):
+            ClusterFaultDriver(plan)
+
+    def test_applies_events_due_at_or_before_tick(self):
+        plan = FaultPlan()
+        plan.kill_device(0, at_step=1)
+        plan.kill_machine(1, at_step=3)
+        driver = ClusterFaultDriver(plan)
+        cluster = SimCluster(ClusterSpec(n_machines=2, gpus_per_machine=2))
+        assert driver.apply_due(cluster, tick=0) == []
+        assert driver.pending_events
+        assert driver.apply_due(cluster, tick=1) == [0]
+        # tick 5 catches up on everything due, even skipped ticks
+        assert driver.apply_due(cluster, tick=5) == [2, 3]
+        assert not driver.pending_events
+        assert driver.devices_killed == 3
+        assert cluster.n_alive == 1
+
+    def test_rack_event_applies_to_cluster(self):
+        plan = FaultPlan().kill_rack(0, at_step=2, machines_per_rack=2)
+        driver = ClusterFaultDriver(plan)
+        cluster = SimCluster(ClusterSpec(n_machines=4, gpus_per_machine=2))
+        assert driver.apply_due(cluster, tick=2) == [0, 1, 2, 3]
+        assert cluster.n_alive == 4
+
+
+# -- per-call retry deadline budget ---------------------------------------------
+
+
+class TestRetryDeadlineBudget:
+    def test_deadline_must_be_positive(self):
+        with pytest.raises(ValueError, match="deadline"):
+            RetryPolicy(deadline=0.0)
+
+    def test_backoff_delay_clips_to_remaining_budget(self):
+        policy = RetryPolicy(backoff_base=1.0, backoff_factor=2.0, deadline=2.5)
+        assert policy.backoff_delay(1, spent=0.0) == pytest.approx(1.0)
+        # attempt 2 wants 2.0s but only 1.5s of budget remains
+        assert policy.backoff_delay(2, spent=1.0) == pytest.approx(1.5)
+
+    def test_backoff_delay_raises_typed_error_when_budget_gone(self):
+        policy = RetryPolicy(backoff_base=1.0, deadline=2.0)
+        with pytest.raises(RetryBudgetExhausted) as err:
+            policy.backoff_delay(3, spent=2.0)
+        assert err.value.deadline == 2.0
+        assert err.value.spent == 2.0
+        assert isinstance(err.value, WorkerLostError)  # recoverable family
+
+    def test_schedule_truncated_by_deadline(self):
+        policy = RetryPolicy(
+            max_retries=5, backoff_base=1.0, backoff_factor=2.0, deadline=4.0
+        )
+        schedule = policy.schedule()
+        assert schedule == [1.0, 2.0, 1.0]  # last wait clipped, rest dropped
+        assert sum(schedule) == pytest.approx(4.0)
+
+    def test_schedule_unbounded_without_deadline(self):
+        policy = RetryPolicy(max_retries=3, backoff_base=1.0, backoff_factor=2.0)
+        assert policy.schedule() == [1.0, 2.0, 4.0]
+
+    def test_dispatch_gate_escalates_with_context(self):
+        plan = FaultPlan().transient(at_step=1, count=10)
+        policy = RetryPolicy(
+            max_retries=8, backoff_base=1.0, backoff_factor=2.0, deadline=2.5
+        )
+        controller, group, _ = faulty_controller(plan, policy=policy)
+        group.bump()  # seq 0: clean
+        with pytest.raises(RetryBudgetExhausted) as err:
+            group.bump()
+        assert err.value.method == "bump"
+        assert err.value.deadline == 2.5
+        assert err.value.spent >= 2.5
+        assert err.value.attempts >= 2
+        assert (
+            controller.metrics.total("repro_retry_budget_exhausted_total") == 1
+        )
+
+    def test_no_deadline_preserves_retry_exhaustion_behaviour(self):
+        plan = FaultPlan().transient(at_step=1, count=10)
+        policy = RetryPolicy(max_retries=2, backoff_base=1.0)
+        _, group, _ = faulty_controller(plan, policy=policy)
+        group.bump()
+        with pytest.raises(WorkerLostError) as err:
+            group.bump()
+        assert not isinstance(err.value, RetryBudgetExhausted)
+
+
+# -- torn saves: a fault during save_checkpoint never corrupts restore ----------
+
+
+class TestTornSave:
+    def _controller(self, n=2):
+        controller = SingleController(ClusterSpec(n_machines=1))
+        pool = controller.create_pool(n, name="main")
+        group = WorkerGroup(
+            CounterWorker, pool, controller=controller, name="counter"
+        )
+        return controller, group
+
+    def test_crash_mid_staging_preserves_previous_checkpoint(self, tmp_path):
+        import repro.single_controller.controller as ctrl_mod
+
+        controller, group = self._controller()
+        group.bump()
+        controller.save_checkpoint(tmp_path / "ckpt")
+        group.bump()
+
+        def torn_savez(*args, **kwargs):
+            raise OSError("simulated disk failure mid-save")
+
+        with pytest.MonkeyPatch.context() as mp:
+            mp.setattr(ctrl_mod.np, "savez", torn_savez)
+            with pytest.raises(OSError, match="mid-save"):
+                controller.save_checkpoint(tmp_path / "ckpt")
+        # the torn attempt stayed in staging; the old root is intact
+        assert (tmp_path / ".ckpt.saving").exists()
+        fresh, fresh_group = self._controller()
+        fresh.load_checkpoint(tmp_path / "ckpt")
+        assert [w.count for w in fresh_group.workers] == [1, 1]
+        # the next save clears the stale staging and lands the new state
+        controller.save_checkpoint(tmp_path / "ckpt")
+        assert not (tmp_path / ".ckpt.saving").exists()
+        fresh2, fresh_group2 = self._controller()
+        fresh2.load_checkpoint(tmp_path / "ckpt")
+        assert [w.count for w in fresh_group2.workers] == [2, 2]
+
+    def test_crash_between_renames_falls_back_to_replaced(self, tmp_path):
+        controller, group = self._controller()
+        group.bump()
+        controller.save_checkpoint(tmp_path / "ckpt")
+        # simulate dying between "park the old root" and "promote staging":
+        # the previous complete checkpoint sits under the .replaced name
+        (tmp_path / "ckpt").rename(tmp_path / ".ckpt.replaced")
+        fresh, fresh_group = self._controller()
+        fresh.load_checkpoint(tmp_path / "ckpt")
+        assert [w.count for w in fresh_group.workers] == [1, 1]
+
+    def test_missing_root_and_fallback_is_still_typed(self, tmp_path):
+        fresh, _ = self._controller()
+        with pytest.raises(CheckpointError, match="no checkpoint"):
+            fresh.load_checkpoint(tmp_path / "ckpt")
+
+
+# -- elastic (resize-aware) checkpoint restore ----------------------------------
+
+
+def build_ppo_at(dp, tp=2):
+    par = ParallelConfig(pp=1, tp=tp, dp=dp)
+    plan = PlacementPlan(
+        pools={"main": tp * dp, "r": 1},
+        assignments={
+            "actor": ModelAssignment(
+                "main", par, GenParallelConfig.derive(par, 1, 1)
+            ),
+            "critic": ModelAssignment("main", par),
+            "reference": ModelAssignment("main", par),
+            "reward": ModelAssignment("r", ParallelConfig(1, 1, 1)),
+        },
+    )
+    return build_rlhf_system(
+        AlgoType.PPO,
+        plan,
+        CFG,
+        cluster_spec=SPEC,
+        trainer_config=TrainerConfig(kl_coef=0.01, seed=7),
+        reward_fn=TASK.reward,
+        max_new_tokens=6,
+        lr=5e-3,
+        seed=7,
+    )
+
+
+def _assert_worker_states_equal(got, want):
+    got_state, want_state = got.state_for_checkpoint(), want.state_for_checkpoint()
+    assert got_state.keys() == want_state.keys()
+    for key in got_state:
+        a, b = got_state[key], want_state[key]
+        if isinstance(a, np.ndarray):
+            np.testing.assert_array_equal(a, b)
+        else:
+            assert a == b, key
+
+
+class TestElasticRestore:
+    def test_resize_requires_explicit_flag(self, tmp_path):
+        donor = build_ppo_at(dp=2)
+        donor.controller.save_checkpoint(tmp_path / "ckpt")
+        target = build_ppo_at(dp=1)
+        with pytest.raises(CheckpointError, match="allow_resize"):
+            target.controller.load_checkpoint(tmp_path / "ckpt")
+
+    def test_shrink_restores_first_replica(self, tmp_path):
+        donor = build_ppo_at(dp=2)
+        donor.controller.save_checkpoint(tmp_path / "ckpt")
+        target = build_ppo_at(dp=1)
+        target.controller.load_checkpoint(tmp_path / "ckpt", allow_resize=True)
+        for role in ("actor", "critic", "reference"):
+            for i, worker in enumerate(target.groups[role].workers):
+                # local ranks enumerate TP fastest, so the narrow system's
+                # workers are exactly the wide system's first DP replica
+                _assert_worker_states_equal(
+                    worker, donor.groups[role].workers[i]
+                )
+
+    def test_grow_clones_last_replica(self, tmp_path):
+        donor = build_ppo_at(dp=1)
+        donor.controller.save_checkpoint(tmp_path / "ckpt")
+        target = build_ppo_at(dp=2)
+        target.controller.load_checkpoint(tmp_path / "ckpt", allow_resize=True)
+        stage = 2  # pp * tp
+        for role in ("actor", "critic", "reference"):
+            for i, worker in enumerate(target.groups[role].workers):
+                _assert_worker_states_equal(
+                    worker, donor.groups[role].workers[i % stage]
+                )
+
+    def test_resize_rejects_tp_change(self, tmp_path):
+        donor = build_ppo_at(dp=1, tp=2)
+        donor.controller.save_checkpoint(tmp_path / "ckpt")
+        target = build_ppo_at(dp=1, tp=1)
+        with pytest.raises(CheckpointError, match="only resizes DP"):
+            target.controller.load_checkpoint(
+                tmp_path / "ckpt", allow_resize=True
+            )
+
+    def test_resize_rejects_non_3d_layouts(self, tmp_path):
+        controller = SingleController(ClusterSpec(n_machines=1))
+        pool = controller.create_pool(2, name="main")
+        WorkerGroup(CounterWorker, pool, controller=controller, name="counter")
+        controller.save_checkpoint(tmp_path / "ckpt")
+        wider = SingleController(ClusterSpec(n_machines=1))
+        pool = wider.create_pool(3, name="main")
+        WorkerGroup(CounterWorker, pool, controller=wider, name="counter")
+        with pytest.raises(CheckpointError, match="3d layout"):
+            wider.load_checkpoint(tmp_path / "ckpt", allow_resize=True)
