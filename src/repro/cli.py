@@ -997,6 +997,88 @@ def cmd_check(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Perf trajectory gate: run pinned workloads, compare vs the baseline."""
+    import json
+    import pathlib
+
+    from repro.perf.bench import (
+        WORKLOADS,
+        compare_fleet_records,
+        compare_records,
+        run_bench,
+        summary_lines,
+    )
+    from repro.serialization import json_safe
+
+    baseline_path = pathlib.Path(args.baseline)
+
+    if args.current is not None:
+        # compare-only mode: gate a record produced elsewhere (e.g. the CI
+        # fleet run) against its committed baseline — nothing is executed
+        current = json.loads(pathlib.Path(args.current).read_text())
+        if not baseline_path.exists():
+            print(f"no baseline at {baseline_path}", file=sys.stderr)
+            return 2
+        baseline = json.loads(baseline_path.read_text())
+        compare = compare_fleet_records if args.fleet else compare_records
+        problems = compare(current, baseline)
+        if problems:
+            print(
+                f"bench comparison vs {baseline_path} FAILED:", file=sys.stderr
+            )
+            for problem in problems:
+                print(f"  - {problem}", file=sys.stderr)
+            return 1
+        print(f"bench comparison vs {baseline_path} passed")
+        return 0
+
+    names = args.workload or None
+    if names:
+        unknown = [n for n in names if n not in WORKLOADS]
+        if unknown:
+            print(
+                f"unknown workload(s) {unknown}; have {sorted(WORKLOADS)}",
+                file=sys.stderr,
+            )
+            return 2
+    record = run_bench(names)
+    for line in summary_lines(record):
+        print(line)
+
+    def write(path: pathlib.Path) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(json_safe(record, "bench"), indent=2) + "\n"
+        )
+        print(f"wrote bench record to {path}")
+
+    if args.out:
+        write(pathlib.Path(args.out))
+    if args.update:
+        write(baseline_path)
+        return 0
+    if args.check:
+        if not baseline_path.exists():
+            print(
+                f"no baseline at {baseline_path} — create one with "
+                "'repro bench --update'",
+                file=sys.stderr,
+            )
+            return 2
+        baseline = json.loads(baseline_path.read_text())
+        problems = compare_records(record, baseline)
+        if problems:
+            print(
+                f"bench regression vs {baseline_path}:", file=sys.stderr
+            )
+            for problem in problems:
+                print(f"  - {problem}", file=sys.stderr)
+            return 1
+        print(f"bench check vs {baseline_path} passed")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli",
@@ -1303,6 +1385,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="alias for --format json",
     )
     p.set_defaults(fn=cmd_check)
+
+    p = sub.add_parser(
+        "bench",
+        help=(
+            "perf trajectory gate: run the pinned workloads (sequential "
+            "generate, serving drain, PPO iteration, train->gen transition) "
+            "and compare against the committed BENCH_perf.json baseline"
+        ),
+    )
+    p.add_argument(
+        "--check",
+        action="store_true",
+        help="fail (exit 1) on regression beyond tolerance vs the baseline",
+    )
+    p.add_argument(
+        "--update",
+        action="store_true",
+        help="re-baseline: overwrite the baseline file with this run",
+    )
+    p.add_argument(
+        "--baseline",
+        default="BENCH_perf.json",
+        help="committed baseline record (default: BENCH_perf.json)",
+    )
+    p.add_argument(
+        "--out",
+        default=None,
+        help="also write this run's record to a file",
+    )
+    p.add_argument(
+        "--workload",
+        action="append",
+        metavar="NAME",
+        help="run only the named workload; repeatable (default: all)",
+    )
+    p.add_argument(
+        "--current",
+        default=None,
+        help=(
+            "compare-only: gate an existing record file against the "
+            "baseline without running workloads"
+        ),
+    )
+    p.add_argument(
+        "--fleet",
+        action="store_true",
+        help=(
+            "with --current: records are 'repro fleet --bench-out' output, "
+            "compared with the fleet policy (structure + outcome flags)"
+        ),
+    )
+    p.set_defaults(fn=cmd_bench)
     return parser
 
 

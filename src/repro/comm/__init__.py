@@ -10,7 +10,12 @@ Two layers live here:
   reference ([13]) the paper uses for Table 2's volumes.
 """
 
-from repro.comm.groups import ProcessGroup, TrafficMeter, partition_problems
+from repro.comm.groups import (
+    GroupCache,
+    ProcessGroup,
+    TrafficMeter,
+    partition_problems,
+)
 from repro.comm.collectives import (
     all_gather,
     all_gather_object,
@@ -33,6 +38,7 @@ from repro.comm.cost import (
 )
 
 __all__ = [
+    "GroupCache",
     "ProcessGroup",
     "TrafficMeter",
     "all_gather",

@@ -9,7 +9,7 @@ functional implementation.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 
 class TrafficMeter:
@@ -100,6 +100,57 @@ class ProcessGroup:
 
     def __repr__(self) -> str:
         return f"ProcessGroup({self.name!r}, ranks={self.ranks})"
+
+
+class GroupCache:
+    """Memoizes :class:`ProcessGroup` construction by group name.
+
+    Topology group lookups (``tp_group``, ``micro_dp_group``, ...) are pure
+    functions of the topology geometry, yet the hot paths — every worker of
+    every transition, every collective bind — used to recompute the member
+    scan and rebuild the group object on each call.  A cache instance lives
+    on one topology, so a group's fully-qualified name (which encodes the
+    topology name and the group's coordinates) uniquely determines its
+    ranks; ``get_or_build`` therefore skips the rank computation entirely
+    on a hit.  Callers must treat cached groups as immutable, which every
+    collective already does.
+    """
+
+    def __init__(self) -> None:
+        self._groups: Dict[str, ProcessGroup] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get_or_build(
+        self,
+        name: str,
+        ranks_fn: Callable[[], Sequence[int]],
+        meter: Optional[TrafficMeter] = None,
+    ) -> ProcessGroup:
+        """The cached group for ``name``, building via ``ranks_fn`` on miss."""
+        group = self._groups.get(name)
+        if group is not None:
+            self.hits += 1
+            return group
+        self.misses += 1
+        group = ProcessGroup(list(ranks_fn()), name=name, meter=meter)
+        self._groups[name] = group
+        return group
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "size": len(self._groups),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def clear(self) -> None:
+        self._groups.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._groups)
 
 
 def partition_problems(

@@ -15,6 +15,8 @@ from repro.hybrid_engine.engine import (
     RankTransitionPlan,
     TransitionPlan,
     TransitionReport,
+    clear_plan_cache,
+    plan_cache_stats,
     plan_transition,
 )
 from repro.hybrid_engine.overhead import (
@@ -31,6 +33,8 @@ __all__ = [
     "TransitionOverhead",
     "TransitionPlan",
     "TransitionReport",
+    "clear_plan_cache",
+    "plan_cache_stats",
     "plan_transition",
     "transition_overhead",
 ]

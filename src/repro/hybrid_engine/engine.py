@@ -75,6 +75,27 @@ class TransitionPlan:
     by_rank: Dict[int, RankTransitionPlan]
 
 
+# plan_transition is a pure function of the topology *geometry* — grouping
+# mode, training/generation parallel configs, and the rank list — so plans
+# are memoized on that key.  Every PPO iteration replans the same pair of
+# layouts twice (train->gen and back); with the cache only the first
+# iteration pays the per-rank shard/tile derivation.
+_PLAN_CACHE: Dict[tuple, TransitionPlan] = {}
+_PLAN_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def plan_cache_stats() -> Dict[str, int]:
+    """Hit/miss/size counters of the transition-plan memo (for the bench)."""
+    return {**_PLAN_CACHE_STATS, "size": len(_PLAN_CACHE)}
+
+
+def clear_plan_cache() -> None:
+    """Drop memoized transition plans (tests and benchmarks)."""
+    _PLAN_CACHE.clear()
+    _PLAN_CACHE_STATS["hits"] = 0
+    _PLAN_CACHE_STATS["misses"] = 0
+
+
 def plan_transition(gen: GenTopology) -> TransitionPlan:
     """Derive the per-rank gather plan a topology pair implies.
 
@@ -84,8 +105,22 @@ def plan_transition(gen: GenTopology) -> TransitionPlan:
     * VANILLA: each rank gathers every training model-parallel peer's shard
       (the full replica) and slices its generation shard out, as
       ``_gather_vanilla`` does.
+
+    The result is memoized: ``TransitionPlan`` is frozen, so callers across
+    topologies with identical geometry share one instance.
     """
     train = gen.train
+    cache_key = (
+        gen.mode,
+        gen.config,
+        train.config,
+        tuple(train.global_ranks),
+    )
+    cached = _PLAN_CACHE.get(cache_key)
+    if cached is not None:
+        _PLAN_CACHE_STATS["hits"] += 1
+        return cached
+    _PLAN_CACHE_STATS["misses"] += 1
     by_rank: Dict[int, RankTransitionPlan] = {}
     for rank in train.global_ranks:
         if gen.mode is GenGroupingMode.HYBRIDFLOW:
@@ -104,7 +139,9 @@ def plan_transition(gen: GenTopology) -> TransitionPlan:
             tiles=tiles,
             group_ranks=tuple(group.ranks),
         )
-    return TransitionPlan(mode=gen.mode, by_rank=by_rank)
+    plan = TransitionPlan(mode=gen.mode, by_rank=by_rank)
+    _PLAN_CACHE[cache_key] = plan
+    return plan
 
 
 @dataclasses.dataclass

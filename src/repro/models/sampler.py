@@ -8,12 +8,39 @@ reduction uses ``do_sample=False`` for the baseline pass, Figure 6).
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.models.autograd import no_grad
 from repro.models.tinylm import KVCache, TinyLM
+
+
+def _softmax_probs(logits: np.ndarray, temperature: float) -> np.ndarray:
+    """Temperature-scaled sampling distribution per row, ``(batch, vocab)``."""
+    if temperature <= 0:
+        raise ValueError(f"temperature must be positive, got {temperature}")
+    scaled = logits / temperature
+    scaled = scaled - scaled.max(axis=-1, keepdims=True)
+    probs = np.exp(scaled)
+    probs /= probs.sum(axis=-1, keepdims=True)
+    return probs
+
+
+def _inverse_cdf_sample(probs: np.ndarray, uniforms: np.ndarray) -> np.ndarray:
+    """Batched inverse-CDF draw, bit-exact with per-row ``rng.choice``.
+
+    ``Generator.choice(n, p=row)`` computes ``cdf = row.cumsum();
+    cdf /= cdf[-1]`` and returns ``searchsorted(cdf, rng.random(),
+    side="right")``.  Replaying exactly those operations across the whole
+    batch — cumsum, normalise by the last column, count entries ``<= u``
+    (identical to right-sided search on a non-decreasing array) — keeps
+    every row's draw bit-identical to the historical per-row loop while
+    sampling the batch in one vectorized pass.
+    """
+    cdf = probs.cumsum(axis=-1)
+    cdf /= cdf[:, -1:]
+    return (cdf <= uniforms[:, None]).sum(axis=-1).astype(np.int64)
 
 
 def sample_tokens(
@@ -22,22 +49,71 @@ def sample_tokens(
     temperature: float = 1.0,
     greedy: bool = False,
 ) -> np.ndarray:
-    """Sample one token per row from ``logits`` of shape ``(batch, vocab)``."""
+    """Sample one token per row from ``logits`` of shape ``(batch, vocab)``.
+
+    Sampling is a single batched inverse-CDF pass that consumes exactly one
+    uniform draw per row from ``rng`` — the same stream consumption, and
+    bit-identical output, as the per-row ``rng.choice`` loop it replaced
+    (:func:`sample_tokens_reference`, kept as the golden-test oracle).
+    """
     logits = np.asarray(logits, dtype=np.float64)
     if logits.ndim != 2:
         raise ValueError(f"logits must be (batch, vocab), got {logits.shape}")
     if greedy:
         return logits.argmax(axis=-1)
-    if temperature <= 0:
-        raise ValueError(f"temperature must be positive, got {temperature}")
-    scaled = logits / temperature
-    scaled = scaled - scaled.max(axis=-1, keepdims=True)
-    probs = np.exp(scaled)
-    probs /= probs.sum(axis=-1, keepdims=True)
+    probs = _softmax_probs(logits, temperature)
+    return _inverse_cdf_sample(probs, rng.random(logits.shape[0]))
+
+
+def sample_tokens_reference(
+    logits: np.ndarray,
+    rng: np.random.Generator,
+    temperature: float = 1.0,
+    greedy: bool = False,
+) -> np.ndarray:
+    """The historical per-row ``rng.choice`` sampler.
+
+    Kept solely as the oracle for the bit-exactness golden tests (and the
+    ``sampler_speedup`` measurement in ``repro.perf.bench``); production
+    paths use the vectorized :func:`sample_tokens`.
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be (batch, vocab), got {logits.shape}")
+    if greedy:
+        return logits.argmax(axis=-1)
+    probs = _softmax_probs(logits, temperature)
     out = np.empty(logits.shape[0], dtype=np.int64)
     for i, row in enumerate(probs):
         out[i] = rng.choice(len(row), p=row)
     return out
+
+
+def sample_tokens_batch(
+    logits: np.ndarray,
+    rngs: Sequence[np.random.Generator],
+    temperature: float = 1.0,
+    greedy: bool = False,
+) -> np.ndarray:
+    """Sample one token per row where each row has its *own* rng stream.
+
+    The serving engine's batched decode path: row ``i`` consumes exactly one
+    scalar uniform from ``rngs[i]`` (identical stream consumption to sampling
+    that request alone), then the softmax/CDF/search work runs vectorized
+    over the whole batch.
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be (batch, vocab), got {logits.shape}")
+    if len(rngs) != logits.shape[0]:
+        raise ValueError(
+            f"need one rng per row: {len(rngs)} rngs for {logits.shape[0]} rows"
+        )
+    if greedy:
+        return logits.argmax(axis=-1)
+    probs = _softmax_probs(logits, temperature)
+    uniforms = np.array([rng.random() for rng in rngs])
+    return _inverse_cdf_sample(probs, uniforms)
 
 
 @dataclasses.dataclass

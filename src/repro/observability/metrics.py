@@ -91,6 +91,10 @@ class Histogram:
     def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
         self.buckets = tuple(sorted(buckets))
         self.bucket_counts = [0] * len(self.buckets)
+        #: Observations above the largest finite bucket — the implicit
+        #: ``le="+Inf"`` bucket Prometheus requires.  Tracked explicitly so
+        #: they appear in ``as_dict`` too, not only implicitly via ``count``.
+        self.overflow = 0
         self.count = 0
         self.sum = 0.0
 
@@ -103,6 +107,8 @@ class Histogram:
             if value <= le:
                 self.bucket_counts[i] += 1
                 break
+        else:
+            self.overflow += 1
 
     def samples(self, name: str, key: LabelKey) -> List[Tuple[str, LabelKey, float]]:
         out: List[Tuple[str, LabelKey, float]] = []
@@ -110,7 +116,11 @@ class Histogram:
         for le, n in zip(self.buckets, self.bucket_counts):
             cumulative += n
             out.append((f"{name}_bucket", key + (("le", _fmt(le)),), cumulative))
-        out.append((f"{name}_bucket", key + (("le", "+Inf"),), self.count))
+        # +Inf is cumulative-over-everything: finite buckets plus overflow,
+        # which by construction equals count
+        out.append(
+            (f"{name}_bucket", key + (("le", "+Inf"),), cumulative + self.overflow)
+        )
         out.append((f"{name}_sum", key, self.sum))
         out.append((f"{name}_count", key, self.count))
         return out
@@ -230,7 +240,8 @@ class MetricsRegistry:
                                 for le, c in zip(
                                     metric.buckets, metric.bucket_counts
                                 )
-                            ],
+                            ]
+                            + [["+Inf", metric.overflow]],
                         }
                     )
                 else:

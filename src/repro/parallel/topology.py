@@ -30,7 +30,7 @@ import dataclasses
 import enum
 from typing import Dict, List, Optional, Sequence
 
-from repro.comm.groups import ProcessGroup, TrafficMeter
+from repro.comm.groups import GroupCache, ProcessGroup, TrafficMeter
 from repro.config import GenParallelConfig, ParallelConfig
 
 
@@ -87,6 +87,9 @@ class ParallelTopology:
             d_idx, rem = divmod(r, p * t)
             p_idx, t_idx = divmod(rem, t)
             self._coords[g] = Rank3D(p=p_idx, t=t_idx, d=d_idx)
+        #: Group geometry is immutable after construction, so every
+        #: ``*_group`` lookup is memoized by its fully-qualified name.
+        self.group_cache = GroupCache()
 
     @property
     def world_size(self) -> int:
@@ -106,39 +109,49 @@ class ParallelTopology:
             raise ValueError(f"coords ({p},{t},{d}) out of range for {cfg}")
         return self.global_ranks[d * cfg.pp * cfg.tp + p * cfg.tp + t]
 
-    def _group(self, ranks: List[int], kind: str) -> ProcessGroup:
-        return ProcessGroup(ranks, name=f"{self.name}/{kind}", meter=self.meter)
+    def _group(self, kind: str, ranks_fn) -> ProcessGroup:
+        return self.group_cache.get_or_build(
+            f"{self.name}/{kind}", ranks_fn, meter=self.meter
+        )
 
     def tp_group(self, global_rank: int) -> ProcessGroup:
         c = self.coords(global_rank)
-        ranks = [
-            self.global_rank_at(c.p, t, c.d) for t in range(self.config.tp)
-        ]
-        return self._group(ranks, f"tp[p{c.p},d{c.d}]")
+        return self._group(
+            f"tp[p{c.p},d{c.d}]",
+            lambda: [
+                self.global_rank_at(c.p, t, c.d) for t in range(self.config.tp)
+            ],
+        )
 
     def pp_group(self, global_rank: int) -> ProcessGroup:
         c = self.coords(global_rank)
-        ranks = [
-            self.global_rank_at(p, c.t, c.d) for p in range(self.config.pp)
-        ]
-        return self._group(ranks, f"pp[t{c.t},d{c.d}]")
+        return self._group(
+            f"pp[t{c.t},d{c.d}]",
+            lambda: [
+                self.global_rank_at(p, c.t, c.d) for p in range(self.config.pp)
+            ],
+        )
 
     def dp_group(self, global_rank: int) -> ProcessGroup:
         c = self.coords(global_rank)
-        ranks = [
-            self.global_rank_at(c.p, c.t, d) for d in range(self.config.dp)
-        ]
-        return self._group(ranks, f"dp[p{c.p},t{c.t}]")
+        return self._group(
+            f"dp[p{c.p},t{c.t}]",
+            lambda: [
+                self.global_rank_at(c.p, c.t, d) for d in range(self.config.dp)
+            ],
+        )
 
     def mp_group(self, global_rank: int) -> ProcessGroup:
         """Model-parallel group: all ranks of this rank's DP replica."""
         c = self.coords(global_rank)
-        ranks = [
-            self.global_rank_at(p, t, c.d)
-            for p in range((self.config.pp))
-            for t in range(self.config.tp)
-        ]
-        return self._group(ranks, f"mp[d{c.d}]")
+        return self._group(
+            f"mp[d{c.d}]",
+            lambda: [
+                self.global_rank_at(p, t, c.d)
+                for p in range(self.config.pp)
+                for t in range(self.config.tp)
+            ],
+        )
 
     def all_tp_groups(self) -> List[ProcessGroup]:
         return [
@@ -195,6 +208,10 @@ class GenTopology:
         self._coords: Dict[int, Rank4D] = {}
         for g in train.global_ranks:
             self._coords[g] = self._compute_coords(g)
+        #: Separate from the training topology's cache: gen group names are
+        #: ``gen_``-prefixed but keeping the caches apart makes hit/miss
+        #: accounting per layer meaningful.
+        self.group_cache = GroupCache()
 
     def _compute_coords(self, global_rank: int) -> Rank4D:
         tcfg = self.train.config
@@ -224,37 +241,45 @@ class GenTopology:
     def _ranks_where(self, predicate) -> List[int]:
         return [g for g in self.train.global_ranks if predicate(self._coords[g])]
 
-    def _group(self, ranks: List[int], kind: str) -> ProcessGroup:
-        return ProcessGroup(
-            ranks, name=f"{self.train.name}/gen_{kind}", meter=self.train.meter
+    def _group(self, kind: str, ranks_fn) -> ProcessGroup:
+        return self.group_cache.get_or_build(
+            f"{self.train.name}/gen_{kind}", ranks_fn, meter=self.train.meter
         )
 
     def gen_tp_group(self, global_rank: int) -> ProcessGroup:
         c = self.coords(global_rank)
-        ranks = self._ranks_where(
-            lambda x: x.pg == c.pg and x.dg == c.dg and x.d == c.d
+        return self._group(
+            f"tp[pg{c.pg},dg{c.dg},d{c.d}]",
+            lambda: self._ranks_where(
+                lambda x: x.pg == c.pg and x.dg == c.dg and x.d == c.d
+            ),
         )
-        return self._group(ranks, f"tp[pg{c.pg},dg{c.dg},d{c.d}]")
 
     def gen_pp_group(self, global_rank: int) -> ProcessGroup:
         c = self.coords(global_rank)
-        ranks = self._ranks_where(
-            lambda x: x.tg == c.tg and x.dg == c.dg and x.d == c.d
+        return self._group(
+            f"pp[tg{c.tg},dg{c.dg},d{c.d}]",
+            lambda: self._ranks_where(
+                lambda x: x.tg == c.tg and x.dg == c.dg and x.d == c.d
+            ),
         )
-        return self._group(ranks, f"pp[tg{c.tg},dg{c.dg},d{c.d}]")
 
     def micro_dp_group(self, global_rank: int) -> ProcessGroup:
         """Ranks holding the same generation shard within one training replica.
 
         The 3D-HybridEngine's transition all-gather runs within this group
         (§5.3) — it is the group whose members together hold the full set of
-        training shards that make up one generation shard.
+        training shards that make up one generation shard.  Cached: every
+        member of the group asks for it during each transition, but only the
+        first call pays the full-world membership scan.
         """
         c = self.coords(global_rank)
-        ranks = self._ranks_where(
-            lambda x: x.pg == c.pg and x.tg == c.tg and x.d == c.d
+        return self._group(
+            f"micro_dp[pg{c.pg},tg{c.tg},d{c.d}]",
+            lambda: self._ranks_where(
+                lambda x: x.pg == c.pg and x.tg == c.tg and x.d == c.d
+            ),
         )
-        return self._group(ranks, f"micro_dp[pg{c.pg},tg{c.tg},d{c.d}]")
 
     def all_micro_dp_groups(self) -> List[ProcessGroup]:
         seen = set()

@@ -10,6 +10,11 @@ The same latency primitives power the auto-mapping algorithm (§6), the
 baseline system models (§2.4 / Table 1), and every end-to-end figure.
 """
 
+from repro.perf.bench import (
+    compare_fleet_records,
+    compare_records,
+    run_bench,
+)
 from repro.perf.memory import MemoryModel, StageMemory
 from repro.perf.compute import inference_latency, training_latency
 from repro.perf.generation import GenerationEstimate, generation_latency
@@ -40,6 +45,9 @@ __all__ = [
     "ModelExecution",
     "bubble_fraction",
     "bubble_multiplier",
+    "compare_fleet_records",
+    "compare_records",
+    "run_bench",
     "gpipe_schedule",
     "MemoryModel",
     "Stage",

@@ -28,7 +28,7 @@ import numpy as np
 
 from repro.cluster.device import SimDevice
 from repro.models.autograd import no_grad
-from repro.models.sampler import sample_tokens
+from repro.models.sampler import sample_tokens, sample_tokens_batch
 from repro.models.tinylm import KVCache, TinyLM
 from repro.serving.paged_kv import PagedKVCache
 from repro.serving.request import CompletedRequest, Request, RequestState
@@ -58,6 +58,10 @@ class ServingConfig:
     seed: Union[int, Tuple[int, ...]] = 0
     #: Fraction of device free memory the KV pool may claim when deriving.
     memory_fraction: float = 0.9
+    #: Run one forward per equal-kv-length cohort instead of one per slot.
+    #: Bit-exact either way (numpy's kernels are row-independent); False
+    #: forces the per-slot baseline the bench harness measures against.
+    batched_decode: bool = True
 
 
 @dataclasses.dataclass
@@ -77,9 +81,13 @@ class ServingReport:
     slo_latency: Optional[float] = None
 
     # -- latency aggregates ----------------------------------------------------------
+    #
+    # Aggregates over an *empty* sample are ``None``, never 0.0: an empty
+    # drain reporting p95 TTFT of 0 would be indistinguishable from a
+    # perfect run.  ``summary_lines`` renders missing aggregates as "n/a".
 
-    def _percentile(self, values: List[float], q: float) -> float:
-        return float(np.percentile(values, q)) if values else 0.0
+    def _percentile(self, values: List[float], q: float) -> Optional[float]:
+        return float(np.percentile(values, q)) if values else None
 
     @property
     def ttfts(self) -> List[float]:
@@ -93,19 +101,19 @@ class ServingReport:
     def tpots(self) -> List[float]:
         return [r.tpot for r in self.completed if r.response_length > 1]
 
-    def mean_ttft(self) -> float:
-        return float(np.mean(self.ttfts)) if self.completed else 0.0
+    def mean_ttft(self) -> Optional[float]:
+        return float(np.mean(self.ttfts)) if self.completed else None
 
-    def p95_ttft(self) -> float:
+    def p95_ttft(self) -> Optional[float]:
         return self._percentile(self.ttfts, 95)
 
-    def mean_tpot(self) -> float:
-        return float(np.mean(self.tpots)) if self.tpots else 0.0
+    def mean_tpot(self) -> Optional[float]:
+        return float(np.mean(self.tpots)) if self.tpots else None
 
-    def mean_latency(self) -> float:
-        return float(np.mean(self.latencies)) if self.completed else 0.0
+    def mean_latency(self) -> Optional[float]:
+        return float(np.mean(self.latencies)) if self.completed else None
 
-    def p95_latency(self) -> float:
+    def p95_latency(self) -> Optional[float]:
         return self._percentile(self.latencies, 95)
 
     def slo_attainment(self) -> Optional[float]:
@@ -129,6 +137,10 @@ class ServingReport:
             reasons[r.finish_reason] = reasons.get(r.finish_reason, 0) + 1
         return reasons
 
+    @staticmethod
+    def _fmt_stat(value: Optional[float]) -> str:
+        return "n/a" if value is None else f"{value:.4f}"
+
     def summary_lines(self) -> List[str]:
         reasons = ", ".join(
             f"{k}={v}" for k, v in sorted(self.finish_reasons().items())
@@ -142,11 +154,11 @@ class ServingReport:
             f"({self.recomputed_tokens} tokens recomputed)",
             f"peak KV blocks       : {self.peak_kv_blocks}/{self.kv_blocks_total} "
             f"({self.peak_kv_bytes} bytes)",
-            f"TTFT mean / p95      : {self.mean_ttft():.4f} / "
-            f"{self.p95_ttft():.4f} s",
-            f"TPOT mean            : {self.mean_tpot():.4f} s",
-            f"latency mean / p95   : {self.mean_latency():.4f} / "
-            f"{self.p95_latency():.4f} s",
+            f"TTFT mean / p95      : {self._fmt_stat(self.mean_ttft())} / "
+            f"{self._fmt_stat(self.p95_ttft())} s",
+            f"TPOT mean            : {self._fmt_stat(self.mean_tpot())} s",
+            f"latency mean / p95   : {self._fmt_stat(self.mean_latency())} / "
+            f"{self._fmt_stat(self.p95_latency())} s",
         ]
         attainment = self.slo_attainment()
         if attainment is not None:
@@ -324,7 +336,13 @@ class RolloutServer:
         Every occupied slot emits exactly one token (admitted requests
         prefill and sample their first token in the same step), matching the
         step accounting of ``repro.perf.continuous_batching
-        .serve_continuous``.  Returns the requests that finished this step.
+        .serve_continuous``.  The pass runs in three phases: reserve blocks
+        for every decoding runner (rank order, so preemption victims are
+        strictly later-ranked than the request that evicts them), prefill
+        admissions one by one (their context lengths differ), then decode
+        the surviving runners one forward per equal-kv-length cohort.
+        Per-request rngs make the emitted tokens independent of cohorting.
+        Returns the requests that finished this step.
         """
         step_end = self.now + self.config.step_time
         span = None
@@ -339,12 +357,26 @@ class RolloutServer:
         finished_now: List[CompletedRequest] = []
         produced = 0
         with no_grad():
+            prefill: List[Request] = []
+            decode: List[Request] = []
             for req in active:
                 if req.state is not RequestState.RUNNING:
                     continue  # preempted earlier in this same pass
-                if req.cache is not None:
+                if req.cache is None:
+                    prefill.append(req)
+                else:
                     self.scheduler.ensure_decode_blocks(req)
-                token, logp = self._forward_one(req)
+                    decode.append(req)
+            # a reservation above may have evicted a later-ranked runner
+            prefill = [r for r in prefill if r.state is RequestState.RUNNING]
+            emitted: Dict[int, Tuple[int, float]] = {}
+            for req in prefill:
+                emitted[req.request_id] = self._forward_one(req)
+            for cohort in self._decode_cohorts(decode):
+                for req, token, logp in self._decode_batch(cohort):
+                    emitted[req.request_id] = (token, logp)
+            for req in prefill + decode:
+                token, logp = emitted[req.request_id]
                 req.generated.append(token)
                 req.log_probs.append(logp)
                 produced += 1
@@ -400,6 +432,70 @@ class RolloutServer:
         shifted = step_logits - step_logits.max(axis=-1, keepdims=True)
         logp = shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
         return token, float(logp[0, token])
+
+    def _decode_cohorts(self, decode: List[Request]) -> List[List[Request]]:
+        """Partition decoding runners into equal-kv-length forward cohorts.
+
+        Rows of one forward must share a ``pos_offset`` (and concatenate
+        without padding), so only requests at the same KV length may share a
+        batch.  With ``batched_decode`` off every request is its own cohort
+        — the historical per-slot baseline.
+        """
+        if not self.config.batched_decode:
+            return [[req] for req in decode]
+        groups: Dict[int, List[Request]] = {}
+        for req in decode:
+            groups.setdefault(req.kv_len, []).append(req)
+        return list(groups.values())
+
+    def _decode_batch(
+        self, cohort: List[Request]
+    ) -> List[Tuple[Request, int, float]]:
+        """One incremental forward for a whole equal-kv-length cohort.
+
+        Per-request dense caches are stacked on the batch axis, the model
+        runs once over ``(cohort, 1)`` last tokens, and each request gets
+        its row of the grown cache back as a view.  Sampling draws one
+        scalar uniform from each request's own rng
+        (:func:`sample_tokens_batch`), so tokens are bit-identical to
+        decoding each request alone — cohorting is invisible to output.
+        """
+        if len(cohort) == 1:
+            req = cohort[0]
+            token, logp = self._forward_one(req)
+            return [(req, token, logp)]
+        n_layers = self.model.config.n_layers
+        kv_len = cohort[0].kv_len
+        batched = KVCache(n_layers)
+        for layer in range(n_layers):
+            batched.keys[layer] = np.concatenate(
+                [r.cache.keys[layer] for r in cohort], axis=0
+            )
+            batched.values[layer] = np.concatenate(
+                [r.cache.values[layer] for r in cohort], axis=0
+            )
+        last = np.asarray([[r.generated[-1]] for r in cohort])
+        logits = self.model.forward(last, cache=batched, pos_offset=kv_len)
+        for i, req in enumerate(cohort):
+            # row views share the cohort's base buffer; every row is live,
+            # so nothing beyond the rows themselves is kept alive
+            for layer in range(n_layers):
+                req.cache.keys[layer] = batched.keys[layer][i : i + 1]
+                req.cache.values[layer] = batched.values[layer][i : i + 1]
+            req.kv_len += 1
+        step_logits = logits.data[:, -1, :]
+        tokens = sample_tokens_batch(
+            step_logits,
+            [r.rng for r in cohort],
+            temperature=self.config.temperature,
+            greedy=self.config.greedy,
+        )
+        shifted = step_logits - step_logits.max(axis=-1, keepdims=True)
+        logp = shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+        return [
+            (req, int(tok), float(logp[i, int(tok)]))
+            for i, (req, tok) in enumerate(zip(cohort, tokens))
+        ]
 
     def _finish(
         self, req: Request, at_time: float, reason: str

@@ -51,6 +51,14 @@ class RemoteMethod:
         # the group's topology violates must fail here, before any dispatch
         self.protocol.check_group(group)
         self.blocking = registered_blocking(method)
+        # one attribute resolution per worker at bind time; every dispatch
+        # then fans out over these bound callables without re-doing N
+        # getattr round-trips (the group's worker list is append-only
+        # during construction and never mutated afterwards — recovery
+        # re-placement builds a fresh group)
+        self._bound_calls = tuple(
+            getattr(worker, method_name) for worker in group.workers
+        )
 
     @staticmethod
     def _dependency_seqs(args: tuple, kwargs: dict) -> tuple:
@@ -265,9 +273,10 @@ class RemoteMethod:
                     calls = self.protocol.distribute(self.group, args, kwargs)
             else:
                 calls = self.protocol.distribute(self.group, args, kwargs)
-            outputs: List[Any] = []
-            for worker, (wargs, wkwargs) in zip(self.group.workers, calls):
-                outputs.append(getattr(worker, self.method_name)(*wargs, **wkwargs))
+            outputs: List[Any] = [
+                bound(*wargs, **wkwargs)
+                for bound, (wargs, wkwargs) in zip(self._bound_calls, calls)
+            ]
             self._record_merge_accesses(controller, outputs)
             if tracer is not None:
                 with tracer.span(
@@ -400,6 +409,9 @@ class WorkerGroup:
         controller: Optional[Any] = None,
         worker_kwargs: Optional[Dict[str, Any]] = None,
     ) -> None:
+        # set first: __getattr__ consults it, so it must exist before any
+        # attribute lookup on a half-built instance can fail
+        self._remote_methods: Dict[str, RemoteMethod] = {}
         if parallel_config is None:
             parallel_config = ParallelConfig(pp=1, tp=1, dp=resource_pool.size)
         if parallel_config.world_size != resource_pool.size:
@@ -467,12 +479,20 @@ class WorkerGroup:
     # -- dispatch --------------------------------------------------------------------
 
     def __getattr__(self, attr: str) -> Any:
-        # only called when normal lookup fails: resolve remote methods
+        # only called when normal lookup fails: resolve remote methods.
+        # Bound RemoteMethods are cached per name — the protocol lookup,
+        # bind-time dispatch-gate check, and per-worker method binding run
+        # once per (group, method), not once per call.
         if attr.startswith("_"):
             raise AttributeError(attr)
+        cached = self._remote_methods.get(attr)
+        if cached is not None:
+            return cached
         worker_method = getattr(self.worker_cls, attr, None)
         if worker_method is not None and registered_protocol(worker_method):
-            return RemoteMethod(self, attr)
+            method = RemoteMethod(self, attr)
+            self._remote_methods[attr] = method
+            return method
         raise AttributeError(
             f"{type(self).__name__} {self.name!r} has no remote method {attr!r}"
         )
@@ -487,6 +507,9 @@ class WorkerGroup:
         self.gen_topology = GenTopology(self.train_topology, gen_config, mode=mode)
         for worker in self.workers:
             worker.ctx.gen_topology = self.gen_topology
+        # cached RemoteMethods passed the bind-time dispatch gate against
+        # the old topology; re-check on next access
+        self._remote_methods.clear()
 
     def broadcast_call(self, fn: Callable[[Worker], Any]) -> List[Any]:
         """Apply ``fn`` to every worker (setup/inspection helper)."""

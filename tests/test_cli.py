@@ -249,3 +249,77 @@ class TestCheckCommand:
         ) == 1
         err = capsys.readouterr().err
         assert "repro check FAILED [RL3xx=1]" in err
+
+
+class TestBenchCommand:
+    """`repro bench` — perf-trajectory record, check gate, fleet compare."""
+
+    WL = ["--workload", "sequential_generate"]
+
+    def test_update_then_check_roundtrip(self, capsys, tmp_path):
+        baseline = tmp_path / "BENCH_perf.json"
+        assert main(["bench", "--update", "--baseline", str(baseline),
+                     *self.WL]) == 0
+        assert baseline.exists()
+        capsys.readouterr()
+        assert main(["bench", "--check", "--baseline", str(baseline),
+                     *self.WL]) == 0
+        out = capsys.readouterr().out
+        assert "sequential_generate" in out
+        assert "sampler_speedup" in out
+
+    def test_check_without_baseline_exits_2(self, capsys, tmp_path):
+        assert main(["bench", "--check", "--baseline",
+                     str(tmp_path / "missing.json"), *self.WL]) == 2
+        assert "no baseline" in capsys.readouterr().err.lower()
+
+    def test_check_fails_on_regression(self, capsys, tmp_path):
+        import json
+
+        baseline = tmp_path / "BENCH_perf.json"
+        assert main(["bench", "--update", "--baseline", str(baseline),
+                     *self.WL]) == 0
+        doc = json.loads(baseline.read_text())
+        doc["workloads"]["sequential_generate"]["metrics"]["tokens"][
+            "value"
+        ] = 1
+        baseline.write_text(json.dumps(doc))
+        capsys.readouterr()
+        assert main(["bench", "--check", "--baseline", str(baseline),
+                     *self.WL]) == 1
+        assert "tokens" in capsys.readouterr().err
+
+    def test_unknown_workload_exits_2(self, capsys):
+        assert main(["bench", "--workload", "bogus"]) == 2
+        assert "unknown" in capsys.readouterr().err.lower()
+
+    def test_out_writes_record(self, tmp_path):
+        import json
+
+        out = tmp_path / "rec.json"
+        assert main(["bench", "--out", str(out), *self.WL]) == 0
+        doc = json.loads(out.read_text())
+        assert "sequential_generate" in doc["workloads"]
+
+    def test_fleet_compare_mode(self, capsys, tmp_path):
+        import json
+
+        rec = {
+            "benchmark": "fleet_chaos", "jobs": 3, "cluster_gpus": 16,
+            "devices_killed": 8, "all_completed": True, "ok": True,
+            "goodput_mean": 0.8, "analysis_findings": {},
+        }
+        current = tmp_path / "cur.json"
+        baseline = tmp_path / "base.json"
+        current.write_text(json.dumps(rec))
+        baseline.write_text(json.dumps(rec))
+        assert main(["bench", "--check", "--fleet",
+                     "--current", str(current),
+                     "--baseline", str(baseline)]) == 0
+        capsys.readouterr()
+        bad = dict(rec, jobs=5)
+        current.write_text(json.dumps(bad))
+        assert main(["bench", "--check", "--fleet",
+                     "--current", str(current),
+                     "--baseline", str(baseline)]) == 1
+        assert "jobs" in capsys.readouterr().err

@@ -15,7 +15,7 @@ from repro.comm.cost import (
     p2p_time,
     reduce_scatter_volume_per_rank,
 )
-from repro.comm.groups import ProcessGroup, TrafficMeter
+from repro.comm.groups import GroupCache, ProcessGroup, TrafficMeter
 from repro.config import ClusterSpec
 
 
@@ -188,3 +188,53 @@ class TestCostModel:
         intra = p2p_time(10**9, cluster, 0, 1)
         inter = p2p_time(10**9, cluster, 0, 8)
         assert inter > intra > 0
+
+
+class TestGroupCache:
+    """Memoized process-group construction for the topology hot path."""
+
+    def test_hit_skips_rebuild_and_thunk(self):
+        cache = GroupCache()
+        calls = []
+
+        def ranks():
+            calls.append(1)
+            return [0, 1, 2, 3]
+
+        first = cache.get_or_build("tp", ranks)
+        second = cache.get_or_build("tp", ranks)
+        assert second is first
+        assert len(calls) == 1  # rank thunk not re-evaluated on a hit
+        assert cache.stats() == {"size": 1, "hits": 1, "misses": 1}
+
+    def test_distinct_names_build_distinct_groups(self):
+        cache = GroupCache()
+        tp = cache.get_or_build("tp", lambda: [0, 1])
+        dp = cache.get_or_build("dp", lambda: [0, 2])
+        assert tp is not dp
+        assert len(cache) == 2
+        assert sorted(dp.ranks) == [0, 2]
+
+    def test_meter_attached_on_build(self):
+        meter = TrafficMeter()
+        cache = GroupCache()
+        group = cache.get_or_build("tp", lambda: [0, 1], meter=meter)
+        assert group.meter is meter
+
+    def test_clear_resets(self):
+        cache = GroupCache()
+        cache.get_or_build("tp", lambda: [0, 1])
+        cache.clear()
+        assert cache.stats() == {"size": 0, "hits": 0, "misses": 0}
+
+
+class TestTopologyGroupCaching:
+    def test_repeated_group_lookups_are_cached(self):
+        from repro.config import ParallelConfig
+        from repro.parallel.topology import ParallelTopology
+
+        topo = ParallelTopology(ParallelConfig(2, 2, 2))
+        a = topo.tp_group(0)
+        b = topo.tp_group(0)
+        assert b is a
+        assert topo.group_cache.stats()["hits"] >= 1

@@ -9,6 +9,9 @@ from repro.config import ClusterSpec, GenParallelConfig, ParallelConfig
 from repro.hybrid_engine import (
     EngineKind,
     HybridEngine3D,
+    clear_plan_cache,
+    plan_cache_stats,
+    plan_transition,
     transition_overhead,
 )
 from repro.models.sharding import shard_nbytes, shard_params
@@ -258,3 +261,60 @@ class TestOverheadAlgebra:
         bad = GenParallelConfig(pp=1, tp=3, micro_dp=1)
         with pytest.raises(ValueError):
             transition_overhead(EngineKind.HYBRIDFLOW, self.train, bad)
+
+
+class TestPlanCache:
+    """``plan_transition`` memoizes on (mode, gen cfg, train cfg, ranks)."""
+
+    def setup_method(self):
+        clear_plan_cache()
+
+    def test_repeat_topology_hits_cache(self):
+        _, group = actor_group(ParallelConfig(1, 4, 2), gen_tp=2)
+        first = plan_transition(group.gen_topology)
+        stats = plan_cache_stats()
+        assert stats == {"hits": 0, "misses": 1, "size": 1}
+        second = plan_transition(group.gen_topology)
+        assert second is first
+        assert plan_cache_stats()["hits"] == 1
+
+    def test_distinct_topologies_miss(self):
+        _, a = actor_group(ParallelConfig(1, 4, 2), gen_tp=2)
+        _, b = actor_group(ParallelConfig(1, 4, 1), gen_tp=1)
+        plan_transition(a.gen_topology)
+        plan_transition(b.gen_topology)
+        stats = plan_cache_stats()
+        assert stats["misses"] == 2
+        assert stats["hits"] == 0
+
+    def test_grouping_mode_is_part_of_the_key(self):
+        _, hf = actor_group(ParallelConfig(2, 2, 2), gen_tp=2)
+        _, vanilla = actor_group(
+            ParallelConfig(2, 2, 2), gen_tp=2, mode=GenGroupingMode.VANILLA
+        )
+        plan_transition(hf.gen_topology)
+        plan_transition(vanilla.gen_topology)
+        assert plan_cache_stats()["misses"] == 2
+
+    def test_clear_resets(self):
+        _, group = actor_group(ParallelConfig(1, 4, 1), gen_tp=1)
+        plan_transition(group.gen_topology)
+        clear_plan_cache()
+        assert plan_cache_stats() == {"hits": 0, "misses": 0, "size": 0}
+
+
+class TestRemoteMethodCache:
+    """WorkerGroup memoizes RemoteMethod handles per method name."""
+
+    def test_handle_identity_across_lookups(self):
+        _, group = actor_group(ParallelConfig(1, 4, 2), gen_tp=2)
+        assert group.generate_sequences is group.generate_sequences
+
+    def test_cache_cleared_on_topology_change(self):
+        _, group = actor_group(ParallelConfig(1, 4, 2), gen_tp=2)
+        before = group.generate_sequences
+        group.set_gen_topology(
+            GenParallelConfig.derive(ParallelConfig(1, 4, 2), 1, 1),
+            GenGroupingMode.HYBRIDFLOW,
+        )
+        assert group.generate_sequences is not before

@@ -628,3 +628,51 @@ class TestReportSerialization:
         assert "spans" in lines[0]
         assert any("iteration" in line for line in lines)
         assert any("worker_losses=1" in line for line in lines)
+
+
+# -- histogram +Inf conformance -----------------------------------------------------
+
+
+class TestHistogramOverflow:
+    """Prometheus conformance for observations above the largest bucket."""
+
+    def test_overflow_counter_tracks_out_of_range_observations(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(1.0, 5.0))
+        for v in (0.5, 3.0, 30.0, 100.0):
+            h.observe(v)
+        assert h.overflow == 2
+        assert h.bucket_counts == [1, 1]
+        # finite buckets plus overflow account for every observation
+        assert sum(h.bucket_counts) + h.overflow == h.count == 4
+
+    def test_inf_sample_equals_count(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(1.0,))
+        for v in (0.5, 2.0, 9.0):
+            h.observe(v)
+        samples = {
+            (name, dict(key).get("le")): value
+            for name, key, value in h.samples("lat", ())
+        }
+        assert samples[("lat_bucket", "+Inf")] == h.count == 3
+        assert samples[("lat_bucket", "1")] == 1
+        assert samples[("lat_count", None)] == 3
+
+    def test_as_dict_includes_inf_bucket(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(1.0, 5.0))
+        for v in (0.5, 30.0, 40.0):
+            h.observe(v)
+        (child,) = reg.as_dict()["lat"]["children"]
+        assert child["buckets"][-1] == ["+Inf", 2]
+        assert child["count"] == 3
+        json.dumps(reg.as_dict())
+
+    def test_prometheus_text_inf_bucket_is_cumulative(self):
+        reg = MetricsRegistry()
+        reg.histogram("h_seconds", buckets=(1.0,)).observe(10.0)
+        text = reg.render_prometheus()
+        assert 'h_seconds_bucket{le="1"} 0' in text
+        assert 'h_seconds_bucket{le="+Inf"} 1' in text
+        assert "h_seconds_count 1" in text

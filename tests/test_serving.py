@@ -22,6 +22,7 @@ from repro.serving import (
     PagedKVCache,
     RolloutServer,
     ServingConfig,
+    ServingReport,
     kv_bytes_per_token,
     static_batch_steps,
 )
@@ -484,3 +485,107 @@ class TestWorkerIntegration:
             system.controller.tracer.counts_by_category().get("serving", 0)
             > 0
         )
+
+
+class TestBatchedDecode:
+    """The cohort-batched decode path vs the per-slot historical path.
+
+    ``batched_decode=True`` groups running requests with equal kv length
+    into one forward per step; numpy's row-independent kernels plus
+    per-request rng streams make the output bit-identical to decoding each
+    slot alone — these tests pin that, including under preemption.
+    """
+
+    def test_sampled_output_matches_per_slot_decode(self, model):
+        rng = np.random.default_rng(3)
+        prompts = rng.integers(0, CFG.vocab_size, size=(8, 5))
+        batched = make_server(model, greedy=False, seed=5, batched_decode=True)
+        per_slot = make_server(
+            model, greedy=False, seed=5, batched_decode=False
+        )
+        submit_all(batched, prompts, [9] * 8)
+        submit_all(per_slot, prompts, [9] * 8)
+        r_batched = drain_with_invariants(batched)
+        r_per_slot = per_slot.drain()
+        assert r_batched.n_steps == r_per_slot.n_steps
+        for a, b in zip(r_batched.completed, r_per_slot.completed):
+            assert a.request_id == b.request_id
+            np.testing.assert_array_equal(a.response, b.response)
+            np.testing.assert_array_equal(a.log_probs, b.log_probs)
+
+    def test_matches_per_slot_under_preemption(self, model):
+        rng = np.random.default_rng(8)
+        prompts = rng.integers(0, CFG.vocab_size, size=(8, 6))
+        kwargs = dict(
+            max_slots=4, greedy=False, seed=11, n_blocks=9, block_size=4
+        )
+        batched = make_server(model, batched_decode=True, **kwargs)
+        per_slot = make_server(model, batched_decode=False, **kwargs)
+        submit_all(batched, prompts, [10] * 8)
+        submit_all(per_slot, prompts, [10] * 8)
+        r_batched = drain_with_invariants(batched)
+        r_per_slot = per_slot.drain()
+        assert r_batched.n_preemptions > 0
+        assert r_batched.n_preemptions == r_per_slot.n_preemptions
+        for a, b in zip(r_batched.completed, r_per_slot.completed):
+            assert a.request_id == b.request_id
+            np.testing.assert_array_equal(a.response, b.response)
+
+    def test_batched_decode_reduces_forward_calls(self, model):
+        def run(batched_decode):
+            server = make_server(
+                model, greedy=True, batched_decode=batched_decode
+            )
+            calls = 0
+            original = server.model.forward
+
+            def counting(*args, **kwargs):
+                nonlocal calls
+                calls += 1
+                return original(*args, **kwargs)
+
+            server.model.forward = counting
+            prompts = np.ones((4, 4), dtype=int)
+            submit_all(server, prompts, [8] * 4)
+            report = server.drain()
+            server.model.forward = original
+            return calls, report
+
+        batched_calls, r_batched = run(True)
+        per_slot_calls, r_per_slot = run(False)
+        for a, b in zip(r_batched.completed, r_per_slot.completed):
+            np.testing.assert_array_equal(a.response, b.response)
+        # 4 identical-budget requests decode in lock-step: one cohort
+        # forward replaces four per-slot forwards on every decode step.
+        assert batched_calls < per_slot_calls
+
+
+def _empty_report():
+    return ServingReport(
+        completed=[],
+        n_steps=0,
+        total_tokens=0,
+        slot_utilisation=0.0,
+        n_preemptions=0,
+        recomputed_tokens=0,
+        kv_blocks_total=8,
+        peak_kv_blocks=0,
+        peak_kv_bytes=0,
+    )
+
+
+class TestEmptyReportAggregates:
+    def test_percentile_of_empty_samples_is_none(self):
+        report = _empty_report()
+        assert report._percentile([], 95) is None
+        assert report.mean_ttft() is None
+        assert report.p95_ttft() is None
+        assert report.mean_tpot() is None
+        assert report.mean_latency() is None
+        assert report.p95_latency() is None
+        assert report.slo_attainment() is None
+
+    def test_summary_renders_missing_stats_as_na(self):
+        text = "\n".join(_empty_report().summary_lines())
+        assert "n/a" in text
+        assert "0.0000" not in text.split("TTFT")[1].splitlines()[0]
