@@ -19,6 +19,9 @@ Rules:
 ``DF105``  placement plan structure (missing roles, missing gen config)
 ``DF106``  plan assigns a model role the algorithm's dataflow never calls
 ``DF107``  GRPO group sampling misconfigured (``group_size < 2``)
+``DF108``  async pipeline staleness misconfigured (stale batches without
+           importance weighting, window exceeding buffer capacity, clip or
+           algorithm the off-policy correction cannot support)
 ========  ====================================================================
 """
 
@@ -234,6 +237,102 @@ class DataflowChecker:
                 )
             )
         self._check_shapes(shapes, report)
+        return report
+
+    def check_pipeline(
+        self,
+        pipeline_config: Any,
+        trainer_config: Any = None,
+        algo: Any = None,
+    ) -> AnalysisReport:
+        """Validate an async-pipeline configuration *before* any overlap.
+
+        The bounded-staleness loop (:mod:`repro.pipeline`) is sound only
+        under specific conditions; each violation is a ``DF108`` finding:
+
+        * ``staleness_window > 0`` with importance weighting disabled —
+          stale batches would be trained as if on-policy, silently biasing
+          the PPO/GRPO surrogate;
+        * a window the experience buffer cannot hold (``window + 1``
+          in-flight batches exceed capacity) — the rollout engine would
+          dead-end on :class:`~repro.pipeline.buffer.BufferFull`;
+        * ``iw_clip < 1`` — truncation below 1 scales even on-policy
+          tokens, breaking the ``staleness=0 ⇒ weight ≡ 1`` invariant;
+        * an algorithm without an off-policy correction path;
+        * ``recompute_log_probs=False`` with a positive window (warning) —
+          the anchor collapses onto the behaviour policy and every
+          importance weight degenerates to 1.
+        """
+        report = AnalysisReport("dataflow")
+        report.note_checked("pipeline_configs")
+        window = pipeline_config.staleness_window
+        location = "pipeline"
+        if window < 0:
+            report.add(
+                "DF108",
+                ERROR,
+                f"staleness_window must be >= 0, got {window}",
+                location=location,
+                hint="0 = synchronous loop, 1 = one-step-off overlap",
+            )
+            return report
+        if window > 0 and not pipeline_config.importance_weighting:
+            report.add(
+                "DF108",
+                ERROR,
+                f"staleness_window={window} with importance weighting "
+                "disabled: stale batches would be trained as if on-policy",
+                location=location,
+                hint="enable importance_weighting or set staleness_window=0",
+            )
+        capacity = pipeline_config.resolved_capacity
+        if window + 1 > capacity:
+            report.add(
+                "DF108",
+                ERROR,
+                f"staleness_window={window} needs {window + 1} in-flight "
+                f"batches but the experience buffer holds {capacity}",
+                location=location,
+                hint="raise buffer_capacity to at least staleness_window + 1",
+            )
+        if pipeline_config.iw_clip < 1.0:
+            report.add(
+                "DF108",
+                ERROR,
+                f"iw_clip={pipeline_config.iw_clip} < 1 would down-scale "
+                "on-policy tokens; truncation must keep ratio 1 intact",
+                location=location,
+                hint="set iw_clip >= 1 (V-trace uses 1.0; 2.0 is a safe "
+                "default)",
+            )
+        if algo is not None:
+            from repro.rlhf.core import AlgoType
+
+            algo = AlgoType(algo)
+            if algo not in (AlgoType.PPO, AlgoType.GRPO):
+                report.add(
+                    "DF108",
+                    ERROR,
+                    f"{algo.value} has no off-policy correction path in the "
+                    "async pipeline (PPO and GRPO are supported)",
+                    location=location,
+                    hint="run the synchronous trainer for this algorithm",
+                )
+        if (
+            window > 0
+            and trainer_config is not None
+            and not trainer_config.recompute_log_probs
+        ):
+            report.add(
+                "DF108",
+                WARNING,
+                "recompute_log_probs=False with a positive staleness window: "
+                "the importance-weight anchor equals the behaviour policy, "
+                "so every weight degenerates to 1 and stale batches are "
+                "effectively uncorrected",
+                location=location,
+                hint="enable TrainerConfig.recompute_log_probs for async runs",
+            )
         return report
 
     # -- individual passes -----------------------------------------------------------

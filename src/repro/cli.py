@@ -882,6 +882,17 @@ def _example_plan_reports(batch: int):
     report = checker.check_plan(AlgoType.PPO, full_plan)
     report.name = "dataflow[llama-7b-colocate]"
     reports.append(report)
+
+    # the shipped async-pipeline config (repro pipeline / async_ppo_overlap
+    # bench): DF108 soundness of the bounded-staleness relaxation
+    from repro.pipeline import PipelineConfig
+    from repro.rlhf.trainers import TrainerConfig
+
+    report = DataflowChecker(global_batch_size=batch).check_pipeline(
+        PipelineConfig(staleness_window=1), TrainerConfig(), AlgoType.PPO
+    )
+    report.name = "dataflow[async-pipeline]"
+    reports.append(report)
     return reports
 
 
@@ -994,6 +1005,108 @@ def cmd_check(args: argparse.Namespace) -> int:
         )
         return 1
     print("repro check passed", file=out)
+    return 0
+
+
+def cmd_pipeline(args: argparse.Namespace) -> int:
+    """The ``repro pipeline`` gate: one-step-off overlap with proofs attached.
+
+    Always runs the staleness=0 self-check first — the async driver with an
+    empty window must land bit-for-bit on the synchronous trainer's weights —
+    then runs the requested window and reports the overlap.  With ``--trace``
+    the overlapped schedule is exported and put through the trace auditor and
+    the vector-clock race detector; any RC5xx finding fails the command.
+    """
+    from repro.data import PromptDataset
+    from repro.perf.bench import _build_disaggregated_ppo, _system_states_equal
+    from repro.pipeline import AsyncPipelineDriver, PipelineConfig
+    from repro.runtime.timeline import build_timeline
+
+    def dataset() -> PromptDataset:
+        return PromptDataset(
+            n_prompts=64, prompt_length=4, vocab_size=16, seed=1
+        )
+
+    n, bs = args.iterations, args.batch
+    pipeline_config = PipelineConfig(
+        staleness_window=args.staleness, stream_scoring=args.stream
+    )
+    try:
+        pipeline_config.validate()
+    except ValueError as exc:
+        print(f"bad pipeline config: {exc}", file=sys.stderr)
+        return 2
+
+    sync_sys = _build_disaggregated_ppo()
+    sync_sys.trainer.train(dataset(), n_iterations=n, batch_size=bs)
+    sync_makespan = build_timeline(sync_sys.controller).makespan
+
+    # structural guarantee first: an empty window IS the synchronous loop
+    exact_sys = _build_disaggregated_ppo()
+    AsyncPipelineDriver(
+        exact_sys.trainer, PipelineConfig(staleness_window=0)
+    ).train(dataset(), n_iterations=n, batch_size=bs)
+    if not _system_states_equal(sync_sys, exact_sys):
+        print(
+            "staleness=0 self-check FAILED: async driver diverged from the "
+            "synchronous trainer",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"staleness=0 self-check: bit-exact with synchronous run_step "
+        f"over {n} iterations"
+    )
+
+    async_sys = _build_disaggregated_ppo()
+    driver = AsyncPipelineDriver(async_sys.trainer, pipeline_config)
+    driver.train(dataset(), n_iterations=n, batch_size=bs)
+    timeline = build_timeline(async_sys.controller)
+    report = driver.report()
+    speedup = sync_makespan / max(timeline.makespan, 1e-9)
+    print(
+        f"async pipeline: staleness_window={report['staleness_window']} "
+        f"max_staleness_seen={report['max_staleness_seen']} "
+        f"buffer_peak={report['buffer_peak_occupancy']}/"
+        f"{report['buffer_capacity']}"
+    )
+    print(
+        f"  weight publications: {report['publications']} "
+        f"({report['published_bytes']} bytes via the train->gen plan)"
+    )
+    print(
+        f"  modeled makespan: sync {sync_makespan:.1f}s -> overlapped "
+        f"{timeline.makespan:.1f}s (speedup {speedup:.3f}x)"
+    )
+    for pool in timeline.pools():
+        print(
+            f"  pool {pool:8s} idle "
+            f"{timeline.idle_fraction(pool) * 100:5.1f}%"
+        )
+
+    if args.trace:
+        from repro.analysis import RaceDetector, TraceAuditor
+        from repro.observability import write_chrome_trace
+
+        out = write_chrome_trace(
+            args.trace,
+            timeline=timeline,
+            spans=async_sys.controller.tracer.spans,
+        )
+        print(f"  wrote Chrome trace to {out}")
+        audit = TraceAuditor().audit_system(async_sys)
+        RaceDetector().detect_system(async_sys, report=audit)
+        for line in audit.summary_lines():
+            print(f"  {line}")
+        races = [f for f in audit.findings if f.rule.startswith("RC")]
+        if races:
+            print(
+                f"RACE DETECTED on overlapped schedule: {len(races)} "
+                "RC5xx finding(s)",
+                file=sys.stderr,
+            )
+            return 1
+        print("  race detector: overlapped schedule is clean")
     return 0
 
 
@@ -1437,6 +1550,42 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser(
+        "pipeline",
+        help=(
+            "async one-step-off RLHF pipeline: staleness=0 bit-exactness "
+            "self-check, then the overlapped run with optional trace + "
+            "race-detector gate"
+        ),
+    )
+    p.add_argument(
+        "--staleness",
+        type=int,
+        default=1,
+        help="staleness window W (0 = synchronous; default 1)",
+    )
+    p.add_argument(
+        "--iterations", type=int, default=3, help="PPO iterations to run"
+    )
+    p.add_argument(
+        "--batch", type=int, default=4, help="prompts per iteration"
+    )
+    p.add_argument(
+        "--stream",
+        action="store_true",
+        help="stream frozen-model scoring at rollout time (numerics-neutral)",
+    )
+    p.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write a Chrome trace of the overlapped run and gate it through "
+            "the trace auditor + vector-clock race detector"
+        ),
+    )
+    p.set_defaults(fn=cmd_pipeline)
     return parser
 
 

@@ -24,9 +24,11 @@ from repro.hybrid_engine.overhead import (
     TransitionOverhead,
     transition_overhead,
 )
+from repro.hybrid_engine.publication import WeightPublisher
 
 __all__ = [
     "EngineKind",
+    "WeightPublisher",
     "GatherTile",
     "HybridEngine3D",
     "RankTransitionPlan",

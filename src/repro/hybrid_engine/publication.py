@@ -1,0 +1,186 @@
+"""Non-blocking weight publication from trainer to rollout engine.
+
+The async one-step-off pipeline (:mod:`repro.pipeline`) breaks the
+synchronous loop's implicit weight hand-off: in the synchronous loop the
+generator trivially sees the newest policy because generation and training
+alternate on the same shards.  Once rollout for iteration *t+1* overlaps
+training of iteration *t*, the hand-off must become explicit — and it must
+not block the decode loop, or the overlap is lost.
+
+:class:`WeightPublisher` models the double-buffered protocol real systems
+use:
+
+* ``publish(version)`` — called by the trainer after each optimizer step.
+  It *stages* the new weights for the generator (writes the version's
+  snapshot slot) and returns immediately; the decode loop keeps running on
+  the previously active snapshot.  The per-rank bytes the publication ships
+  are exactly the tiles of the memoized train→generation
+  :func:`~repro.hybrid_engine.engine.plan_transition` — publication reuses
+  the §5.2 all-gather plan rather than inventing a second resharding path.
+* ``acquire()`` — called at a generate-call boundary.  The engine flips the
+  staged snapshot to active and tags every sequence it produces with that
+  policy version.  Switching only at call boundaries is what keeps a batch's
+  behaviour policy well-defined (one version per batch, never a mid-batch
+  mix).
+
+Each snapshot slot is a distinct resource in the controller's access log
+(``pipeline/weights[v{n}]``): the trainer's publish is the only WRITE and
+every rollout acquire is a READ that happens-after it, so the RC5xx race
+detector can *prove* the overlapped schedule sound — the writes the trainer
+makes for version *t+1* never touch the snapshot version *t* decodes from.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.hybrid_engine.engine import plan_transition
+from repro.models.sharding import shard_nbytes
+from repro.single_controller.access_log import READ, WRITE
+
+
+class WeightPublisher:
+    """Double-buffered trainer→generator weight hand-off over one group.
+
+    Args:
+        group: The actor :class:`~repro.single_controller.WorkerGroup`
+            (must carry a generation topology — the publication plan is the
+            train→gen transition plan).
+    """
+
+    def __init__(self, group) -> None:
+        if group.gen_topology is None:
+            raise ValueError(
+                f"worker group {group.name!r} has no generation topology; "
+                "weight publication needs the train->gen transition plan"
+            )
+        self.group = group
+        self._staged = 0
+        self._active = 0
+        self.publications = 0
+        self.acquisitions = 0
+        self.bytes_published = 0
+
+    # -- introspection ---------------------------------------------------------------
+
+    @property
+    def staged_version(self) -> int:
+        """Newest version published by the trainer (not yet decoding)."""
+        return self._staged
+
+    @property
+    def active_version(self) -> int:
+        """Version the decode loop currently generates with."""
+        return self._active
+
+    def _controller(self):
+        return getattr(self.group, "controller", None)
+
+    def publish_bytes_per_version(self) -> int:
+        """Bytes one publication ships: the transition plan's gather tiles.
+
+        Per rank, the tiles received from *peers* (the rank's own resting
+        shard is reused in place and never moves) — identical accounting to
+        :meth:`~repro.hybrid_engine.engine.HybridEngine3D.to_generation`,
+        and served from the same memoized plan.  Tile rectangles are
+        fractions of the unit square, scaled by the real replica bytes held
+        on the workers' resting shards.
+        """
+        plan = plan_transition(self.group.gen_topology)
+        moved = sum(
+            (
+                tile.shard.fraction
+                for rank_plan in plan.by_rank.values()
+                for tile in rank_plan.tiles
+                if tile.source_rank != rank_plan.rank
+            ),
+            Fraction(0),
+        )
+        replica_bytes = sum(
+            shard_nbytes(w.shard)
+            for w in self.group.workers
+            if w.ctx.coords.d == 0
+        )
+        return int(moved * replica_bytes)
+
+    # -- the protocol ----------------------------------------------------------------
+
+    def publish(self, version: int) -> int:
+        """Stage ``version`` for the generator without blocking decode.
+
+        Returns the bytes shipped.  Versions must be published in
+        increasing order — a republication of an older version would let a
+        batch regress to an earlier behaviour policy.
+        """
+        if version <= self._staged and self.publications > 0:
+            raise ValueError(
+                f"publish version {version} is not newer than the staged "
+                f"version {self._staged}"
+            )
+        nbytes = self.publish_bytes_per_version()
+        controller = self._controller()
+        if controller is not None:
+            controller.record_access(
+                WRITE,
+                f"pipeline/weights[v{version}]",
+                note=f"publish policy version {version}",
+            )
+            tracer = getattr(controller, "tracer", None)
+            if tracer is not None:
+                tracer.instant(
+                    f"{self.group.name}.publish[v{version}]",
+                    category="pipeline",
+                    version=version,
+                    payload_bytes=nbytes,
+                    staged_behind=version - self._active,
+                )
+            metrics = getattr(controller, "metrics", None)
+            if metrics is not None:
+                metrics.counter(
+                    "repro_pipeline_publications_total",
+                    "Policy-weight publications from trainer to generator",
+                ).inc()
+                metrics.counter(
+                    "repro_pipeline_published_bytes_total",
+                    "Bytes shipped by weight publications",
+                ).inc(nbytes)
+        self._staged = version
+        self.publications += 1
+        self.bytes_published += nbytes
+        return nbytes
+
+    def acquire(self) -> int:
+        """Flip the staged snapshot to active at a generate-call boundary.
+
+        Returns the version every sequence of the next generate call must be
+        tagged with (its behaviour policy).
+        """
+        self._active = self._staged
+        controller = self._controller()
+        if controller is not None:
+            controller.record_access(
+                READ,
+                f"pipeline/weights[v{self._active}]",
+                note=f"rollout acquires policy version {self._active}",
+            )
+        self.acquisitions += 1
+        return self._active
+
+    def state_dict(self) -> dict:
+        return {
+            "staged": self._staged,
+            "active": self._active,
+            "publications": self.publications,
+            "acquisitions": self.acquisitions,
+            "bytes_published": self.bytes_published,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._staged = int(state["staged"])
+        self._active = int(state["active"])
+        self.publications = int(state["publications"])
+        self.acquisitions = int(state["acquisitions"])
+        self.bytes_published = int(state["bytes_published"])
+
+
+__all__ = ["WeightPublisher"]

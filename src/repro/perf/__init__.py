@@ -10,6 +10,11 @@ The same latency primitives power the auto-mapping algorithm (§6), the
 baseline system models (§2.4 / Table 1), and every end-to-end figure.
 """
 
+from repro.perf.async_pipeline import (
+    AsyncSchedule,
+    async_schedule,
+    overlap_speedup,
+)
 from repro.perf.bench import (
     compare_fleet_records,
     compare_records,
@@ -39,7 +44,10 @@ from repro.perf.recovery import (
 )
 
 __all__ = [
+    "AsyncSchedule",
     "GenerationEstimate",
+    "async_schedule",
+    "overlap_speedup",
     "GenerationPlan",
     "IterationBreakdown",
     "ModelExecution",

@@ -22,7 +22,7 @@ arrival/first-token/finish stamps.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -529,10 +529,25 @@ class RolloutServer:
             )
         return done
 
-    def drain(self, max_steps: int = 1_000_000) -> ServingReport:
-        """Step until every submitted request has finished; report."""
+    def drain(
+        self,
+        max_steps: int = 1_000_000,
+        on_finish: Optional[Callable[[CompletedRequest], None]] = None,
+    ) -> ServingReport:
+        """Step until every submitted request has finished; report.
+
+        ``on_finish`` is invoked once per completed request, in completion
+        order, the moment its decode step finishes — the streamed hand-off
+        primitive the async RLHF pipeline builds on: downstream scoring
+        (reward / reference log-probs) can start on early finishers while
+        later requests are still decoding, instead of waiting for the whole
+        batch boundary.
+        """
         while self.pending:
-            self.step()
+            finished = self.step()
+            if on_finish is not None:
+                for done in finished:
+                    on_finish(done)
             if self._steps > max_steps:
                 raise RuntimeError(
                     f"serving did not drain within {max_steps} steps "

@@ -312,6 +312,10 @@ class ActorWorker(ThreeDParallelWorker):
         ``loss_func`` selects the algorithm's objective: ``"ppo"``/``"remax"``
         (clipped surrogate), ``"safe-rlhf"`` (PPO-Lagrangian, optionally with
         the pretraining auxiliary loss), or ``"grpo"`` (clip + k3 KL).
+
+        A batch carrying an ``importance_weights`` column (attached by the
+        async pipeline when experience is stale) has its advantages scaled
+        by the truncated importance weights in the PPO/GRPO objectives.
         """
 
         def compute(model: TinyLM):
@@ -322,10 +326,16 @@ class ActorWorker(ThreeDParallelWorker):
             old = batch["old_log_probs"]
             advantages = batch["advantages"]
             mask = batch["response_mask"] if "response_mask" in batch else None
+            iw = (
+                batch["importance_weights"]
+                if "importance_weights" in batch
+                else None
+            )
             if loss_func in ("ppo", "remax"):
                 loss, metrics = L.ppo_policy_loss(
                     logp, old, advantages, self.clip_ratio,
                     response_mask=mask,
+                    importance_weights=iw,
                 )
             elif loss_func == "safe-rlhf":
                 loss, metrics = L.safe_rlhf_policy_loss(
@@ -352,6 +362,7 @@ class ActorWorker(ThreeDParallelWorker):
                     self.clip_ratio,
                     kl_coef,
                     response_mask=mask,
+                    importance_weights=iw,
                 )
             else:
                 raise ValueError(f"unknown actor loss {loss_func!r}")

@@ -301,6 +301,17 @@ class TestBenchCommand:
         doc = json.loads(out.read_text())
         assert "sequential_generate" in doc["workloads"]
 
+    def test_async_overlap_workload(self, capsys, tmp_path):
+        baseline = tmp_path / "BENCH_perf.json"
+        wl = ["--workload", "async_ppo_overlap"]
+        assert main(["bench", "--update", "--baseline", str(baseline),
+                     *wl]) == 0
+        out = capsys.readouterr().out
+        assert "overlap_speedup" in out
+        assert "staleness0_bit_exact" in out
+        assert main(["bench", "--check", "--baseline", str(baseline),
+                     *wl]) == 0
+
     def test_fleet_compare_mode(self, capsys, tmp_path):
         import json
 
@@ -323,3 +334,29 @@ class TestBenchCommand:
                      "--current", str(current),
                      "--baseline", str(baseline)]) == 1
         assert "jobs" in capsys.readouterr().err
+
+
+class TestPipelineCommand:
+    """`repro pipeline` — the async one-step-off gate."""
+
+    def test_default_run_passes_self_check(self, capsys):
+        assert main(["pipeline", "--iterations", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "bit-exact with synchronous run_step" in out
+        assert "staleness_window=1" in out
+        assert "speedup" in out
+
+    def test_trace_gate_runs_race_detector(self, capsys, tmp_path):
+        trace = tmp_path / "async.json"
+        assert main(
+            ["pipeline", "--iterations", "2", "--trace", str(trace)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert trace.exists()
+        assert "race detector: overlapped schedule is clean" in out
+
+    def test_staleness_zero_is_allowed(self, capsys):
+        assert main(["pipeline", "--staleness", "0",
+                     "--iterations", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "max_staleness_seen=0" in out

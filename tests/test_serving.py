@@ -113,6 +113,39 @@ class TestPagedKVCache:
         assert device.memory.bytes_for("serving/kv_blocks") == 0
 
 
+class TestStreamedHandoff:
+    """drain(on_finish=...) hands each response off the moment it finishes."""
+
+    def test_on_finish_fires_once_per_request_in_finish_order(self, model):
+        server = make_server(model, max_slots=2)
+        rng = np.random.default_rng(5)
+        budgets = [2, 5, 3]
+        for budget in budgets:
+            server.submit(
+                rng.integers(0, CFG.vocab_size, size=4),
+                max_new_tokens=budget,
+            )
+        streamed = []
+        report = server.drain(on_finish=streamed.append)
+        assert len(streamed) == len(budgets)
+        assert sorted(r.request_id for r in streamed) == [0, 1, 2]
+        # the callback sees responses as they finish, not in submit order
+        times = [r.finish_time for r in streamed]
+        assert times == sorted(times)
+        # and the same objects land in the final report
+        assert {id(r) for r in streamed} == {id(r) for r in report.completed}
+
+    def test_drain_without_callback_unchanged(self, model):
+        server = make_server(model, max_slots=2)
+        rng = np.random.default_rng(5)
+        for _ in range(3):
+            server.submit(
+                rng.integers(0, CFG.vocab_size, size=4), max_new_tokens=2
+            )
+        report = server.drain()
+        assert len(report.completed) == 3
+
+
 class TestScheduling:
     def test_priority_order_of_admission(self, model):
         server = make_server(model, max_slots=1)
