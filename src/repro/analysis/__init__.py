@@ -1,6 +1,6 @@
 """Static and post-hoc analysis of composed RLHF dataflows (``repro check``).
 
-Five passes behind one report type:
+Six passes behind one report type:
 
 * :class:`DataflowChecker` — pre-execution: protocol/topology compatibility,
   batch divisibility, serving config, projected memory vs capacity, per-
@@ -18,13 +18,27 @@ Five passes behind one report type:
 * :class:`RaceDetector` — vector-clock happens-before over the execution
   trace plus the shared-state access log; flags conflicting accesses with
   no ordering edge, including the nondeterministic ``merge_outputs`` hazard.
+* :class:`ModelChecker` — bounded stateless model checking with sleep-set
+  partial-order reduction over explicit state-machine models of the
+  shipped concurrent protocols (async pipeline, drain hand-off, fleet
+  gang scheduling); violations carry minimal counterexample schedules
+  replayable through the RaceDetector / TraceAuditor.
 
 All findings carry a rule id (``DF1xx`` / ``TA2xx`` / ``RL3xx`` / ``SH4xx``
-/ ``RC5xx``), severity, location, and fix hint; see ``docs/ANALYSIS.md`` for
-the catalog.
+/ ``RC5xx`` / ``MC6xx``), severity, location, and fix hint; see
+``docs/ANALYSIS.md`` for the catalog.
 """
 
 from repro.analysis.dataflow import DataflowChecker, registered_methods
+from repro.analysis.modelcheck import (
+    MC_RULES,
+    Counterexample,
+    ModelChecker,
+    ModelCheckResult,
+    cross_validate,
+    seeded_mutants,
+    shipped_models,
+)
 from repro.analysis.races import RaceDetector
 from repro.analysis.report import ERROR, WARNING, AnalysisReport, Finding
 from repro.analysis.repolint import ALL_RULES, RepoLint
@@ -40,16 +54,23 @@ from repro.analysis.trace_audit import PERSISTENT_SUFFIXES, TraceAuditor
 __all__ = [
     "ALL_RULES",
     "AnalysisReport",
+    "Counterexample",
     "DataflowChecker",
     "ERROR",
     "Finding",
+    "MC_RULES",
+    "ModelCheckResult",
+    "ModelChecker",
     "PERSISTENT_SUFFIXES",
     "RaceDetector",
     "RepoLint",
     "ShardingVerifier",
     "TraceAuditor",
     "WARNING",
+    "cross_validate",
     "registered_methods",
+    "seeded_mutants",
+    "shipped_models",
     "sweep_cells",
     "sweep_difference_fraction",
     "sweep_overlap_fraction",

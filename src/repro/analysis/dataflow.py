@@ -244,6 +244,7 @@ class DataflowChecker:
         pipeline_config: Any,
         trainer_config: Any = None,
         algo: Any = None,
+        actor: Any = None,
     ) -> AnalysisReport:
         """Validate an async-pipeline configuration *before* any overlap.
 
@@ -261,7 +262,14 @@ class DataflowChecker:
         * an algorithm without an off-policy correction path;
         * ``recompute_log_probs=False`` with a positive window (warning) —
           the anchor collapses onto the behaviour policy and every
-          importance weight degenerates to 1.
+          importance weight degenerates to 1;
+        * an ``actor`` group without a generation topology — the
+          :class:`~repro.hybrid_engine.publication.WeightPublisher` has no
+          plan to stage weights into, so the first publish would fail at
+          runtime instead of at config time;
+        * a serving-backed ``actor`` (``use_serving=True``) — the
+          continuous-batching engine owns its own weight lifetime and
+          cannot participate in the pipeline's flip-buffer protocol.
         """
         report = AnalysisReport("dataflow")
         report.note_checked("pipeline_configs")
@@ -333,6 +341,32 @@ class DataflowChecker:
                 location=location,
                 hint="enable TrainerConfig.recompute_log_probs for async runs",
             )
+        if actor is not None:
+            if getattr(actor, "gen_topology", None) is None:
+                report.add(
+                    "DF108",
+                    ERROR,
+                    "actor group has no generation topology: the weight "
+                    "publisher has no plan to stage published weights into",
+                    location=location,
+                    hint="build the actor with a generation parallel config "
+                    "(gen_parallel=...) before wiring the async pipeline",
+                )
+            elif any(
+                getattr(worker, "use_serving", False)
+                for worker in getattr(actor, "workers", ())
+            ):
+                report.add(
+                    "DF108",
+                    ERROR,
+                    "actor generation is serving-backed (use_serving=True): "
+                    "the continuous-batching engine owns its weight "
+                    "lifetime and cannot follow the pipeline's "
+                    "publish/flip protocol",
+                    location=location,
+                    hint="disable use_serving for async-pipeline runs, or "
+                    "drive the serving engine synchronously",
+                )
         return report
 
     # -- individual passes -----------------------------------------------------------

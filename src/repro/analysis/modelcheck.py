@@ -1,0 +1,524 @@
+"""MC6xx — bounded model checking of the shipped concurrent protocols.
+
+The RC5xx race detector and TA2xx trace auditor are *dynamic*: they audit
+the one schedule an execution happened to take.  The protocols those
+schedules come from — the one-step-off async pipeline, the serving drain
+hand-off, the fleet gang scheduler — are concurrent, and their bugs live
+in the schedules that did *not* run.  This pass explores all of them, at
+small scope: each protocol is modelled as an explicit state machine
+(:mod:`repro.analysis.protocols`) and a stateless depth-first checker
+enumerates every interleaving up to a depth/state budget, pruning
+provably-equivalent orders with sleep-set partial-order reduction.
+
+Checked invariants (the MC6xx catalog, see :data:`MC_RULES`):
+
+============  =======================================================
+``MC601``     deadlock freedom — no reachable non-quiescent state
+              without an enabled action
+``MC602``     livelock freedom — no schedule returns to an earlier
+              state without making progress
+``MC603``     the staleness bound ``W`` is never exceeded
+``MC604``     no experience batch is lost, overwritten, or
+              double-consumed
+``MC605``     a weight buffer is never written while readable
+``MC606``     every published weight version is consumable — an
+              acquire never returns a version older than the staged one
+``MC607``     gangs never overlap — a device belongs to at most one
+              admitted gang
+``MC608``     preemption never loses work — a preempted job resumes at
+              its preemption point
+``MC609``     streaming hand-off — ``on_finish`` fires exactly once per
+              request, after completion, in completion order
+============  =======================================================
+
+A violation is reported as a ``Finding`` carrying a *minimal*
+counterexample schedule (breadth-first shortened after the DFS finds a
+witness).  Counterexamples are replayable:
+:func:`~repro.analysis.protocols.core.replay_schedule` turns one into
+trace records + access events + a synthetic ledger device, which
+:func:`cross_validate` feeds to the existing
+:class:`~repro.analysis.races.RaceDetector` and
+:class:`~repro.analysis.trace_audit.TraceAuditor` — a dropped guard found
+by the checker shows up again as RC501 / TA205 in the dynamic passes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.analysis.protocols import (
+    AsyncPipelineModel,
+    DrainHandoffModel,
+    FleetGangModel,
+    JobSpec,
+    ProtocolModel,
+    independent,
+    replay_schedule,
+)
+from repro.analysis.report import ERROR, AnalysisReport
+
+#: rule -> (title, fix hint attached to every finding of that rule)
+MC_RULES: Dict[str, Tuple[str, str]] = {
+    "MC601": (
+        "protocol deadlock",
+        "replay the schedule with replay_schedule() and inspect which "
+        "guard starves the blocked thread",
+    ),
+    "MC602": (
+        "protocol livelock",
+        "the schedule returns to an earlier state without progress; "
+        "break the cycle with a strict priority or progress measure",
+    ),
+    "MC603": (
+        "staleness bound exceeded",
+        "gate rollout.begin on the newest *published* version, not the "
+        "trainer's step counter",
+    ),
+    "MC604": (
+        "experience batch lost or double-handled",
+        "keep the BufferFull occupancy guard ahead of every put and pop "
+        "each index exactly once",
+    ),
+    "MC605": (
+        "weight buffer written while readable",
+        "publish into the inactive buffer only; flip active/staged "
+        "atomically at a generate-call boundary",
+    ),
+    "MC606": (
+        "published weight version lost",
+        "acquire must flip to the staged buffer before decoding starts",
+    ),
+    "MC607": (
+        "overlapping gang admission",
+        "grant a gang only devices that are alive AND free; admission "
+        "must be atomic per gang",
+    ),
+    "MC608": (
+        "preempted work lost",
+        "checkpoint the victim synchronously inside the preemption, "
+        "before its devices are handed to the waiter",
+    ),
+    "MC609": (
+        "streaming hand-off violated",
+        "invoke on_finish only for the head of the completion queue, "
+        "after its final decode step",
+    ),
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class Counterexample:
+    """A schedule (action-name sequence) driving a model into a violation."""
+
+    rule: str
+    message: str
+    schedule: Tuple[str, ...]
+    model: str
+
+    def render(self) -> str:
+        return " -> ".join(self.schedule)
+
+
+@dataclasses.dataclass
+class ModelCheckResult:
+    """Everything one bounded exploration of one model produced."""
+
+    model: str
+    states: int = 0
+    transitions: int = 0
+    truncated: bool = False
+    counterexamples: List[Counterexample] = dataclasses.field(
+        default_factory=list
+    )
+
+    @property
+    def ok(self) -> bool:
+        return not self.counterexamples
+
+    def by_rule(self) -> Dict[str, Counterexample]:
+        return {ce.rule: ce for ce in self.counterexamples}
+
+
+class _Frame:
+    """One explicit DFS stack entry (the checker never recurses)."""
+
+    __slots__ = ("state", "enabled", "idx", "sleep", "done")
+
+    def __init__(self, state: Any, enabled: List[Any], sleep: set) -> None:
+        self.state = state
+        self.enabled = enabled
+        self.idx = 0
+        self.sleep = sleep
+        self.done: List[Any] = []
+
+
+class ModelChecker:
+    """Bounded stateless explorer with sleep-set partial-order reduction.
+
+    ``max_depth`` bounds schedule length, ``max_states`` bounds distinct
+    states per model (exceeding either sets ``truncated`` instead of
+    failing).  ``reduce=False`` disables the sleep-set pruning (useful to
+    validate the reduction itself); ``shrink=False`` keeps the first DFS
+    witness instead of breadth-first minimising it.
+
+    A violating state is a frontier: its rules are recorded (first
+    witness per rule, later minimised) and it is not expanded further, so
+    one seeded fault reports exactly one rule instead of a cascade.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 400,
+        max_states: int = 60_000,
+        reduce: bool = True,
+        shrink: bool = True,
+    ) -> None:
+        self.max_depth = max_depth
+        self.max_states = max_states
+        self.reduce = reduce
+        self.shrink = shrink
+
+    # -- single-model exploration ------------------------------------------------------
+
+    def check_model(self, model: ProtocolModel) -> ModelCheckResult:
+        result = ModelCheckResult(model=model.name)
+        found: Dict[str, Counterexample] = {}
+
+        def record(rule: str, message: str, schedule: List[str]) -> None:
+            if rule not in found:
+                found[rule] = Counterexample(
+                    rule, message, tuple(schedule), model.name
+                )
+
+        init = model.initial_state()
+        seen = {init}
+        # state -> sleep sets it was expanded under; re-expansion is only
+        # skipped when a recorded sleep set is a subset of the current one
+        # (everything outside the current sleep set was already explored).
+        expanded: Dict[Any, List[FrozenSet[Any]]] = {}
+        on_path = {init}
+
+        init_viols = model.state_violations(init)
+        for rule, message in init_viols:
+            record(rule, message, [])
+        if not init_viols:
+            enabled = model.enabled(init)
+            if not enabled:
+                if model.is_terminal(init):
+                    for rule, message in model.final_violations(init):
+                        record(rule, message, [])
+                else:
+                    record(rule="MC601", message=self._deadlock_message(
+                        model, init), schedule=[])
+            else:
+                expanded[init] = [frozenset()]
+                stack = [_Frame(init, enabled, set())]
+                path: List[str] = []
+                while stack:
+                    frame = stack[-1]
+                    if len(seen) >= self.max_states:
+                        result.truncated = True
+                        break
+                    if frame.idx >= len(frame.enabled):
+                        stack.pop()
+                        on_path.discard(frame.state)
+                        if path:
+                            path.pop()
+                        continue
+                    action = frame.enabled[frame.idx]
+                    frame.idx += 1
+                    if action in frame.sleep:
+                        continue
+                    child = model.apply(frame.state, action)
+                    result.transitions += 1
+                    child_sleep = {
+                        b
+                        for b in frame.sleep.union(frame.done)
+                        if independent(action, b)
+                    }
+                    frame.done.append(action)
+                    path.append(action.name)
+                    seen.add(child)
+                    viols = model.state_violations(child)
+                    if viols:
+                        for rule, message in viols:
+                            record(rule, message, path)
+                        path.pop()
+                        continue
+                    if child in on_path:
+                        record(
+                            rule="MC602",
+                            message=(
+                                "livelock: the schedule revisits an "
+                                "earlier state without progress"
+                            ),
+                            schedule=path,
+                        )
+                        path.pop()
+                        continue
+                    child_enabled = model.enabled(child)
+                    if not child_enabled:
+                        if model.is_terminal(child):
+                            for rule, message in model.final_violations(
+                                child
+                            ):
+                                record(rule, message, path)
+                        else:
+                            record(
+                                rule="MC601",
+                                message=self._deadlock_message(
+                                    model, child
+                                ),
+                                schedule=path,
+                            )
+                        path.pop()
+                        continue
+                    if len(path) >= self.max_depth:
+                        result.truncated = True
+                        path.pop()
+                        continue
+                    sleep_key = frozenset(child_sleep)
+                    recorded = expanded.get(child)
+                    if (
+                        self.reduce
+                        and recorded is not None
+                        and any(z <= sleep_key for z in recorded)
+                    ):
+                        path.pop()
+                        continue
+                    expanded.setdefault(child, []).append(sleep_key)
+                    stack.append(_Frame(child, child_enabled, child_sleep))
+                    on_path.add(child)
+
+        result.states = len(seen)
+        for rule, ce in sorted(found.items()):
+            if self.shrink and rule != "MC602" and ce.schedule:
+                shorter = self._shrink(model, rule, len(ce.schedule))
+                if shorter is not None:
+                    ce = shorter
+            result.counterexamples.append(ce)
+        return result
+
+    @staticmethod
+    def _deadlock_message(model: ProtocolModel, state: Any) -> str:
+        return (
+            "deadlock: no action is enabled but the protocol has not "
+            "quiesced — threads are mutually blocked"
+        )
+
+    def _shrink(
+        self, model: ProtocolModel, rule: str, bound: int
+    ) -> Optional[Counterexample]:
+        """Breadth-first search for the shortest schedule exhibiting
+        ``rule``, bounded by the DFS witness length (no reduction — BFS
+        must stay complete to be minimal)."""
+        init = model.initial_state()
+        queue = deque([(init, ())])
+        seen = {init}
+        expansions = 0
+        while queue:
+            state, sched = queue.popleft()
+            if len(sched) >= bound:
+                continue
+            for action in model.enabled(state):
+                expansions += 1
+                if expansions > self.max_states:
+                    return None
+                child = model.apply(state, action)
+                csched = sched + (action.name,)
+                viols = model.state_violations(child)
+                for r, message in viols:
+                    if r == rule:
+                        return Counterexample(
+                            rule, message, csched, model.name
+                        )
+                if viols:
+                    continue
+                enabled = model.enabled(child)
+                if not enabled:
+                    if model.is_terminal(child):
+                        for r, message in model.final_violations(child):
+                            if r == rule:
+                                return Counterexample(
+                                    rule, message, csched, model.name
+                                )
+                    elif rule == "MC601":
+                        return Counterexample(
+                            rule,
+                            self._deadlock_message(model, child),
+                            csched,
+                            model.name,
+                        )
+                    continue
+                if child not in seen and len(csched) < bound:
+                    seen.add(child)
+                    queue.append((child, csched))
+        return None
+
+    # -- report-level entry points -----------------------------------------------------
+
+    def check_all(
+        self,
+        models: Iterable[ProtocolModel],
+        report: Optional[AnalysisReport] = None,
+    ) -> AnalysisReport:
+        """Check every model, folding violations into an AnalysisReport.
+
+        Results (including counterexample schedules and coverage
+        counters) are kept on ``self.last_results`` for callers that
+        need more than findings — the CLI's MC report artifact and the
+        cross-validation tests read them from there.
+        """
+        report = report or AnalysisReport("modelcheck")
+        self.last_results: List[ModelCheckResult] = []
+        for model in models:
+            result = self.check_model(model)
+            self.last_results.append(result)
+            report.note_checked("mc_models")
+            report.note_checked("mc_states", result.states)
+            report.note_checked("mc_transitions", result.transitions)
+            if result.truncated:
+                report.note_checked("mc_truncated")
+            for ce in result.counterexamples:
+                title, hint = MC_RULES.get(ce.rule, ("", ""))
+                schedule = ce.render() or "<initial state>"
+                report.add(
+                    rule=ce.rule,
+                    severity=ERROR,
+                    message=f"{ce.message} [schedule: {schedule}]",
+                    location=f"model:{ce.model}",
+                    hint=hint,
+                )
+        return report
+
+    def check_shipped(
+        self, report: Optional[AnalysisReport] = None
+    ) -> AnalysisReport:
+        return self.check_all(shipped_models(), report=report)
+
+
+def shipped_models() -> Tuple[ProtocolModel, ...]:
+    """The intact protocol suite `repro check --models` gates on.
+
+    Configurations are chosen so the union explores a six-figure
+    transition count and five-figure distinct-state count within the CI
+    budget: the pipeline at several staleness windows (W=0 is the
+    synchronous PPO degenerate case, W>=2 exercises deep run-ahead), the
+    drain hand-off with slot contention, and fleet scenarios covering
+    preemption, faults mid-gang, and capacity-starved give-up.
+    """
+    return (
+        AsyncPipelineModel(n_iterations=4, window=0),
+        AsyncPipelineModel(n_iterations=5, window=1),
+        AsyncPipelineModel(n_iterations=6, window=2),
+        AsyncPipelineModel(n_iterations=10, window=3, capacity=4),
+        AsyncPipelineModel(n_iterations=12, window=4, capacity=4),
+        DrainHandoffModel(targets=(2, 1, 2), slots=2),
+        DrainHandoffModel(targets=(1, 2, 1, 2), slots=3),
+        FleetGangModel(
+            jobs=(
+                JobSpec("a", 3, 2, 2, arrival=1),
+                JobSpec("b", 2, 2, 2),
+                JobSpec("c", 1, 1, 3),
+                JobSpec("d", 1, 2, 2),
+            ),
+            capacity=5,
+            kills=(4,),
+        ),
+        FleetGangModel(
+            jobs=(JobSpec("a", 1, 2, 2), JobSpec("b", 1, 2, 1)),
+            capacity=2,
+        ),
+        FleetGangModel(
+            jobs=(JobSpec("a", 1, 3, 1), JobSpec("b", 2, 1, 2)),
+            capacity=3,
+            kills=(0, 2),
+        ),
+    )
+
+
+def seeded_mutants() -> Tuple[Tuple[ProtocolModel, str], ...]:
+    """(mutated model, expected MC rule) pairs for the mutation smoke.
+
+    Each model has exactly ONE guard flipped; the checker must report
+    exactly that rule, and the minimised counterexample must replay into
+    an RC501 race or TA205 ledger violation (see :func:`cross_validate`).
+    """
+    return (
+        (
+            AsyncPipelineModel(
+                n_iterations=4,
+                window=1,
+                capacity=3,
+                mutate="drop_staleness_guard",
+            ),
+            "MC603",
+        ),
+        (
+            AsyncPipelineModel(
+                n_iterations=3,
+                window=2,
+                capacity=2,
+                mutate="skip_slot_guard",
+            ),
+            "MC604",
+        ),
+        (
+            AsyncPipelineModel(
+                n_iterations=4, window=1, mutate="publish_into_active"
+            ),
+            "MC605",
+        ),
+        (
+            DrainHandoffModel(
+                targets=(2, 1), slots=2, mutate="skip_done_guard"
+            ),
+            "MC609",
+        ),
+        (
+            FleetGangModel(
+                jobs=(JobSpec("a", 1, 2, 1), JobSpec("b", 1, 2, 1)),
+                capacity=3,
+                mutate="drop_gang_guard",
+            ),
+            "MC607",
+        ),
+    )
+
+
+def cross_validate(
+    model: ProtocolModel, schedule: Iterable[str]
+) -> AnalysisReport:
+    """Replay a (counterexample) schedule through the dynamic validators.
+
+    The schedule is re-executed on the model; the emitted trace records
+    and access events go to :class:`~repro.analysis.races.RaceDetector`,
+    the synthetic ledger device to
+    :class:`~repro.analysis.trace_audit.TraceAuditor`.  An intact
+    protocol's schedules replay clean; a mutant's counterexample is
+    flagged by RC501 (unordered conflicting accesses) and/or TA205
+    (ledger contract violated).
+    """
+    from repro.analysis.races import RaceDetector
+    from repro.analysis.trace_audit import TraceAuditor
+
+    records, events, device = replay_schedule(model, list(schedule))
+    report = AnalysisReport(f"replay:{model.name}")
+    RaceDetector().detect(records, events, report=report)
+    report.merge(
+        TraceAuditor().audit(devices=[device], check_busy_accounting=False)
+    )
+    return report
+
+
+__all__ = [
+    "Counterexample",
+    "MC_RULES",
+    "ModelChecker",
+    "ModelCheckResult",
+    "cross_validate",
+    "seeded_mutants",
+    "shipped_models",
+]

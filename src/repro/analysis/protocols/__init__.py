@@ -1,0 +1,46 @@
+"""Explicit state-machine models of the shipped concurrent protocols.
+
+These are the inputs to the MC6xx bounded model checker
+(:mod:`repro.analysis.modelcheck`).  Each model captures just the
+synchronization skeleton of a real component and is kept honest by
+conformance tests replaying real-implementation traces through
+:meth:`~repro.analysis.protocols.core.ProtocolModel.run_schedule`.
+"""
+
+from repro.analysis.protocols.core import (
+    Action,
+    ProtocolModel,
+    ReplayDevice,
+    independent,
+    replay_schedule,
+)
+from repro.analysis.protocols.fleet_model import (
+    FleetGangModel,
+    FleetState,
+    JobSpec,
+    JobState,
+)
+from repro.analysis.protocols.pipeline_model import (
+    AsyncPipelineModel,
+    PipelineState,
+)
+from repro.analysis.protocols.serving_model import (
+    DrainHandoffModel,
+    ServingState,
+)
+
+__all__ = [
+    "Action",
+    "AsyncPipelineModel",
+    "DrainHandoffModel",
+    "FleetGangModel",
+    "FleetState",
+    "JobSpec",
+    "JobState",
+    "PipelineState",
+    "ProtocolModel",
+    "ReplayDevice",
+    "ServingState",
+    "independent",
+    "replay_schedule",
+]

@@ -1,0 +1,426 @@
+"""State-machine model of the fleet gang admission / preemption protocol.
+
+Threads: one ``sched`` thread for the controller-side actions (gang
+admission, preemption, fault injection, recovery, give-up) and one
+``job.<name>`` thread per job for its training steps.  Mirrors
+:class:`~repro.fleet.scheduler.FleetScheduler`'s tick loop: eligible
+pending jobs admit highest-priority-first onto free devices as an atomic
+gang, a waiter that cannot fit may evict strictly-lower-priority victims
+(weakest first, only when evicting could ever make it fit), device faults
+requeue the holder from its last checkpoint, and a job whose gang can
+never fit the surviving capacity fails instead of waiting forever.
+
+Mutations for the seeded mutation smoke:
+
+* ``drop_gang_guard`` — admission grants the first ``need`` *alive*
+  devices without checking holders: two gangs overlap (MC607) and the
+  replayed ledger over-subscribes the GPU contract (TA205).
+* ``skip_checkpoint_on_preempt`` — preemption evicts without saving
+  progress; the victim resumes below its preemption point (MC608).
+* ``allow_equal_priority_preempt`` — equal-priority jobs evict each other
+  forever: the checker revisits an identical state on the DFS path (MC602).
+* ``drop_giveup`` — a gang larger than the surviving capacity waits
+  forever after a fault: terminal starvation, reported as MC601 deadlock.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional, Tuple
+
+from repro.analysis.protocols.core import Action, ProtocolModel
+
+_MUTATIONS = (
+    "drop_gang_guard",
+    "skip_checkpoint_on_preempt",
+    "allow_equal_priority_preempt",
+    "drop_giveup",
+)
+
+_UNARRIVED = "N"
+_PENDING = "P"
+_RUNNING = "R"
+_COMPLETED = "C"
+_FAILED = "F"
+_FAULTED = "X"
+
+
+class JobSpec(NamedTuple):
+    name: str
+    priority: int
+    need: int
+    iterations: int
+    arrival: int = 0  # jobs with arrival > 0 join the queue later
+
+
+class JobState(NamedTuple):
+    status: str
+    iters: int
+    ckpt: int
+    devs: Tuple[int, ...]
+    pre: int  # iters at last preemption, -1 when not preempted
+
+
+class FleetState(NamedTuple):
+    jobs: Tuple[JobState, ...]
+    alive: Tuple[int, ...]
+    free: Tuple[int, ...]
+    kills_done: int
+    viol: Tuple[Tuple[str, str], ...]
+
+
+class FleetGangModel(ProtocolModel):
+    """Gang admission, priority preemption, and fault recovery."""
+
+    def __init__(
+        self,
+        jobs: Tuple[JobSpec, ...] = (
+            JobSpec("a", 2, 2, 2),
+            JobSpec("b", 1, 2, 1),
+        ),
+        capacity: int = 2,
+        kills: Tuple[int, ...] = (),
+        preemption: bool = True,
+        mutate: Optional[str] = None,
+    ) -> None:
+        if mutate is not None and mutate not in _MUTATIONS:
+            raise ValueError(
+                f"unknown fleet mutation {mutate!r}; have {_MUTATIONS}"
+            )
+        self.jobs = tuple(JobSpec(*j) for j in jobs)
+        self.capacity = capacity
+        self.kills = tuple(kills)
+        self.preemption = preemption
+        self.mutate = mutate
+        suffix = f"!{mutate}" if mutate else ""
+        spec = ",".join(
+            f"{j.name}:p{j.priority}n{j.need}i{j.iterations}"
+            + (f"a{j.arrival}" if j.arrival else "")
+            for j in self.jobs
+        )
+        self.name = (
+            f"fleet-gang[{spec};c{capacity},k{len(self.kills)}]{suffix}"
+        )
+
+    def tag_capacity(self, tag: str):
+        # Contract: a device belongs to at most one admitted gang.
+        if tag.startswith("gpu"):
+            return 1
+        return None
+
+    def initial_state(self) -> FleetState:
+        return FleetState(
+            jobs=tuple(
+                JobState(
+                    _UNARRIVED if spec.arrival > 0 else _PENDING,
+                    0, 0, (), -1,
+                )
+                for spec in self.jobs
+            ),
+            alive=tuple(range(self.capacity)),
+            free=tuple(range(self.capacity)),
+            kills_done=0,
+            viol=(),
+        )
+
+    # -- helpers -----------------------------------------------------------------------
+
+    def _grant(self, state: FleetState, spec: JobSpec) -> Tuple[int, ...]:
+        if self.mutate == "drop_gang_guard":
+            return state.alive[: spec.need]
+        return state.free[: spec.need]
+
+    def _fits(self, state: FleetState, spec: JobSpec) -> bool:
+        if self.mutate == "drop_gang_guard":
+            return spec.need <= len(state.alive)
+        return spec.need <= len(state.free)
+
+    # -- transitions -------------------------------------------------------------------
+
+    def enabled(self, state: FleetState) -> List[Action]:
+        actions: List[Action] = []
+        s = state
+        pending = [
+            (spec, js)
+            for spec, js in zip(self.jobs, s.jobs)
+            if js.status == _PENDING
+        ]
+        st_vars = tuple(f"st.{spec.name}" for spec in self.jobs)
+        # sched: late arrivals join the queue in arrival order
+        unarrived = [
+            (spec.arrival, spec.name)
+            for spec, js in zip(self.jobs, s.jobs)
+            if js.status == _UNARRIVED
+        ]
+        if unarrived:
+            _a, jname = min(unarrived)
+            actions.append(
+                Action(
+                    name=f"arrive[{jname}]",
+                    thread="sched",
+                    ctrl_writes=(f"st.{jname}",),
+                )
+            )
+        # sched: gang admission, highest-priority fitting waiter first
+        for spec, js in pending:
+            if not self._fits(s, spec):
+                continue
+            blocked = any(
+                other.priority > spec.priority and self._fits(s, other)
+                for other, _ojs in pending
+                if other.name != spec.name
+            )
+            if blocked:
+                continue
+            granted = self._grant(s, spec)
+            actions.append(
+                Action(
+                    name=f"admit[{spec.name}]",
+                    thread="sched",
+                    writes=tuple(f"gpu{d}" for d in granted),
+                    ctrl_reads=("free", "alive") + st_vars,
+                    ctrl_writes=(f"st.{spec.name}", "free"),
+                    syncs=tuple(f"dev{d}" for d in granted),
+                    releases=(f"run.{spec.name}",),
+                    allocs=tuple((f"gpu{d}", 1) for d in granted),
+                )
+            )
+        # sched: preemption on behalf of a waiter that cannot fit
+        if self.preemption:
+            strict = self.mutate != "allow_equal_priority_preempt"
+            for spec, js in pending:
+                if self._fits(s, spec):
+                    continue
+                victims = [
+                    (vspec, vjs)
+                    for vspec, vjs in zip(self.jobs, s.jobs)
+                    if vjs.status == _RUNNING
+                    and (
+                        vspec.priority < spec.priority
+                        if strict
+                        else vspec.priority <= spec.priority
+                    )
+                ]
+                if not victims:
+                    continue
+                # evict the weakest victims, atomically, until the waiter
+                # fits — mirroring _preempt_for's all-or-nothing eviction
+                # (one-victim-at-a-time would let a victim re-admit
+                # between evictions and livelock the waiter)
+                victims.sort(key=lambda v: (v[0].priority, v[0].name))
+                chosen = []
+                reclaimed = len(s.free)
+                for vspec, vjs in victims:
+                    if reclaimed >= spec.need:
+                        break
+                    chosen.append((vspec, vjs))
+                    reclaimed += len(vjs.devs)
+                if reclaimed < spec.need:
+                    continue
+                vnames = ",".join(vspec.name for vspec, _ in chosen)
+                vdevs = tuple(
+                    d for _vspec, vjs in chosen for d in vjs.devs
+                )
+                actions.append(
+                    Action(
+                        name=f"preempt[{spec.name}->{vnames}]",
+                        thread="sched",
+                        ctrl_reads=("free",) + st_vars,
+                        ctrl_writes=tuple(
+                            f"st.{vspec.name}" for vspec, _ in chosen
+                        )
+                        + ("free",),
+                        syncs=tuple(
+                            tok
+                            for vspec, _ in chosen
+                            for tok in (
+                                f"step.{vspec.name}",
+                                f"run.{vspec.name}",
+                            )
+                        ),
+                        releases=tuple(f"dev{d}" for d in vdevs),
+                        frees=tuple((f"gpu{d}", 1) for d in vdevs),
+                    )
+                )
+        # sched: the next scripted device fault
+        if s.kills_done < len(self.kills):
+            d = self.kills[s.kills_done]
+            actions.append(
+                Action(
+                    name=f"kill[{d}]",
+                    thread="sched",
+                    ctrl_writes=("alive", "free") + st_vars,
+                )
+            )
+        # sched: requeue a faulted job (release surviving devices)
+        for spec, js in zip(self.jobs, s.jobs):
+            if js.status == _FAULTED:
+                survivors = tuple(d for d in js.devs if d in s.alive)
+                actions.append(
+                    Action(
+                        name=f"recover[{spec.name}]",
+                        thread="sched",
+                        ctrl_writes=(f"st.{spec.name}", "free"),
+                        syncs=(f"step.{spec.name}", f"run.{spec.name}"),
+                        releases=tuple(f"dev{d}" for d in survivors),
+                        frees=tuple((f"gpu{d}", 1) for d in js.devs),
+                    )
+                )
+        # sched: fail a gang that can never fit the surviving capacity
+        if self.mutate != "drop_giveup":
+            for spec, js in pending:
+                if spec.need > len(s.alive):
+                    actions.append(
+                        Action(
+                            name=f"giveup[{spec.name}]",
+                            thread="sched",
+                            ctrl_reads=("alive",),
+                            ctrl_writes=(f"st.{spec.name}",),
+                        )
+                    )
+        # job threads: one training step each
+        for spec, js in zip(self.jobs, s.jobs):
+            if js.status == _RUNNING:
+                finishing = js.iters + 1 == spec.iterations
+                actions.append(
+                    Action(
+                        name=f"step[{spec.name}]",
+                        thread=f"job.{spec.name}",
+                        writes=tuple(f"gpu{d}" for d in js.devs),
+                        ctrl_reads=(f"st.{spec.name}",),
+                        ctrl_writes=(
+                            (f"st.{spec.name}", "free")
+                            if finishing
+                            else (f"it.{spec.name}",)
+                        ),
+                        syncs=(f"run.{spec.name}",),
+                        releases=(f"step.{spec.name}",)
+                        + (
+                            tuple(f"dev{d}" for d in js.devs)
+                            if finishing
+                            else ()
+                        ),
+                        frees=(
+                            tuple((f"gpu{d}", 1) for d in js.devs)
+                            if finishing
+                            else ()
+                        ),
+                    )
+                )
+        return actions
+
+    def apply(self, state: FleetState, action: Action) -> FleetState:
+        s = state
+        name = action.name
+        jobs = list(s.jobs)
+        if name.startswith("arrive"):
+            jname = name[name.index("[") + 1 : name.index("]")]
+            idx, _spec = self._job(jname)
+            jobs[idx] = jobs[idx]._replace(status=_PENDING)
+            return s._replace(jobs=tuple(jobs))
+        if name.startswith("admit"):
+            jname = name[name.index("[") + 1 : name.index("]")]
+            idx, spec = self._job(jname)
+            js = jobs[idx]
+            granted = self._grant(s, spec)
+            viol = s.viol
+            for d in granted:
+                holders = [
+                    other.name
+                    for other, ojs in zip(self.jobs, s.jobs)
+                    if ojs.status == _RUNNING and d in ojs.devs
+                ]
+                if holders:
+                    viol = viol + (
+                        (
+                            "MC607",
+                            f"device {d} granted to gang {spec.name!r} "
+                            f"while held by running {holders[0]!r} — "
+                            "overlapping gangs",
+                        ),
+                    )
+                    break
+            if js.pre >= 0 and js.ckpt < js.pre:
+                viol = viol + (
+                    (
+                        "MC608",
+                        f"job {spec.name!r} resumes at iteration "
+                        f"{js.ckpt} after being preempted at {js.pre} — "
+                        "work lost without a fault",
+                    ),
+                )
+            jobs[idx] = JobState(_RUNNING, js.ckpt, js.ckpt, granted, -1)
+            free = tuple(d for d in s.free if d not in granted)
+            return s._replace(jobs=tuple(jobs), free=free, viol=viol)
+        if name.startswith("preempt"):
+            inner = name[name.index("[") + 1 : name.index("]")]
+            _waiter, vnames = inner.split("->")
+            free = s.free
+            for vname in vnames.split(","):
+                idx, _spec = self._job(vname)
+                js = jobs[idx]
+                ckpt = (
+                    js.ckpt
+                    if self.mutate == "skip_checkpoint_on_preempt"
+                    else js.iters
+                )
+                jobs[idx] = JobState(_PENDING, js.iters, ckpt, (), js.iters)
+                free = tuple(sorted(free + js.devs))
+            return s._replace(jobs=tuple(jobs), free=free)
+        if name.startswith("kill"):
+            d = self.kills[s.kills_done]
+            alive = tuple(x for x in s.alive if x != d)
+            free = tuple(x for x in s.free if x != d)
+            for idx, (spec, js) in enumerate(zip(self.jobs, s.jobs)):
+                if js.status == _RUNNING and d in js.devs:
+                    jobs[idx] = js._replace(status=_FAULTED)
+                    break
+            return s._replace(
+                jobs=tuple(jobs),
+                alive=alive,
+                free=free,
+                kills_done=s.kills_done + 1,
+            )
+        if name.startswith("recover"):
+            jname = name[name.index("[") + 1 : name.index("]")]
+            idx, spec = self._job(jname)
+            js = jobs[idx]
+            survivors = tuple(d for d in js.devs if d in s.alive)
+            jobs[idx] = JobState(_PENDING, js.ckpt, js.ckpt, (), -1)
+            free = tuple(sorted(s.free + survivors))
+            return s._replace(jobs=tuple(jobs), free=free)
+        if name.startswith("giveup"):
+            jname = name[name.index("[") + 1 : name.index("]")]
+            idx, _spec = self._job(jname)
+            jobs[idx] = jobs[idx]._replace(status=_FAILED)
+            return s._replace(jobs=tuple(jobs))
+        if name.startswith("step"):
+            jname = name[name.index("[") + 1 : name.index("]")]
+            idx, spec = self._job(jname)
+            js = jobs[idx]
+            iters = js.iters + 1
+            if iters == spec.iterations:
+                jobs[idx] = JobState(_COMPLETED, iters, iters, (), js.pre)
+                free = tuple(sorted(s.free + js.devs))
+                return s._replace(jobs=tuple(jobs), free=free)
+            jobs[idx] = js._replace(iters=iters)
+            return s._replace(jobs=tuple(jobs))
+        raise ValueError(f"unknown action {name!r}")
+
+    def _job(self, jname: str) -> Tuple[int, JobSpec]:
+        for idx, spec in enumerate(self.jobs):
+            if spec.name == jname:
+                return idx, spec
+        raise ValueError(f"unknown job {jname!r}")
+
+    def is_terminal(self, state: FleetState) -> bool:
+        return state.kills_done == len(self.kills) and all(
+            js.status in (_COMPLETED, _FAILED) for js in state.jobs
+        )
+
+    def final_violations(
+        self, state: FleetState
+    ) -> Tuple[Tuple[str, str], ...]:
+        return ()
+
+
+__all__ = ["FleetGangModel", "FleetState", "JobSpec", "JobState"]

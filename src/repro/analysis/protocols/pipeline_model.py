@@ -1,0 +1,322 @@
+"""State-machine model of the async one-step-off pipeline protocol.
+
+Models the synchronization skeleton of :class:`~repro.pipeline.driver.
+AsyncPipelineDriver` + :class:`~repro.pipeline.buffer.ExperienceBuffer` +
+the double-buffered :class:`~repro.hybrid_engine.WeightPublisher` as two
+concurrent threads:
+
+* ``rollout`` — ``rollout.begin[i]`` acquires the newest *published* policy
+  snapshot (the atomic staged→active flip at a generate-call boundary) and
+  starts reading that snapshot buffer; ``rollout.end[i]`` finishes the
+  generate call and puts the batch into experience slot ``i % capacity``.
+* ``train`` — ``train.consume[j]`` pops batch ``j`` and runs the optimizer
+  step; ``publish.begin[v]`` / ``publish.end[v]`` write the new weights
+  into the *inactive* snapshot buffer and stage its version.
+
+Guards (each individually droppable via ``mutate=`` for the seeded
+mutation smoke):
+
+* run-ahead: ``rollout.begin[i]`` requires ``i <= published + W`` — the
+  staleness bound as the rollout engine enforces it
+  (``drop_staleness_guard`` removes it);
+* slot occupancy: the target experience slot must be free — the
+  ``BufferFull`` guard (``skip_slot_guard`` removes it);
+* acquire: the begin flips active to staged (``skip_acquire`` leaves the
+  engine decoding an outdated snapshot);
+* publish targeting: publication writes ``1 - active``, never the buffer
+  the decode loop reads (``publish_into_active`` inverts it).
+
+Invariants checked (MC6xx rules are catalogued in
+:mod:`repro.analysis.modelcheck`): staleness never exceeds ``W`` (MC603),
+no experience batch lost / overwritten / double-consumed (MC604), snapshot
+buffers never written while readable (MC605), an acquire never returns an
+outdated version while a newer one is staged (MC606).
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional, Tuple
+
+from repro.analysis.protocols.core import Action, ProtocolModel
+
+_MUTATIONS = (
+    "drop_staleness_guard",
+    "skip_slot_guard",
+    "skip_acquire",
+    "publish_into_active",
+)
+
+
+class PipelineState(NamedTuple):
+    ngen: int  # next rollout index to begin
+    inflight: Optional[Tuple[int, int, int]]  # (index, buf, version) decoding
+    trained: int  # optimizer steps completed
+    tphase: int  # 0 = consume next, 1 = publish.begin next, 2 = publish.end
+    wbuf: int  # snapshot buffer mid-publication (-1 when idle)
+    slots: Tuple[Optional[Tuple[int, int]], ...]  # (index, version) per slot
+    bufs: Tuple[int, int]  # policy version held by each snapshot buffer
+    active: int  # buffer the decode loop reads
+    staged: int  # buffer holding the newest published version
+    viol: Tuple[Tuple[str, str], ...]
+
+
+class AsyncPipelineModel(ProtocolModel):
+    """Bounded-staleness producer/consumer with double-buffered weights."""
+
+    def __init__(
+        self,
+        n_iterations: int = 4,
+        window: int = 1,
+        capacity: Optional[int] = None,
+        mutate: Optional[str] = None,
+    ) -> None:
+        if mutate is not None and mutate not in _MUTATIONS:
+            raise ValueError(
+                f"unknown pipeline mutation {mutate!r}; have {_MUTATIONS}"
+            )
+        self.n = n_iterations
+        self.window = window
+        self.capacity = capacity if capacity is not None else window + 1
+        self.mutate = mutate
+        suffix = f"!{mutate}" if mutate else ""
+        self.name = (
+            f"async-pipeline[w{window},c{self.capacity},n{n_iterations}]"
+            f"{suffix}"
+        )
+    def tag_capacity(self, tag: str):
+        # The protocol's two ledger contracts: at most W + 1 rollouts may
+        # begin ahead of the newest published version, and each physical
+        # buffer slot holds at most one unconsumed batch.
+        if tag == "ahead":
+            return self.window + 1
+        if tag.startswith("slot"):
+            return 1
+        return None
+
+    def initial_state(self) -> PipelineState:
+        return PipelineState(
+            ngen=0,
+            inflight=None,
+            trained=0,
+            tphase=0,
+            wbuf=-1,
+            slots=(None,) * self.capacity,
+            bufs=(0, 0),
+            active=0,
+            staged=0,
+            viol=(),
+        )
+
+    # -- transitions -------------------------------------------------------------------
+
+    def enabled(self, state: PipelineState) -> List[Action]:
+        actions: List[Action] = []
+        s = state
+        # rollout thread
+        if s.inflight is None and s.ngen < self.n:
+            i = s.ngen
+            k = i % self.capacity
+            published = s.bufs[s.staged]
+            ahead_ok = (
+                self.mutate == "drop_staleness_guard"
+                or i <= published + self.window
+            )
+            slot_ok = self.mutate == "skip_slot_guard" or s.slots[k] is None
+            if ahead_ok and slot_ok:
+                b = s.active if self.mutate == "skip_acquire" else s.staged
+                actions.append(
+                    Action(
+                        name=f"rollout.begin[{i}]",
+                        thread="rollout",
+                        reads=(f"buf{b}",),
+                        ctrl_reads=("trained", "staged", f"slot{k}"),
+                        ctrl_writes=("active",),
+                        syncs=(f"pub.b{b}", f"slot{k}.free"),
+                        releases=(
+                            ()
+                            if self.mutate == "skip_acquire"
+                            else (f"flipaway.b{1 - b}",)
+                        ),
+                        allocs=(("ahead", 1),),
+                    )
+                )
+        if s.inflight is not None:
+            i, b, _version = s.inflight
+            k = i % self.capacity
+            actions.append(
+                Action(
+                    name=f"rollout.end[{i}]",
+                    thread="rollout",
+                    reads=(f"buf{b}",),
+                    writes=(f"slot{k}",),
+                    releases=(f"exp{i}",),
+                    allocs=((f"slot{k}", 1),),
+                )
+            )
+        # train thread
+        j = s.trained
+        if s.tphase == 0 and j < self.n:
+            k = j % self.capacity
+            entry = s.slots[k]
+            if entry is not None and entry[0] == j:
+                actions.append(
+                    Action(
+                        name=f"train.consume[{j}]",
+                        thread="train",
+                        reads=(f"slot{k}",),
+                        writes=(f"slot{k}",),
+                        ctrl_writes=("trained",),
+                        syncs=(f"exp{j}",),
+                        releases=(f"slot{k}.free",),
+                        frees=((f"slot{k}", 1),),
+                    )
+                )
+        elif s.tphase == 1:
+            v = s.trained
+            target = (
+                s.active
+                if self.mutate == "publish_into_active"
+                else 1 - s.active
+            )
+            actions.append(
+                Action(
+                    name=f"publish.begin[{v}]",
+                    thread="train",
+                    writes=(f"buf{target}",),
+                    ctrl_reads=("active",),
+                    syncs=(f"flipaway.b{target}",),
+                )
+            )
+        elif s.tphase == 2:
+            v = s.trained
+            actions.append(
+                Action(
+                    name=f"publish.end[{v}]",
+                    thread="train",
+                    writes=(f"buf{s.wbuf}",),
+                    ctrl_writes=("staged",),
+                    releases=(f"pub.b{s.wbuf}",),
+                    frees=(("ahead", 1),),
+                )
+            )
+        return actions
+
+    def apply(self, state: PipelineState, action: Action) -> PipelineState:
+        s = state
+        name = action.name
+        if name.startswith("rollout.begin"):
+            i = s.ngen
+            viol = s.viol
+            if self.mutate == "skip_acquire":
+                b = s.active
+            else:
+                b = s.staged
+            version = s.bufs[b]
+            staged_version = s.bufs[s.staged]
+            if staged_version > version:
+                viol = viol + (
+                    (
+                        "MC606",
+                        f"rollout {i} decodes version {version} while "
+                        f"version {staged_version} is already staged — the "
+                        "publication was lost at the acquire boundary",
+                    ),
+                )
+            return s._replace(
+                inflight=(i, b, version), active=b, viol=viol
+            )
+        if name.startswith("rollout.end"):
+            i, _b, version = s.inflight
+            k = i % self.capacity
+            viol = s.viol
+            if s.slots[k] is not None:
+                old_index, _old_version = s.slots[k]
+                viol = viol + (
+                    (
+                        "MC604",
+                        f"rollout {i} overwrote slot {k} holding the "
+                        f"unconsumed batch {old_index} — experience lost",
+                    ),
+                )
+            slots = list(s.slots)
+            slots[k] = (i, version)
+            return s._replace(
+                ngen=i + 1, inflight=None, slots=tuple(slots), viol=viol
+            )
+        if name.startswith("train.consume"):
+            j = s.trained
+            k = j % self.capacity
+            index, version = s.slots[k]
+            viol = s.viol
+            staleness = j - version
+            if staleness > self.window:
+                viol = viol + (
+                    (
+                        "MC603",
+                        f"batch {j} trained at staleness {staleness} "
+                        f"(behaviour version {version}), exceeding the "
+                        f"bound W={self.window}",
+                    ),
+                )
+            slots = list(s.slots)
+            slots[k] = None
+            return s._replace(
+                trained=j + 1, tphase=1, slots=tuple(slots), viol=viol
+            )
+        if name.startswith("publish.begin"):
+            target = (
+                s.active
+                if self.mutate == "publish_into_active"
+                else 1 - s.active
+            )
+            viol = s.viol
+            # the invariant is "never written while readable": flag when a
+            # decode is actually mid-read of the buffer being written (so
+            # the counterexample replays into a concrete RC501 race)
+            if (
+                target == s.active
+                and s.inflight is not None
+                and s.inflight[1] == target
+            ):
+                viol = viol + (
+                    (
+                        "MC605",
+                        f"version {s.trained} is published into snapshot "
+                        f"buffer b{target} while rollout {s.inflight[0]} "
+                        "reads it mid-decode — a torn weight read",
+                    ),
+                )
+            return s._replace(tphase=2, wbuf=target, viol=viol)
+        if name.startswith("publish.end"):
+            bufs = list(s.bufs)
+            bufs[s.wbuf] = s.trained
+            return s._replace(
+                tphase=0, wbuf=-1, bufs=tuple(bufs), staged=s.wbuf
+            )
+        raise ValueError(f"unknown action {name!r}")
+
+    def is_terminal(self, state: PipelineState) -> bool:
+        return (
+            state.trained == self.n
+            and state.tphase == 0
+            and state.ngen == self.n
+            and state.inflight is None
+        )
+
+    def final_violations(
+        self, state: PipelineState
+    ) -> Tuple[Tuple[str, str], ...]:
+        out = []
+        for k, entry in enumerate(state.slots):
+            if entry is not None:
+                out.append(
+                    (
+                        "MC604",
+                        f"batch {entry[0]} still buffered in slot {k} at "
+                        "run end — generated but never consumed",
+                    )
+                )
+        return tuple(out)
+
+
+__all__ = ["AsyncPipelineModel", "PipelineState"]

@@ -1,0 +1,210 @@
+"""State-machine model of the ``RolloutServer.drain(on_finish=...)`` hand-off.
+
+Two threads:
+
+* ``engine`` — ``admit[r]`` moves the lowest-id waiting request into a free
+  decode slot (mirroring the continuous-batching scheduler's
+  priority-then-arrival ranking for same-priority requests), ``decode[r]``
+  appends one token to the request's result buffer; the final token marks
+  the request finished, appends it to the completion queue, and frees its
+  slot.
+* ``consumer`` — ``handoff[r]`` delivers a finished request to the
+  ``on_finish`` callback.  The intact guard only hands off the *head* of
+  the completion queue, after the finishing decode (``syncs done{r}``).
+
+The ``skip_done_guard`` mutation lets the consumer hand off any admitted
+request — before its final token, or out of completion order — which the
+checker reports as MC609 and which replays into an RC501 race
+on the request's result buffer (consumer reads ``res{r}`` concurrently
+with the engine still writing it) plus a TA205 free-without-alloc on the
+``done{r}`` ledger tag.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Tuple
+
+from repro.analysis.protocols.core import Action, ProtocolModel
+
+_MUTATIONS = ("skip_done_guard",)
+
+# request status codes
+_WAITING = "W"
+_RUNNING = "R"
+_FINISHED = "F"  # completed, not yet handed to on_finish
+_DELIVERED = "D"
+
+
+class ServingState(NamedTuple):
+    status: Tuple[str, ...]
+    toks: Tuple[int, ...]
+    finishq: Tuple[int, ...]  # completion order, undelivered head first
+    delivered: Tuple[int, ...]  # hand-off order (for conformance checks)
+    viol: Tuple[Tuple[str, str], ...]
+
+
+class DrainHandoffModel(ProtocolModel):
+    """Streaming completion hand-off of the serving engine's drain loop."""
+
+    def __init__(
+        self,
+        targets: Tuple[int, ...] = (2, 1, 2),
+        slots: int = 2,
+        mutate: str = None,
+    ) -> None:
+        if mutate is not None and mutate not in _MUTATIONS:
+            raise ValueError(
+                f"unknown serving mutation {mutate!r}; have {_MUTATIONS}"
+            )
+        self.targets = tuple(targets)
+        self.slots = slots
+        self.mutate = mutate
+        suffix = f"!{mutate}" if mutate else ""
+        spec = "".join(str(t) for t in self.targets)
+        self.name = f"drain-handoff[t{spec},s{slots}]{suffix}"
+
+    def tag_capacity(self, tag: str):
+        # Contract: each request completes once and is delivered once.
+        if tag.startswith("done"):
+            return 1
+        return None
+
+    def initial_state(self) -> ServingState:
+        n = len(self.targets)
+        return ServingState(
+            status=(_WAITING,) * n,
+            toks=(0,) * n,
+            finishq=(),
+            delivered=(),
+            viol=(),
+        )
+
+    def enabled(self, state: ServingState) -> List[Action]:
+        actions: List[Action] = []
+        s = state
+        running = sum(1 for st in s.status if st == _RUNNING)
+        # engine: admit the lowest-id waiting request while a slot is free
+        if running < self.slots:
+            for r, st in enumerate(s.status):
+                if st == _WAITING:
+                    actions.append(
+                        Action(
+                            name=f"admit[{r}]",
+                            thread="engine",
+                            ctrl_writes=(f"st{r}", "nrun"),
+                            syncs=("slotfree",),
+                        )
+                    )
+                    break
+        # engine: one decode step per running request
+        for r, st in enumerate(s.status):
+            if st == _RUNNING:
+                finishing = s.toks[r] + 1 == self.targets[r]
+                actions.append(
+                    Action(
+                        name=f"decode[{r}]",
+                        thread="engine",
+                        writes=(f"res{r}",),
+                        ctrl_writes=(
+                            (f"st{r}", "nrun", "finishq")
+                            if finishing
+                            else (f"tok{r}",)
+                        ),
+                        releases=(
+                            (f"done{r}", "slotfree") if finishing else ()
+                        ),
+                        allocs=(((f"done{r}", 1),) if finishing else ()),
+                    )
+                )
+        # consumer: hand a completed request to on_finish
+        for r, st in enumerate(s.status):
+            if self.mutate == "skip_done_guard":
+                eligible = st in (_RUNNING, _FINISHED)
+            else:
+                eligible = (
+                    st == _FINISHED and s.finishq and s.finishq[0] == r
+                )
+            if eligible:
+                actions.append(
+                    Action(
+                        name=f"handoff[{r}]",
+                        thread="consumer",
+                        reads=(f"res{r}",),
+                        writes=(f"deliv{r}",),
+                        ctrl_reads=("finishq", f"st{r}"),
+                        ctrl_writes=(f"st{r}", "finishq"),
+                        syncs=(f"done{r}",),
+                        frees=((f"done{r}", 1),),
+                    )
+                )
+        return actions
+
+    def apply(self, state: ServingState, action: Action) -> ServingState:
+        s = state
+        name = action.name
+        r = int(name[name.index("[") + 1 : name.index("]")])
+        if name.startswith("admit"):
+            status = list(s.status)
+            status[r] = _RUNNING
+            return s._replace(status=tuple(status))
+        if name.startswith("decode"):
+            toks = list(s.toks)
+            toks[r] += 1
+            status = list(s.status)
+            finishq = s.finishq
+            if toks[r] == self.targets[r]:
+                status[r] = _FINISHED
+                finishq = finishq + (r,)
+            return s._replace(
+                status=tuple(status), toks=tuple(toks), finishq=finishq
+            )
+        if name.startswith("handoff"):
+            viol = s.viol
+            if s.status[r] != _FINISHED:
+                viol = viol + (
+                    (
+                        "MC609",
+                        f"request {r} handed to on_finish after only "
+                        f"{s.toks[r]}/{self.targets[r]} tokens — delivered "
+                        "before completion",
+                    ),
+                )
+            elif not s.finishq or s.finishq[0] != r:
+                expected = s.finishq[0] if s.finishq else None
+                viol = viol + (
+                    (
+                        "MC609",
+                        f"request {r} delivered out of completion order "
+                        f"(head of the completion queue is {expected})",
+                    ),
+                )
+            status = list(s.status)
+            status[r] = _DELIVERED
+            finishq = tuple(x for x in s.finishq if x != r)
+            return s._replace(
+                status=tuple(status),
+                finishq=finishq,
+                delivered=s.delivered + (r,),
+                viol=viol,
+            )
+        raise ValueError(f"unknown action {name!r}")
+
+    def is_terminal(self, state: ServingState) -> bool:
+        return all(st == _DELIVERED for st in state.status)
+
+    def final_violations(
+        self, state: ServingState
+    ) -> Tuple[Tuple[str, str], ...]:
+        out = []
+        for r in state.finishq:
+            out.append(
+                (
+                    "MC609",
+                    f"request {r} completed but its on_finish callback "
+                    "never fired — streamed result dropped",
+                )
+            )
+        return tuple(out)
+
+
+__all__ = ["DrainHandoffModel", "ServingState"]

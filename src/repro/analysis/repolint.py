@@ -16,6 +16,11 @@ depends on:
            methods mutating module-level containers)
 ``RL306``  no unused ``# repro-lint: ignore[...]`` comments — a suppression
            that silences nothing is a stale waiver (ruff's unused-noqa)
+``RL307``  no direct iteration over ``set`` / ``frozenset`` / ``dict
+           .values()`` in the protocol-feeding packages (``repro/pipeline``,
+           ``repro/fleet``, ``repro/single_controller``) — hash/insertion
+           order there is schedule order, and the MC6xx-verified protocols
+           assume deterministic dispatch; iterate something sorted
 ========  ====================================================================
 
 Suppression: append ``# repro-lint: ignore`` (all rules) or
@@ -34,7 +39,11 @@ from typing import Dict, Iterable, List, Optional, Set
 
 from repro.analysis.report import ERROR, WARNING, AnalysisReport
 
-ALL_RULES = ("RL301", "RL302", "RL303", "RL304", "RL305", "RL306")
+ALL_RULES = ("RL301", "RL302", "RL303", "RL304", "RL305", "RL306", "RL307")
+
+#: Packages whose dispatch order feeds the concurrent protocols; iteration
+#: order there must be deterministic (RL307).
+_SCHEDULE_SCOPED = ("repro/pipeline", "repro/fleet", "repro/single_controller")
 
 #: Legacy numpy global-state RNG entry points (anything except the
 #: ``default_rng`` / ``Generator`` family).
@@ -135,6 +144,8 @@ class _LintVisitor(ast.NodeVisitor):
         self.imports_serialization = False
         self.module_level_names: Set[str] = set()
         self._class_stack: List[str] = []
+        posix = filename.replace("\\", "/")
+        self.schedule_scoped = any(p in posix for p in _SCHEDULE_SCOPED)
 
     # -- helpers ---------------------------------------------------------------------
 
@@ -307,6 +318,51 @@ class _LintVisitor(ast.NodeVisitor):
                     "through the module survives and corrupts the rebuild"
                 ),
             )
+
+    def _unordered_iterable(self, node: ast.AST) -> Optional[str]:
+        """What makes ``node`` a nondeterministically ordered iterable."""
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return "a set literal"
+        if isinstance(node, ast.Call):
+            if (
+                isinstance(node.func, ast.Name)
+                and node.func.id in ("set", "frozenset")
+            ):
+                return f"{node.func.id}(...)"
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "values"
+                and not node.args
+                and not node.keywords
+            ):
+                return "a dict .values() view"
+        return None
+
+    def _check_unordered_iteration(self, node: ast.AST, iter_node: ast.AST
+                                   ) -> None:
+        if not self.schedule_scoped:
+            return
+        what = self._unordered_iterable(iter_node)
+        if what is None:
+            return
+        self._flag(
+            "RL307", WARNING, node,
+            f"iteration over {what}: hash/insertion order here is "
+            "schedule order feeding the concurrent protocols",
+            hint=(
+                "iterate a sorted() or otherwise deterministically "
+                "ordered sequence so dispatch order cannot drift between "
+                "runs"
+            ),
+        )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_unordered_iteration(node, node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._check_unordered_iteration(node.iter, node.iter)
+        self.generic_visit(node)
 
     def visit_Assign(self, node: ast.Assign) -> None:
         if self._in_worker_class():

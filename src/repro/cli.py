@@ -952,7 +952,7 @@ def _sharding_reports():
 
 
 def cmd_check(args: argparse.Namespace) -> int:
-    """The ``repro check`` gate: lint + dataflow + trace + sharding + races."""
+    """``repro check``: lint + dataflow + trace + sharding + races (+ models)."""
     import json
 
     from repro.analysis import (
@@ -989,6 +989,38 @@ def cmd_check(args: argparse.Namespace) -> int:
         combined.merge(TraceAuditor().audit_chrome_trace(trace_doc))
     if "races" not in skip and trace_doc is not None:
         combined.merge(RaceDetector().detect_chrome_trace(trace_doc))
+    if args.models:
+        import dataclasses
+        import pathlib
+
+        from repro.analysis import ModelChecker
+
+        checker = ModelChecker(
+            max_depth=args.mc_depth, max_states=args.mc_states
+        )
+        combined.merge(checker.check_shipped())
+        if args.mc_report:
+            doc = {
+                "max_depth": args.mc_depth,
+                "max_states": args.mc_states,
+                "models": [
+                    {
+                        "model": result.model,
+                        "states": result.states,
+                        "transitions": result.transitions,
+                        "truncated": result.truncated,
+                        "counterexamples": [
+                            dataclasses.asdict(ce)
+                            for ce in result.counterexamples
+                        ],
+                    }
+                    for result in checker.last_results
+                ],
+            }
+            pathlib.Path(args.mc_report).write_text(
+                json.dumps(json_safe(doc, "mc_report"), indent=2) + "\n"
+            )
+            print(f"model-check report written to {args.mc_report}", file=out)
     for line in combined.summary_lines():
         print(line, file=out)
     if as_json:
@@ -1451,7 +1483,8 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "repro check gate: RepoLint over the tree, DataflowChecker over "
             "the shipped example plans, ShardingVerifier over the shipped "
-            "topologies, TraceAuditor + RaceDetector over the golden trace"
+            "topologies, TraceAuditor + RaceDetector over the golden trace, "
+            "and (with --models) the MC6xx protocol model checker"
         ),
     )
     p.add_argument(
@@ -1482,6 +1515,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-file",
         default="tests/golden/chrome_trace.json",
         help="Chrome trace JSON to audit",
+    )
+    p.add_argument(
+        "--models",
+        action="store_true",
+        help=(
+            "also run the MC6xx bounded model checker over the shipped "
+            "protocol models (async pipeline, drain hand-off, fleet gangs)"
+        ),
+    )
+    p.add_argument(
+        "--mc-depth",
+        type=int,
+        default=400,
+        help="model checker: maximum schedule length explored",
+    )
+    p.add_argument(
+        "--mc-states",
+        type=int,
+        default=60_000,
+        help="model checker: distinct-state budget per model",
+    )
+    p.add_argument(
+        "--mc-report",
+        metavar="PATH",
+        help=(
+            "write the model-check coverage/counterexample report "
+            "(JSON) to PATH"
+        ),
     )
     p.add_argument(
         "--format",

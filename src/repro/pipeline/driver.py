@@ -72,7 +72,7 @@ class AsyncPipelineDriver:
         from repro.analysis.dataflow import DataflowChecker
 
         report = DataflowChecker().check_pipeline(
-            self.config, trainer.config, trainer.algo
+            self.config, trainer.config, trainer.algo, actor=trainer.actor
         )
         errors = [f for f in report.findings if f.severity == "error"]
         if errors:

@@ -144,7 +144,7 @@ def observability_summary(system: RlhfSystem) -> List[str]:
 
 
 def system_report_dict(
-    system: RlhfSystem, recovery=None, analysis=None
+    system: RlhfSystem, recovery=None, analysis=None, model_check=None
 ) -> Dict[str, Any]:
     """A machine-readable run report, sanitized for ``json.dumps``.
 
@@ -155,6 +155,10 @@ def system_report_dict(
     Args:
         analysis: Optional :class:`~repro.analysis.AnalysisReport` (e.g. the
             TraceAuditor's post-run audit); embedded under ``"analysis"``.
+        model_check: Optional iterable of
+            :class:`~repro.analysis.ModelCheckResult` (the MC6xx bounded
+            protocol exploration); coverage and any counterexample
+            schedules are embedded under ``"model_check"``.
     """
     controller = system.controller
     collect_system_metrics(controller)
@@ -175,6 +179,27 @@ def system_report_dict(
     }
     if analysis is not None:
         doc["analysis"] = analysis.to_dict()
+    if model_check is not None:
+        import dataclasses
+
+        results = list(model_check)
+        doc["model_check"] = {
+            "models": [
+                {
+                    "model": result.model,
+                    "states": result.states,
+                    "transitions": result.transitions,
+                    "truncated": result.truncated,
+                    "counterexamples": [
+                        dataclasses.asdict(ce)
+                        for ce in result.counterexamples
+                    ],
+                }
+                for result in results
+            ],
+            "states_total": sum(r.states for r in results),
+            "ok": all(r.ok for r in results),
+        }
     if recovery is not None:
         doc["recovery"] = {
             "n_failures": recovery.n_failures,

@@ -148,8 +148,8 @@ class SingleController:
         memory ledgers wiped so a rebuilt job can allocate cleanly, and dead
         devices stay dead.  The trace is kept — it documents the failed run.
         """
-        for pool in self.pools.values():
-            self.cluster.release(pool.devices, clear_memory=True)
+        for name in sorted(self.pools):
+            self.cluster.release(self.pools[name].devices, clear_memory=True)
         self.pools.clear()
         self.groups.clear()
 

@@ -647,6 +647,60 @@ class TestRepoLint:
         with pytest.raises(ValueError, match="unknown lint rules"):
             RepoLint(rules=["RL999"])
 
+    # -- RL307: schedule-order nondeterminism in scheduling code ----------
+
+    SCOPED = "src/repro/pipeline/driver.py"
+
+    def test_set_literal_iteration_in_schedule_path_is_rl307(self):
+        report = lint("for x in {1, 2}:\n    pass\n", filename=self.SCOPED)
+        assert [f.rule for f in report.findings] == ["RL307"]
+        assert report.findings[0].severity == WARNING
+        assert "sorted(" in report.findings[0].hint
+
+    def test_dict_values_iteration_in_schedule_path_is_rl307(self):
+        report = lint(
+            "d = {}\nfor v in d.values():\n    pass\n",
+            filename="src/repro/single_controller/controller.py",
+        )
+        assert [f.rule for f in report.findings] == ["RL307"]
+
+    def test_set_call_comprehension_is_rl307(self):
+        report = lint(
+            "xs = [1]\nys = [y for y in set(xs)]\n",
+            filename="src/repro/fleet/scheduler.py",
+        )
+        assert [f.rule for f in report.findings] == ["RL307"]
+
+    def test_sorted_set_iteration_is_clean(self):
+        report = lint(
+            "for x in sorted({1, 2}):\n    pass\n", filename=self.SCOPED
+        )
+        assert report.findings == []
+
+    def test_values_call_with_arguments_is_not_a_dict_view(self):
+        report = lint(
+            "class Q:\n"
+            "    def values(self, k):\n"
+            "        return [k]\n"
+            "def f(q):\n"
+            "    for v in q.values(1):\n"
+            "        pass\n",
+            filename=self.SCOPED,
+        )
+        assert report.findings == []
+
+    def test_set_iteration_outside_schedule_paths_is_clean(self):
+        report = lint("for x in {1, 2}:\n    pass\n")
+        assert report.findings == []
+
+    def test_rl307_suppression_comment_works(self):
+        report = lint(
+            "for x in {1, 2}:  # repro-lint: ignore[RL307]\n    pass\n",
+            filename=self.SCOPED,
+        )
+        assert report.findings == []
+        assert report.checked["suppressed"] == 1
+
     def test_repo_source_tree_is_clean(self):
         import pathlib
 
@@ -710,6 +764,24 @@ class TestEndToEnd:
         json.dumps(doc)  # sanitized end to end
         assert doc["analysis"]["n_errors"] == 0
         assert doc["analysis"]["checked"]["devices"] == 3
+
+    def test_model_check_embeds_in_system_report(self, tiny_system):
+        from repro.analysis.modelcheck import ModelChecker
+        from repro.analysis.protocols import AsyncPipelineModel
+        from repro.runtime.report import system_report_dict
+
+        checker = ModelChecker()
+        checker.check_all([AsyncPipelineModel(n_iterations=3, window=1)])
+        doc = system_report_dict(
+            tiny_system, model_check=checker.last_results
+        )
+        json.dumps(doc)  # sanitized end to end
+        mc = doc["model_check"]
+        assert mc["ok"] is True
+        assert mc["states_total"] > 0
+        (entry,) = mc["models"]
+        assert entry["model"].startswith("async-pipeline")
+        assert entry["counterexamples"] == []
 
     def test_cli_check_gate_passes_strict(self, capsys):
         from repro.cli import main

@@ -397,6 +397,54 @@ class TestDataflowRule108:
         )
         assert [f.severity for f in report.findings] == ["warning"]
 
+    def test_negative_window_is_a_single_error_with_hint(self):
+        report = self.check(PipelineConfig(staleness_window=-1))
+        assert [f.rule for f in report.findings] == ["DF108"]
+        assert report.findings[0].severity == "error"
+        assert report.findings[0].hint
+
+    def test_actor_without_generation_plan_is_a_single_error(self):
+        from types import SimpleNamespace
+
+        actor = SimpleNamespace(gen_topology=None, workers=())
+        report = DataflowChecker().check_pipeline(
+            PipelineConfig(staleness_window=1),
+            TrainerConfig(),
+            AlgoType.PPO,
+            actor=actor,
+        )
+        assert [f.rule for f in report.findings] == ["DF108"]
+        assert report.findings[0].severity == "error"
+        assert "generation topology" in report.findings[0].message
+        assert report.findings[0].hint
+
+    def test_serving_backed_actor_is_a_single_error(self):
+        from types import SimpleNamespace
+
+        actor = SimpleNamespace(
+            gen_topology=object(),
+            workers=(SimpleNamespace(use_serving=True),),
+        )
+        report = DataflowChecker().check_pipeline(
+            PipelineConfig(staleness_window=1),
+            TrainerConfig(),
+            AlgoType.PPO,
+            actor=actor,
+        )
+        assert [f.rule for f in report.findings] == ["DF108"]
+        assert report.findings[0].severity == "error"
+        assert "use_serving" in report.findings[0].message
+        assert report.findings[0].hint
+
+    def test_driver_refuses_serving_backed_actor(self):
+        system = build_system()
+        for worker in system.trainer.actor.workers:
+            worker.use_serving = True
+        with pytest.raises(ValueError, match="DF108"):
+            AsyncPipelineDriver(
+                system.trainer, PipelineConfig(staleness_window=1)
+            )
+
     def test_driver_refuses_df108_error_config(self):
         system = build_system()
         with pytest.raises(ValueError, match="DF108"):

@@ -228,6 +228,69 @@ class TestCheckCommand:
         doc = json_mod.loads(capsys.readouterr().out)
         assert doc["name"] == "repro check"
 
+    def test_models_pass_explores_protocols_and_writes_report(
+        self, capsys, tmp_path
+    ):
+        import json as json_mod
+
+        mc_path = tmp_path / "mc_report.json"
+        assert main(
+            [
+                "check",
+                "--strict",
+                "--models",
+                "--mc-report",
+                str(mc_path),
+                "--skip",
+                "lint",
+                "--skip",
+                "dataflow",
+                "--skip",
+                "sharding",
+                "--skip",
+                "trace",
+                "--skip",
+                "races",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "mc_models" in out
+        assert "repro check passed" in out
+        doc = json_mod.loads(mc_path.read_text())
+        assert doc["max_depth"] == 400
+        assert sum(m["states"] for m in doc["models"]) >= 10_000
+        assert all(m["counterexamples"] == [] for m in doc["models"])
+
+    def test_mc_budget_flags_are_forwarded(self, capsys, tmp_path):
+        import json as json_mod
+
+        mc_path = tmp_path / "mc_small.json"
+        main(
+            [
+                "check",
+                "--models",
+                "--mc-states",
+                "50",
+                "--mc-report",
+                str(mc_path),
+                "--skip",
+                "lint",
+                "--skip",
+                "dataflow",
+                "--skip",
+                "sharding",
+                "--skip",
+                "trace",
+                "--skip",
+                "races",
+            ]
+        )
+        capsys.readouterr()
+        doc = json_mod.loads(mc_path.read_text())
+        assert doc["max_states"] == 50
+        assert any(m["truncated"] for m in doc["models"])
+        assert all(m["states"] <= 51 for m in doc["models"])
+
     def test_failure_line_lists_family_counts(self, capsys, tmp_path):
         # lint a file with a seeded violation: non-zero exit and the summary
         # names the failing rule family with its count
