@@ -76,6 +76,12 @@ def main(argv=None) -> int:
         max_new_tokens=8,
         lr=5e-3,
     )
+    # SF7xx runtime witness: the controller samples every collected batch's
+    # array shapes so the --trace audit can cross-validate them against the
+    # static symbolic inference
+    from repro.analysis import ShapeRecorder
+
+    system.controller.shape_recorder = ShapeRecorder()
 
     # ---- stage 1: supervised fine-tuning -----------------------------------
     print("stage 1: SFT on the corpus")
@@ -159,7 +165,19 @@ def main(argv=None) -> int:
         RaceDetector().detect_system(system, report=audit)
         for line in audit.summary_lines():
             print(f"  {line}")
-        report_doc = system_report_dict(system, analysis=audit)
+        # SF7xx cross-validation: recorded runtime shapes vs the static
+        # symbolic inference over the same system
+        from repro.analysis import predict_system_outputs, shape_cross_validate
+
+        predictions = predict_system_outputs(
+            system, batch_size=16, prompt_length=4
+        )
+        shapes = shape_cross_validate(
+            system.controller.shape_recorder, predictions
+        )
+        for line in shapes.summary_lines():
+            print(f"  {line}")
+        report_doc = system_report_dict(system, analysis=audit, shapes=shapes)
         print(
             f"  run report embeds {len(report_doc['analysis']['findings'])} "
             "audit finding(s)"
@@ -167,6 +185,11 @@ def main(argv=None) -> int:
         races = [f for f in audit.findings if f.rule.startswith("RC")]
         if races:
             print(f"  RACE DETECTED: {len(races)} RC5xx finding(s)")
+            exit_code = 1
+        if shapes.findings:
+            print(
+                f"  SHAPE MISMATCH: {len(shapes.findings)} SF7xx finding(s)"
+            )
             exit_code = 1
     if args.metrics:
         from repro.observability import collect_system_metrics, write_prometheus

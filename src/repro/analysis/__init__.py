@@ -1,6 +1,6 @@
 """Static and post-hoc analysis of composed RLHF dataflows (``repro check``).
 
-Six passes behind one report type:
+Seven passes behind one report type:
 
 * :class:`DataflowChecker` — pre-execution: protocol/topology compatibility,
   batch divisibility, serving config, projected memory vs capacity, per-
@@ -23,10 +23,16 @@ Six passes behind one report type:
   shipped concurrent protocols (async pipeline, drain hand-off, fleet
   gang scheduling); violations carry minimal counterexample schedules
   replayable through the RaceDetector / TraceAuditor.
+* :class:`ShapeFlowChecker` — abstract interpretation of symbolic array
+  shapes and dtypes through the whole algorithm graph: declarative
+  ``@shape_contract`` specs on worker methods, per-protocol split/collect
+  transfer functions, serving reassembly, the train→generation transition
+  plan, and async-pipeline staleness; a :class:`ShapeRecorder` cross-
+  validates the static inference against real run shapes.
 
 All findings carry a rule id (``DF1xx`` / ``TA2xx`` / ``RL3xx`` / ``SH4xx``
-/ ``RC5xx`` / ``MC6xx``), severity, location, and fix hint; see
-``docs/ANALYSIS.md`` for the catalog.
+/ ``RC5xx`` / ``MC6xx`` / ``SF7xx``), severity, location, and fix hint;
+see ``docs/ANALYSIS.md`` for the catalog.
 """
 
 from repro.analysis.dataflow import DataflowChecker, registered_methods
@@ -42,6 +48,22 @@ from repro.analysis.modelcheck import (
 from repro.analysis.races import RaceDetector
 from repro.analysis.report import ERROR, WARNING, AnalysisReport, Finding
 from repro.analysis.repolint import ALL_RULES, RepoLint
+from repro.analysis.shapeflow import (
+    MUTATIONS as SF_MUTATIONS,
+    SF_RULES,
+    ContractError,
+    Dim,
+    ProbeGroup,
+    ShapeFlowChecker,
+    ShapeRecorder,
+    SymArray,
+    parse_contract,
+    predict_protocol_shapes,
+    predict_system_outputs,
+    shipped_graph_reports,
+)
+from repro.analysis.shapeflow import cross_validate as shape_cross_validate
+from repro.analysis.shapeflow import seeded_mutants as shape_seeded_mutants
 from repro.analysis.sharding import (
     ShardingVerifier,
     sweep_cells,
@@ -54,22 +76,36 @@ from repro.analysis.trace_audit import PERSISTENT_SUFFIXES, TraceAuditor
 __all__ = [
     "ALL_RULES",
     "AnalysisReport",
+    "ContractError",
     "Counterexample",
     "DataflowChecker",
+    "Dim",
     "ERROR",
     "Finding",
     "MC_RULES",
     "ModelCheckResult",
     "ModelChecker",
     "PERSISTENT_SUFFIXES",
+    "ProbeGroup",
     "RaceDetector",
     "RepoLint",
+    "SF_MUTATIONS",
+    "SF_RULES",
+    "ShapeFlowChecker",
+    "ShapeRecorder",
     "ShardingVerifier",
+    "SymArray",
     "TraceAuditor",
     "WARNING",
     "cross_validate",
+    "parse_contract",
+    "predict_protocol_shapes",
+    "predict_system_outputs",
     "registered_methods",
     "seeded_mutants",
+    "shape_cross_validate",
+    "shape_seeded_mutants",
+    "shipped_graph_reports",
     "shipped_models",
     "sweep_cells",
     "sweep_difference_fraction",

@@ -63,6 +63,7 @@ class _RoleShape:
         parallel: Any,
         gen_config: Any = None,
         has_gen_topology: Optional[bool] = None,
+        use_serving: bool = False,
     ) -> None:
         self.role = role
         self.worker_cls = worker_cls
@@ -75,6 +76,10 @@ class _RoleShape:
             if has_gen_topology is not None
             else gen_config is not None
         )
+        #: Serving-backed actors take variable-length batches; their batch
+        #: divisibility is deferred to the symbolic SF703 check instead of
+        #: the static DF102 one (which would be a false positive).
+        self.use_serving = use_serving
 
 
 class DataflowChecker:
@@ -123,6 +128,10 @@ class DataflowChecker:
                         else None
                     ),
                     has_gen_topology=group.gen_topology is not None,
+                    use_serving=any(
+                        getattr(w, "use_serving", False)
+                        for w in group.workers
+                    ),
                 )
             )
         self._check_shapes(shapes, report)
@@ -414,6 +423,13 @@ class DataflowChecker:
             )
         if self.global_batch_size is not None:
             for (protocol_name, degree), methods in sorted(by_split.items()):
+                if getattr(shape, "use_serving", False):
+                    # serving-backed actors submit variable-length batches;
+                    # a static global batch is not required — divisibility
+                    # moves to the symbolic dim (shapeflow rule SF703, with
+                    # a pad-up fix hint) instead of a false DF102 here
+                    report.note_checked("deferred_batch_splits")
+                    continue
                 report.note_checked("batch_splits")
                 if self.global_batch_size % degree:
                     report.add(

@@ -21,6 +21,11 @@ depends on:
            ``repro/fleet``, ``repro/single_controller``) — hash/insertion
            order there is schedule order, and the MC6xx-verified protocols
            assume deterministic dispatch; iterate something sorted
+``RL308``  no ``np.asarray`` / ``np.zeros`` / ``np.empty`` without an
+           explicit ``dtype=`` in the numeric hot paths (``repro/models``,
+           ``repro/serving``, the ``repro/rlhf`` loss/advantage core) —
+           numpy's float64 default silently promotes int token buffers and
+           hides int/float drift (the SF704 float64-creep companion)
 ========  ====================================================================
 
 Suppression: append ``# repro-lint: ignore`` (all rules) or
@@ -39,11 +44,26 @@ from typing import Dict, Iterable, List, Optional, Set
 
 from repro.analysis.report import ERROR, WARNING, AnalysisReport
 
-ALL_RULES = ("RL301", "RL302", "RL303", "RL304", "RL305", "RL306", "RL307")
+ALL_RULES = (
+    "RL301", "RL302", "RL303", "RL304", "RL305", "RL306", "RL307", "RL308",
+)
 
 #: Packages whose dispatch order feeds the concurrent protocols; iteration
 #: order there must be deterministic (RL307).
 _SCHEDULE_SCOPED = ("repro/pipeline", "repro/fleet", "repro/single_controller")
+
+#: Numeric hot paths where an implicit array dtype is float64 creep waiting
+#: to happen (RL308): model math, the serving engine, the RLHF loss core.
+_HOTPATH_SCOPED = (
+    "repro/models",
+    "repro/serving",
+    "repro/rlhf/losses",
+    "repro/rlhf/advantage",
+    "repro/rlhf/core",
+)
+
+#: numpy constructors whose dtype defaults promote silently (RL308).
+_DTYPE_DEFAULTING = {"asarray", "zeros", "empty"}
 
 #: Legacy numpy global-state RNG entry points (anything except the
 #: ``default_rng`` / ``Generator`` family).
@@ -146,6 +166,7 @@ class _LintVisitor(ast.NodeVisitor):
         self._class_stack: List[str] = []
         posix = filename.replace("\\", "/")
         self.schedule_scoped = any(p in posix for p in _SCHEDULE_SCOPED)
+        self.hotpath_scoped = any(p in posix for p in _HOTPATH_SCOPED)
 
     # -- helpers ---------------------------------------------------------------------
 
@@ -210,6 +231,7 @@ class _LintVisitor(ast.NodeVisitor):
             self._check_rng(node, dotted)
             self._check_wall_clock(node, dotted)
             self._check_json(node, dotted)
+            self._check_dtype(node, dotted)
         self._check_module_mutation_call(node)
         self.generic_visit(node)
 
@@ -267,6 +289,32 @@ class _LintVisitor(ast.NodeVisitor):
                     "does) so numpy scalars cannot leak into output"
                 ),
             )
+
+    def _check_dtype(self, node: ast.Call, dotted: List[str]) -> None:
+        """Hot-path array constructors must pin their dtype (RL308)."""
+        if not self.hotpath_scoped:
+            return
+        if (
+            len(dotted) != 2
+            or dotted[0] != "numpy"
+            or dotted[1] not in _DTYPE_DEFAULTING
+        ):
+            return
+        # dtype may also be passed as the second positional argument
+        if len(node.args) >= 2:
+            return
+        if any(kw.arg == "dtype" for kw in node.keywords):
+            return
+        self._flag(
+            "RL308", WARNING, node,
+            f"np.{dotted[1]}() without an explicit dtype= on a numeric "
+            "hot path",
+            hint=(
+                "pin dtype= at the array's birthplace (np.float64 for "
+                "math, np.int64 for token ids) — numpy's defaults promote "
+                "to float64 and hide int/float drift (SF704)"
+            ),
+        )
 
     def visit_Compare(self, node: ast.Compare) -> None:
         if any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):

@@ -952,7 +952,8 @@ def _sharding_reports():
 
 
 def cmd_check(args: argparse.Namespace) -> int:
-    """``repro check``: lint + dataflow + trace + sharding + races (+ models)."""
+    """``repro check``: lint + dataflow + trace + sharding + races
+    (+ models, + shapes)."""
     import json
 
     from repro.analysis import (
@@ -989,6 +990,11 @@ def cmd_check(args: argparse.Namespace) -> int:
         combined.merge(TraceAuditor().audit_chrome_trace(trace_doc))
     if "races" not in skip and trace_doc is not None:
         combined.merge(RaceDetector().detect_chrome_trace(trace_doc))
+    if args.shapes:
+        from repro.analysis import shipped_graph_reports
+
+        for _name, report in shipped_graph_reports(batch=args.batch):
+            combined.merge(report)
     if args.models:
         import dataclasses
         import pathlib
@@ -1484,7 +1490,8 @@ def build_parser() -> argparse.ArgumentParser:
             "repro check gate: RepoLint over the tree, DataflowChecker over "
             "the shipped example plans, ShardingVerifier over the shipped "
             "topologies, TraceAuditor + RaceDetector over the golden trace, "
-            "and (with --models) the MC6xx protocol model checker"
+            "(with --models) the MC6xx protocol model checker, and (with "
+            "--shapes) the SF7xx symbolic shape/dtype flow pass"
         ),
     )
     p.add_argument(
@@ -1522,6 +1529,15 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "also run the MC6xx bounded model checker over the shipped "
             "protocol models (async pipeline, drain hand-off, fleet gangs)"
+        ),
+    )
+    p.add_argument(
+        "--shapes",
+        action="store_true",
+        help=(
+            "also run the SF7xx symbolic shape/dtype flow pass over the "
+            "shipped algorithm graphs (PPO, GRPO, serving-backed PPO, "
+            "async pipeline, train→gen transition)"
         ),
     )
     p.add_argument(

@@ -310,7 +310,7 @@ class Tensor:
         def backward(g: np.ndarray) -> None:
             if not self.requires_grad:
                 return
-            grad = np.asarray(g)
+            grad = np.asarray(g, dtype=np.float64)
             if axis is not None and not keepdims:
                 grad = np.expand_dims(grad, axis)
             self._accumulate(np.broadcast_to(grad, self.data.shape))
@@ -329,7 +329,9 @@ class Tensor:
 
         def backward(g: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(np.asarray(g).reshape(orig_shape))
+                self._accumulate(
+                    np.asarray(g, dtype=np.float64).reshape(orig_shape)
+                )
 
         return Tensor._from_op(out_data, (self,), backward)
 
@@ -340,7 +342,9 @@ class Tensor:
 
         def backward(g: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(np.asarray(g).transpose(inverse))
+                self._accumulate(
+                    np.asarray(g, dtype=np.float64).transpose(inverse)
+                )
 
         return Tensor._from_op(out_data, (self,), backward)
 
@@ -349,7 +353,9 @@ class Tensor:
 
         def backward(g: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(np.swapaxes(np.asarray(g), a, b))
+                self._accumulate(
+                    np.swapaxes(np.asarray(g, dtype=np.float64), a, b)
+                )
 
         return Tensor._from_op(out_data, (self,), backward)
 
@@ -416,7 +422,7 @@ def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     offsets = np.cumsum([0] + sizes)
 
     def backward(g: np.ndarray) -> None:
-        g = np.asarray(g)
+        g = np.asarray(g, dtype=np.float64)
         for t, lo, hi in zip(tensors, offsets[:-1], offsets[1:]):
             if t.requires_grad:
                 index = [slice(None)] * g.ndim
@@ -432,7 +438,7 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     out_data = np.stack([t.data for t in tensors], axis=axis)
 
     def backward(g: np.ndarray) -> None:
-        g = np.asarray(g)
+        g = np.asarray(g, dtype=np.float64)
         for i, t in enumerate(tensors):
             if t.requires_grad:
                 t._accumulate(np.take(g, i, axis=axis))
@@ -442,7 +448,7 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
 
 def embedding(table: Tensor, token_ids: np.ndarray) -> Tensor:
     """Look up rows of ``table`` for integer ``token_ids``."""
-    token_ids = np.asarray(token_ids)
+    token_ids = np.asarray(token_ids, dtype=np.int64)
     out_data = table.data[token_ids]
 
     def backward(g: np.ndarray) -> None:
@@ -462,7 +468,7 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
 
     def backward(g: np.ndarray) -> None:
         if x.requires_grad:
-            g = np.asarray(g)
+            g = np.asarray(g, dtype=np.float64)
             dot = (g * out_data).sum(axis=axis, keepdims=True)
             x._accumulate(out_data * (g - dot))
 
@@ -478,7 +484,7 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
 
     def backward(g: np.ndarray) -> None:
         if x.requires_grad:
-            g = np.asarray(g)
+            g = np.asarray(g, dtype=np.float64)
             x._accumulate(g - probs * g.sum(axis=axis, keepdims=True))
 
     return Tensor._from_op(out_data, (x,), backward)
@@ -490,7 +496,7 @@ def gather_last(x: Tensor, index: np.ndarray) -> Tensor:
     ``index`` must have the shape of ``x`` minus the last axis; used to pick
     per-token log-probabilities from the vocabulary axis.
     """
-    index = np.asarray(index)
+    index = np.asarray(index, dtype=np.int64)
     expanded = np.expand_dims(index, -1)
     out_data = np.take_along_axis(x.data, expanded, axis=-1).squeeze(-1)
 
@@ -511,7 +517,7 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
     out_data = np.where(condition, a.data, b.data)
 
     def backward(g: np.ndarray) -> None:
-        g = np.asarray(g)
+        g = np.asarray(g, dtype=np.float64)
         if a.requires_grad:
             a._accumulate(np.where(condition, g, 0.0))
         if b.requires_grad:

@@ -182,7 +182,7 @@ def generate(
     """
     if model.config.output_head != "lm":
         raise RuntimeError("generation requires an LM head")
-    prompts = np.asarray(prompts)
+    prompts = np.asarray(prompts, dtype=np.int64)
     if prompts.ndim != 2:
         raise ValueError(f"prompts must be (batch, seq), got {prompts.shape}")
     if max_new_tokens < 1:
@@ -200,7 +200,7 @@ def generate(
     batch, prompt_len = prompts.shape
     cache = KVCache(model.config.n_layers)
     sequences = prompts.copy()
-    log_probs = np.zeros((batch, max_new_tokens))
+    log_probs = np.zeros((batch, max_new_tokens), dtype=np.float64)
     mask = np.ones((batch, max_new_tokens))
     alive = np.ones(batch, dtype=bool)
     pad = eos_token_id if pad_token_id is None else pad_token_id

@@ -107,9 +107,11 @@ def shard_params(
             continue
         axis = param_partition(name)
         if axis is None or tp_size == 1:
-            shard[name] = np.asarray(arr).copy()
+            shard[name] = np.asarray(arr, dtype=np.float64).copy()
         else:
-            shard[name] = _tp_slice(np.asarray(arr), axis, tp_rank, tp_size).copy()
+            shard[name] = _tp_slice(
+                np.asarray(arr, dtype=np.float64), axis, tp_rank, tp_size
+            ).copy()
     return shard
 
 
@@ -131,17 +133,20 @@ def gather_full_params(
         for name in names:
             axis = param_partition(name)
             if axis is None or tp_size == 1:
-                full[name] = np.asarray(shards[(pp_rank, 0)][name]).copy()
+                full[name] = np.asarray(
+                    shards[(pp_rank, 0)][name], dtype=np.float64
+                ).copy()
             else:
                 pieces = [
-                    np.asarray(shards[(pp_rank, t)][name]) for t in range(tp_size)
+                    np.asarray(shards[(pp_rank, t)][name], dtype=np.float64)
+                    for t in range(tp_size)
                 ]
                 full[name] = np.concatenate(pieces, axis=axis)
     return full
 
 
 def shard_nbytes(shard: Mapping[str, np.ndarray]) -> int:
-    return sum(np.asarray(a).nbytes for a in shard.values())
+    return sum(np.asarray(a, dtype=np.float64).nbytes for a in shard.values())
 
 
 def flat_shard_params(
@@ -159,11 +164,13 @@ def flat_shard_params(
         raise ValueError(f"rank {rank} out of range for {n_shards} shards")
     shard: Dict[str, np.ndarray] = {}
     for name, arr in state.items():
-        flat = np.asarray(arr).reshape(-1)
+        flat = np.asarray(arr, dtype=np.float64).reshape(-1)
         per = -(-flat.size // n_shards)  # ceil division
         piece = flat[rank * per : (rank + 1) * per]
         if piece.size < per:
-            piece = np.concatenate([piece, np.zeros(per - piece.size)])
+            piece = np.concatenate(
+                [piece, np.zeros(per - piece.size, dtype=np.float64)]
+            )
         shard[name] = piece.copy()
     return shard
 
@@ -177,7 +184,9 @@ def gather_flat_shards(
         raise ValueError("no shards to gather")
     full: Dict[str, np.ndarray] = {}
     for name, shape in shapes.items():
-        flat = np.concatenate([np.asarray(p[name]).reshape(-1) for p in pieces])
+        flat = np.concatenate(
+            [np.asarray(p[name], dtype=np.float64).reshape(-1) for p in pieces]
+        )
         size = int(np.prod(shape))
         full[name] = flat[:size].reshape(shape).copy()
     return full
@@ -202,9 +211,12 @@ def merge_tp_shards(
     for name in names:
         axis = param_partition(name)
         if axis is None or len(pieces) == 1:
-            merged[name] = np.asarray(pieces[0][name]).copy()
+            merged[name] = np.asarray(
+                pieces[0][name], dtype=np.float64
+            ).copy()
         else:
             merged[name] = np.concatenate(
-                [np.asarray(p[name]) for p in pieces], axis=axis
+                [np.asarray(p[name], dtype=np.float64) for p in pieces],
+                axis=axis,
             )
     return merged

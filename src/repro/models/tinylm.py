@@ -271,7 +271,7 @@ class TinyLM:
         pos_offset: int = 0,
     ) -> Tensor:
         cfg = self.config
-        token_ids = np.asarray(token_ids)
+        token_ids = np.asarray(token_ids, dtype=np.int64)
         if token_ids.ndim != 2:
             raise ValueError(f"token_ids must be (batch, seq), got {token_ids.shape}")
         t = token_ids.shape[1]
@@ -320,7 +320,7 @@ class TinyLM:
         """
         if self.config.output_head != "lm":
             raise RuntimeError("token_log_probs requires an LM head")
-        token_ids = np.asarray(token_ids)
+        token_ids = np.asarray(token_ids, dtype=np.int64)
         logits = self.forward(token_ids[:, :-1])
         logp = ag.log_softmax(logits, axis=-1)
         return ag.gather_last(logp, token_ids[:, 1:])

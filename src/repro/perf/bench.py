@@ -540,12 +540,48 @@ def bench_async_ppo_overlap() -> Tuple[Dict[str, Any], Dict[str, Any]]:
     return pins, metrics
 
 
+def bench_shape_check() -> Tuple[Dict[str, Any], Dict[str, Any]]:
+    """The SF7xx symbolic shape pass over every shipped algorithm graph.
+
+    The pass runs in CI (``repro check --shapes``), so its wall time is a
+    budget worth watching: the abstract interpretation is pure Python over
+    symbolic dims and must stay cheap relative to the real workloads it
+    guards.  Zero findings on the shipped graphs is pinned as an exact
+    metric — the clean-run guarantee the seeded-mutant tests depend on.
+    """
+    from repro.analysis import shipped_graph_reports
+
+    pins = {"batch": 8}
+
+    def run() -> int:
+        return sum(
+            len(report.findings)
+            for _name, report in shipped_graph_reports(batch=pins["batch"])
+        )
+
+    findings = run()
+    wall = _time_best(run)
+    reports = shipped_graph_reports(batch=pins["batch"])
+    checked = sum(
+        sum(report.checked.values()) for _name, report in reports
+    )
+    metrics = {
+        "findings": _metric("exact", findings),
+        "graphs": _metric("exact", len(reports)),
+        "facts_checked": _metric("exact", checked),
+        "wall_seconds": _metric("wall", wall),
+        "shape_pass_seconds": _metric("info", wall),
+    }
+    return pins, metrics
+
+
 WORKLOADS: Dict[str, Callable[[], Tuple[Dict[str, Any], Dict[str, Any]]]] = {
     "sequential_generate": bench_sequential_generate,
     "serving_drain": bench_serving_drain,
     "ppo_iteration": bench_ppo_iteration,
     "train_gen_transition": bench_train_gen_transition,
     "async_ppo_overlap": bench_async_ppo_overlap,
+    "shape_check": bench_shape_check,
 }
 
 

@@ -31,7 +31,7 @@ def _check_mask(
 
 def last_real_index(response_mask: np.ndarray) -> np.ndarray:
     """Index of each row's last real token (``(batch,)``; 0 for empty rows)."""
-    mask = np.asarray(response_mask)
+    mask = np.asarray(response_mask, dtype=np.float64)
     return np.maximum(mask.sum(axis=1).astype(np.int64) - 1, 0)
 
 
@@ -120,7 +120,7 @@ def gae_advantages(
         rewards = rewards * mask
     batch, horizon = rewards.shape
     advantages = np.zeros_like(rewards)
-    last_gae = np.zeros(batch)
+    last_gae = np.zeros(batch, dtype=np.float64)
     for t in reversed(range(horizon)):
         next_value = values[:, t + 1] if t + 1 < horizon else 0.0
         delta = rewards[:, t] + gamma * next_value - values[:, t]

@@ -144,7 +144,11 @@ def observability_summary(system: RlhfSystem) -> List[str]:
 
 
 def system_report_dict(
-    system: RlhfSystem, recovery=None, analysis=None, model_check=None
+    system: RlhfSystem,
+    recovery=None,
+    analysis=None,
+    model_check=None,
+    shapes=None,
 ) -> Dict[str, Any]:
     """A machine-readable run report, sanitized for ``json.dumps``.
 
@@ -159,6 +163,10 @@ def system_report_dict(
             :class:`~repro.analysis.ModelCheckResult` (the MC6xx bounded
             protocol exploration); coverage and any counterexample
             schedules are embedded under ``"model_check"``.
+        shapes: Optional :class:`~repro.analysis.AnalysisReport` from the
+            SF7xx runtime shape cross-validation
+            (:func:`~repro.analysis.shape_cross_validate`); embedded under
+            ``"shapes"``.
     """
     controller = system.controller
     collect_system_metrics(controller)
@@ -179,6 +187,8 @@ def system_report_dict(
     }
     if analysis is not None:
         doc["analysis"] = analysis.to_dict()
+    if shapes is not None:
+        doc["shapes"] = shapes.to_dict()
     if model_check is not None:
         import dataclasses
 

@@ -202,7 +202,7 @@ def static_batch_steps(lengths: Sequence[int], capacity: int) -> int:
     """
     if capacity < 1:
         raise ValueError(f"capacity must be >= 1, got {capacity}")
-    arr = np.asarray(lengths)
+    arr = np.asarray(lengths, dtype=np.int64)
     return sum(
         int(arr[start : start + capacity].max())
         for start in range(0, len(arr), capacity)
@@ -286,7 +286,7 @@ class RolloutServer:
         arrival_time: Optional[float] = None,
     ) -> int:
         """Enqueue one generation request; returns its request id."""
-        prompt = np.asarray(prompt)
+        prompt = np.asarray(prompt, dtype=np.int64)
         if prompt.ndim != 1 or prompt.shape[0] < 1:
             raise ValueError(f"prompt must be non-empty 1-D, got {prompt.shape}")
         if max_new_tokens < 1:
@@ -418,7 +418,9 @@ class RolloutServer:
         else:
             last = req.generated[-1]
             logits = self.model.forward(
-                np.asarray([[last]]), cache=req.cache, pos_offset=req.kv_len
+                np.asarray([[last]], dtype=np.int64),
+                cache=req.cache,
+                pos_offset=req.kv_len,
             )
             req.kv_len += 1
         step_logits = logits.data[:, -1, :]
@@ -474,7 +476,9 @@ class RolloutServer:
             batched.values[layer] = np.concatenate(
                 [r.cache.values[layer] for r in cohort], axis=0
             )
-        last = np.asarray([[r.generated[-1]] for r in cohort])
+        last = np.asarray(
+            [[r.generated[-1]] for r in cohort], dtype=np.int64
+        )
         logits = self.model.forward(last, cache=batched, pos_offset=kv_len)
         for i, req in enumerate(cohort):
             # row views share the cohort's base buffer; every row is live,

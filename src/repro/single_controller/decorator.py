@@ -16,6 +16,7 @@ from typing import Any, Callable, Optional
 
 PROTOCOL_ATTR = "_transfer_protocol"
 BLOCKING_ATTR = "_transfer_blocking"
+SHAPE_CONTRACT_ATTR = "_shape_contract"
 
 
 def register(
@@ -44,6 +45,47 @@ def register(
     return decorate
 
 
+def shape_contract(
+    inputs: Optional[dict] = None,
+    outputs: Optional[dict] = None,
+    returns: str = "batch",
+) -> Callable[[Callable], Callable]:
+    """Declare the symbolic array shapes a worker method consumes/produces.
+
+    Specs map column name to ``"dims[:dtype]"`` — dims are comma-separated
+    symbols (``B`` batch, ``P`` prompt, ``R`` response, ``L = P+R``, ``T``
+    pretrain tokens, ``G`` group size) or int literals; dtype defaults to
+    ``float64``.  A ``?`` name prefix marks the column optional (e.g.
+    ``"?response_mask": "B,R"`` flows only when eos is configured).
+
+    The contract is *declarative only*: nothing is checked at call time.
+    The SF7xx pass (:mod:`repro.analysis.shapeflow`) interprets it
+    statically, and the runtime :class:`ShapeRecorder` witnesses it against
+    real batches.  Stack *below* ``@register`` — its ``functools.wraps``
+    copies the attribute onto the dispatch wrapper.
+
+    Args:
+        inputs: Columns the method reads from its ``DataBatch`` argument.
+        outputs: Columns of the returned batch (``returns="batch"``).
+        returns: ``"batch"`` for DataBatch-returning methods, ``"metrics"``
+            for plain metric dicts (which declare no output columns).
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        setattr(
+            fn,
+            SHAPE_CONTRACT_ATTR,
+            {
+                "inputs": dict(inputs or {}),
+                "outputs": dict(outputs or {}),
+                "returns": returns,
+            },
+        )
+        return fn
+
+    return decorate
+
+
 def registered_protocol(method: Callable) -> Optional[str]:
     """The protocol name a method was registered with, or None."""
     return getattr(method, PROTOCOL_ATTR, None)
@@ -51,3 +93,8 @@ def registered_protocol(method: Callable) -> Optional[str]:
 
 def registered_blocking(method: Callable) -> bool:
     return getattr(method, BLOCKING_ATTR, True)
+
+
+def registered_shape_contract(method: Callable) -> Optional[dict]:
+    """The raw @shape_contract payload of a method, or None."""
+    return getattr(method, SHAPE_CONTRACT_ATTR, None)

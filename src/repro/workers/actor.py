@@ -22,7 +22,7 @@ from repro.models.sampler import GenerationOutput, generate
 from repro.models.tinylm import TinyLM
 from repro.rlhf import losses as L
 from repro.serving import RolloutServer, ServingConfig
-from repro.single_controller.decorator import register
+from repro.single_controller.decorator import register, shape_contract
 from repro.single_controller.worker import WorkerContext
 from repro.models.tinylm import TinyLMConfig
 from repro.workers.base import ThreeDParallelWorker
@@ -84,6 +84,15 @@ class ActorWorker(ThreeDParallelWorker):
     # -- Table 4 primitives --------------------------------------------------------------
 
     @register(protocol="3d_all_micro_dp")
+    @shape_contract(
+        inputs={"prompts": "B,P:int64"},
+        outputs={
+            "prompts": "B,P:int64",
+            "sequences": "B,L:int64",
+            "old_log_probs": "B,R",
+            "?response_mask": "B,R",
+        },
+    )
     def generate_sequences(
         self,
         batch: DataBatch,
@@ -200,8 +209,8 @@ class ActorWorker(ThreeDParallelWorker):
             ],
             axis=1,
         )
-        log_probs = np.zeros((batch, max_new_tokens))
-        mask = np.zeros((batch, max_new_tokens))
+        log_probs = np.zeros((batch, max_new_tokens), dtype=np.float64)
+        mask = np.zeros((batch, max_new_tokens), dtype=np.float64)
         for done in report.completed:
             i, n = done.request_id, done.response_length
             sequences[i, prompt_len : prompt_len + n] = done.response
@@ -256,6 +265,10 @@ class ActorWorker(ThreeDParallelWorker):
         super().load_from_checkpoint(state)
 
     @register(protocol="3d_proto")
+    @shape_contract(
+        inputs={"sequences": "B,L:int64"},
+        outputs={"sequences": "B,L:int64", "log_probs": "B,R"},
+    )
     def compute_log_prob(self, batch: DataBatch) -> Optional[DataBatch]:
         """Recompute response log-probs under the current policy (Table 4)."""
 
@@ -272,6 +285,7 @@ class ActorWorker(ThreeDParallelWorker):
         return self.replica_forward(compute)
 
     @register(protocol="3d_proto")
+    @shape_contract(inputs={"tokens": "B,T:int64"}, returns="metrics")
     def compute_loss(self, pretrain_batch: DataBatch) -> Optional[Dict[str, float]]:
         """Pretraining NLL on auxiliary data (PPO-ptx / Safe-RLHF, Table 4)."""
 
@@ -282,6 +296,7 @@ class ActorWorker(ThreeDParallelWorker):
         return self.replica_forward(compute)
 
     @register(protocol="3d_proto")
+    @shape_contract(inputs={"tokens": "B,T:int64"}, returns="metrics")
     def update_sft(self, batch: DataBatch) -> Optional[Dict[str, float]]:
         """Supervised fine-tuning step: next-token NLL on ``tokens``.
 
@@ -298,6 +313,18 @@ class ActorWorker(ThreeDParallelWorker):
         return self.replica_train_step(compute)
 
     @register(protocol="3d_proto")
+    @shape_contract(
+        inputs={
+            "sequences": "B,L:int64",
+            "old_log_probs": "B,R",
+            "advantages": "B,R",
+            "?response_mask": "B,R",
+            "?importance_weights": "B,R",
+            "?cost_advantages": "B,R",
+            "?ref_log_probs": "B,R",
+        },
+        returns="metrics",
+    )
     def update_actor(
         self,
         batch: DataBatch,

@@ -7,7 +7,7 @@ from typing import Dict, Optional
 from repro.data.batch import DataBatch
 from repro.models.tinylm import TinyLM, TinyLMConfig
 from repro.rlhf import losses as L
-from repro.single_controller.decorator import register
+from repro.single_controller.decorator import register, shape_contract
 from repro.single_controller.worker import WorkerContext
 from repro.workers.base import ThreeDParallelWorker
 
@@ -38,6 +38,10 @@ class CriticWorker(ThreeDParallelWorker):
         self.value_clip = value_clip
 
     @register(protocol="3d_proto")
+    @shape_contract(
+        inputs={"sequences": "B,L:int64"},
+        outputs={"sequences": "B,L:int64", "values": "B,R"},
+    )
     def compute_values(self, batch: DataBatch) -> Optional[DataBatch]:
         """Values of each response position, ``(batch, response_len)``.
 
@@ -58,6 +62,15 @@ class CriticWorker(ThreeDParallelWorker):
         return self.replica_forward(compute)
 
     @register(protocol="3d_proto")
+    @shape_contract(
+        inputs={
+            "sequences": "B,L:int64",
+            "values": "B,R",
+            "returns": "B,R",
+            "?response_mask": "B,R",
+        },
+        returns="metrics",
+    )
     def update_critic(
         self,
         batch: DataBatch,

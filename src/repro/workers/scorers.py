@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.data.batch import DataBatch
 from repro.models.tinylm import TinyLM, TinyLMConfig
-from repro.single_controller.decorator import register
+from repro.single_controller.decorator import register, shape_contract
 from repro.single_controller.worker import Worker, WorkerContext
 from repro.workers.base import ThreeDParallelWorker
 
@@ -53,6 +53,10 @@ class ReferenceWorker(ThreeDParallelWorker):
         super().__init__(ctx, model_config, seed=seed, tag=tag)
 
     @register(protocol="3d_proto")
+    @shape_contract(
+        inputs={"sequences": "B,L:int64"},
+        outputs={"sequences": "B,L:int64", "ref_log_probs": "B,R"},
+    )
     def compute_ref_log_prob(self, batch: DataBatch) -> Optional[DataBatch]:
         """Reference log-probs of the response tokens (Table 4)."""
 
@@ -87,6 +91,10 @@ class RewardWorker(ThreeDParallelWorker):
         super().__init__(ctx, model_config, seed=seed, tag=tag)
 
     @register(protocol="3d_proto")
+    @shape_contract(
+        inputs={"sequences": "B,L:int64", "?response_mask": "B,R"},
+        outputs={"sequences": "B,L:int64", "scores": "B"},
+    )
     def compute_reward(self, batch: DataBatch) -> Optional[DataBatch]:
         def compute(model: TinyLM):
             scores = _sequence_scores(model, batch)
@@ -120,6 +128,10 @@ class TrainableRewardWorker(RewardWorker):
         self.lr = lr
 
     @register(protocol="3d_proto")
+    @shape_contract(
+        inputs={"chosen": "B,T:int64", "rejected": "B,T:int64"},
+        returns="metrics",
+    )
     def update_reward(self, batch: DataBatch):
         """One pairwise-preference update on ``chosen``/``rejected`` pairs."""
 
@@ -159,6 +171,14 @@ class CostWorker(RewardWorker):
         super().__init__(ctx, model_config, seed=seed, tag=tag)
 
     @register(protocol="3d_proto")
+    @shape_contract(
+        inputs={"sequences": "B,L:int64", "?response_mask": "B,R"},
+        outputs={
+            "sequences": "B,L:int64",
+            "costs": "B",
+            "cost_values": "B,R",
+        },
+    )
     def compute_cost(self, batch: DataBatch) -> Optional[DataBatch]:
         """Per-sample cost plus token-level cost values (for cost GAE)."""
 
@@ -202,6 +222,10 @@ class RewardFunctionWorker(Worker):
         self.pass_prompts = pass_prompts
 
     @register(protocol="one_to_one")
+    @shape_contract(
+        inputs={"sequences": "B,L:int64"},
+        outputs={"sequences": "B,L:int64", "scores": "B"},
+    )
     def compute_reward(self, batch: DataBatch) -> DataBatch:
         prompt_len = batch.meta["prompt_length"]
         responses = batch["sequences"][:, prompt_len:]
@@ -222,6 +246,14 @@ class RewardFunctionWorker(Worker):
         )
 
     @register(protocol="one_to_one")
+    @shape_contract(
+        inputs={"sequences": "B,L:int64"},
+        outputs={
+            "sequences": "B,L:int64",
+            "costs": "B",
+            "cost_values": "B,R",
+        },
+    )
     def compute_cost(self, batch: DataBatch) -> DataBatch:
         """Function-based safety cost for Safe-RLHF (the §9 pattern applied
         to the cost signal).
@@ -242,7 +274,8 @@ class RewardFunctionWorker(Worker):
                 {
                     "costs": costs,
                     "cost_values": np.zeros(
-                        (batch.batch_size, responses.shape[1])
+                        (batch.batch_size, responses.shape[1]),
+                        dtype=np.float64,
                     ),
                 },
                 meta=batch.meta,

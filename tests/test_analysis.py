@@ -607,6 +607,52 @@ class TestRepoLint:
         assert rl306[0].location == "mod.py:1"
         assert "RL303" in rl306[0].message
 
+    def test_hotpath_zeros_without_dtype_is_rl308(self):
+        report = lint(
+            "import numpy as np\nx = np.zeros((4, 4))\n",
+            filename="src/repro/models/x.py",
+        )
+        assert [f.rule for f in report.findings] == ["RL308"]
+        assert report.findings[0].severity == WARNING
+
+    def test_hotpath_asarray_without_dtype_is_rl308(self):
+        report = lint(
+            "import numpy as np\ndef f(x):\n    return np.asarray(x)\n",
+            filename="src/repro/serving/x.py",
+        )
+        assert [f.rule for f in report.findings] == ["RL308"]
+
+    def test_hotpath_with_dtype_kwarg_is_clean(self):
+        report = lint(
+            "import numpy as np\nx = np.zeros((4,), dtype=np.float64)\n",
+            filename="src/repro/models/x.py",
+        )
+        assert report.findings == []
+
+    def test_hotpath_with_dtype_positional_is_clean(self):
+        report = lint(
+            "import numpy as np\ndef f(x):\n"
+            "    return np.asarray(x, np.int64)\n",
+            filename="src/repro/rlhf/advantage.py",
+        )
+        assert report.findings == []
+
+    def test_non_hotpath_module_exempt_from_rl308(self):
+        report = lint(
+            "import numpy as np\nx = np.empty((2,))\n",
+            filename="src/repro/observability/x.py",
+        )
+        assert report.findings == []
+
+    def test_rl308_suppression_works(self):
+        report = lint(
+            "import numpy as np\n"
+            "x = np.zeros(3)  # repro-lint: ignore[RL308]\n",
+            filename="src/repro/models/x.py",
+        )
+        assert report.findings == []
+        assert report.checked["suppressed"] == 1
+
     def test_unused_bare_suppression_is_rl306(self):
         report = lint("x = 1  # repro-lint: ignore\n")
         assert [f.rule for f in report.findings] == ["RL306"]
